@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Ablation: undo vs. redo logging under strand persistency.
+ *
+ * The paper implements undo logging and sketches redo logging as
+ * future work (§VII): a transaction's redo entries flush
+ * concurrently on one strand, a persist barrier orders them before
+ * the commit marker, and the in-place updates follow. This harness
+ * runs both styles on the Intel baseline and on StrandWeaver
+ * (failure-atomic transactions) to test the paper's hypothesis that
+ * "other logging mechanisms, such as redo logging, may also benefit
+ * from the relaxed semantics under strand persistency".
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace strand;
+
+namespace
+{
+
+RunMetrics
+runWith(const RecordedWorkload &workload, HwDesign design,
+        LogStyle style)
+{
+    InstrumentorParams ip;
+    ip.design = design;
+    ip.model = PersistencyModel::Txn;
+    ip.logStyle = style;
+    Instrumentor instr(ip);
+    auto streams = instr.lower(workload.trace);
+
+    SystemConfig cfg;
+    cfg.numCores = static_cast<unsigned>(streams.size());
+    cfg.design = design;
+    System sys(cfg);
+    sys.seedImage(workload.preload);
+    sys.loadStreams(std::move(streams));
+
+    RunMetrics metrics;
+    sys.run();
+    for (CoreId i = 0; i < workload.params.numThreads; ++i)
+        metrics.runTicks =
+            std::max(metrics.runTicks, sys.finishTickOf(i));
+    metrics.clwbs = sys.totalClwbs();
+    return metrics;
+}
+
+} // namespace
+
+int
+main()
+{
+    unsigned threads = benchThreads();
+    unsigned ops = benchOpsPerThread(60);
+    std::printf("Ablation: undo vs redo logging (TXN model), "
+                "threads=%u ops/thread=%u\n",
+                threads, ops);
+    bench::rule(78);
+    std::printf("%-12s %11s %11s %11s %11s %9s %9s\n", "workload",
+                "undo/intel", "redo/intel", "undo/sw", "redo/sw",
+                "sw undo", "sw redo");
+    std::printf("%-12s %11s %11s %11s %11s %9s %9s\n", "", "(us)",
+                "(us)", "(us)", "(us)", "speedup", "speedup");
+    bench::rule(78);
+
+    std::vector<double> undoGain, redoGain;
+    for (WorkloadKind kind :
+         {WorkloadKind::Queue, WorkloadKind::Hashmap,
+          WorkloadKind::ArraySwap, WorkloadKind::RbTree,
+          WorkloadKind::NStoreWrHeavy}) {
+        WorkloadParams params;
+        params.numThreads = threads;
+        params.opsPerThread = ops;
+        RecordedWorkload workload = recordWorkload(kind, params);
+
+        RunMetrics undoIntel =
+            runWith(workload, HwDesign::IntelX86, LogStyle::Undo);
+        RunMetrics redoIntel =
+            runWith(workload, HwDesign::IntelX86, LogStyle::Redo);
+        RunMetrics undoSw = runWith(workload, HwDesign::StrandWeaver,
+                                    LogStyle::Undo);
+        RunMetrics redoSw = runWith(workload, HwDesign::StrandWeaver,
+                                    LogStyle::Redo);
+
+        double su = undoSw.speedupOver(undoIntel);
+        double sr = redoSw.speedupOver(redoIntel);
+        undoGain.push_back(su);
+        redoGain.push_back(sr);
+        std::printf("%-12s %11.1f %11.1f %11.1f %11.1f %8.2fx "
+                    "%8.2fx\n",
+                    workloadName(kind),
+                    static_cast<double>(undoIntel.runTicks) / 1e6,
+                    static_cast<double>(redoIntel.runTicks) / 1e6,
+                    static_cast<double>(undoSw.runTicks) / 1e6,
+                    static_cast<double>(redoSw.runTicks) / 1e6, su,
+                    sr);
+    }
+    bench::rule(78);
+    double undo = bench::geomean(undoGain);
+    double redo = bench::geomean(redoGain);
+    std::printf("geomean strand speedup: undo %.2fx, redo %.2fx\n",
+                undo, redo);
+    if (redo >= 1.05) {
+        std::printf("Strand persistency accelerates redo logging "
+                    "too, as §VII hypothesizes.\n");
+    } else {
+        std::printf(
+            "A counterpoint to the §VII hypothesis in this model: "
+            "redo logging already\nneeds just one fence per "
+            "transaction (log -> marker), so the Intel baseline\n"
+            "loses most of its SFENCE stalls and strand persistency "
+            "has little left to\nrecover. Redo is the faster style "
+            "on BOTH designs here; the strands' win\nis specific "
+            "to orderings that fences over-serialize, like undo's "
+            "per-store\npairs.\n");
+    }
+    return 0;
+}

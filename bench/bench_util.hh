@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ *
+ * Every bench prints the rows/series of one paper artifact. Sizes
+ * default to a few-minute total budget and scale with:
+ *   SW_OPS     operations per thread (default per bench)
+ *   SW_THREADS program threads (default 8, Table I)
+ */
+
+#ifndef BENCH_BENCH_UTIL_HH
+#define BENCH_BENCH_UTIL_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace strand::bench
+{
+
+/** Print a horizontal rule sized to @p width. */
+inline void
+rule(unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+/** Geometric mean of a non-empty vector. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    double logSum = 0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+/** Record every Table II workload once with common parameters. */
+inline std::vector<RecordedWorkload>
+recordAll(unsigned threads, unsigned ops, std::uint64_t seed = 1)
+{
+    std::vector<RecordedWorkload> recorded;
+    for (WorkloadKind kind : allWorkloads) {
+        WorkloadParams params;
+        params.numThreads = threads;
+        params.opsPerThread = ops;
+        params.seed = seed;
+        recorded.push_back(recordWorkload(kind, params));
+    }
+    return recorded;
+}
+
+} // namespace strand::bench
+
+#endif // BENCH_BENCH_UTIL_HH

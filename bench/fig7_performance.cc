@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 7 — performance comparison. For each language-level
+ * persistency model (TXN / SFR / ATLAS) and each Table II workload,
+ * prints the speedup of HOPS, NO-PERSIST-QUEUE, StrandWeaver, and
+ * NON-ATOMIC normalized to the Intel x86 baseline, plus per-model
+ * and overall averages against the paper's headline numbers
+ * (StrandWeaver: 1.45x avg / up to 1.97x over Intel; 1.20x avg / up
+ * to 1.55x over HOPS; NO-PQ 1.29x avg; SFR > TXN > ATLAS).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hh"
+
+using namespace strand;
+
+int
+main()
+{
+    unsigned threads = benchThreads();
+    unsigned ops = benchOpsPerThread(60);
+    auto recorded = bench::recordAll(threads, ops);
+
+    constexpr HwDesign designs[] = {
+        HwDesign::Hops, HwDesign::NoPersistQueue,
+        HwDesign::StrandWeaver, HwDesign::NonAtomic};
+
+    std::printf("Figure 7: speedup over the Intel x86 baseline\n");
+    std::printf("threads=%u ops/thread=%u (set SW_OPS / SW_THREADS to "
+                "scale)\n\n",
+                threads, ops);
+
+    std::map<HwDesign, std::vector<double>> overall;
+    std::map<PersistencyModel, std::vector<double>> swPerModel;
+    std::vector<double> swOverHops;
+
+    for (PersistencyModel model : allModels) {
+        std::printf("[%s]\n", persistencyModelName(model));
+        bench::rule(76);
+        std::printf("%-12s %10s %10s %10s %10s %10s\n", "workload",
+                    "intel-x86", "hops", "no-pq", "strandwvr",
+                    "non-atomic");
+        bench::rule(76);
+
+        for (const RecordedWorkload &workload : recorded) {
+            RunMetrics intel = runExperiment(
+                workload, HwDesign::IntelX86, model);
+            std::printf("%-12s %10.2f", workloadName(workload.kind),
+                        1.0);
+            double hops = 0, sw = 0;
+            for (HwDesign design : designs) {
+                RunMetrics metrics =
+                    runExperiment(workload, design, model);
+                double speedup = metrics.speedupOver(intel);
+                std::printf(" %10.2f", speedup);
+                overall[design].push_back(speedup);
+                if (design == HwDesign::Hops)
+                    hops = speedup;
+                if (design == HwDesign::StrandWeaver) {
+                    sw = speedup;
+                    swPerModel[model].push_back(speedup);
+                }
+            }
+            swOverHops.push_back(sw / hops);
+            std::printf("\n");
+        }
+        bench::rule(76);
+        std::printf("%-12s %10s", "avg", "1.00");
+        for (HwDesign design : designs) {
+            std::vector<double> modelValues;
+            std::size_t n = recorded.size();
+            auto &all = overall[design];
+            modelValues.assign(all.end() - n, all.end());
+            std::printf(" %10.2f", bench::geomean(modelValues));
+        }
+        std::printf("\n\n");
+    }
+
+    std::printf("Summary vs paper (Section VI-B):\n");
+    bench::rule(76);
+    auto &sw = overall[HwDesign::StrandWeaver];
+    double swAvg = bench::geomean(sw);
+    double swMax = *std::max_element(sw.begin(), sw.end());
+    std::printf("  StrandWeaver over Intel x86: %.2fx avg, %.2fx max "
+                "(paper: 1.45x avg, 1.97x max)\n",
+                swAvg, swMax);
+    double vsHopsAvg = bench::geomean(swOverHops);
+    double vsHopsMax =
+        *std::max_element(swOverHops.begin(), swOverHops.end());
+    std::printf("  StrandWeaver over HOPS:      %.2fx avg, %.2fx max "
+                "(paper: 1.20x avg, 1.55x max)\n",
+                vsHopsAvg, vsHopsMax);
+    std::printf("  NO-PERSIST-QUEUE over Intel: %.2fx avg "
+                "(paper: 1.29x avg)\n",
+                bench::geomean(overall[HwDesign::NoPersistQueue]));
+    std::printf("  Per-model StrandWeaver avg:  sfr %.2fx, txn %.2fx, "
+                "atlas %.2fx (paper: 1.50 / 1.45 / 1.40)\n",
+                bench::geomean(swPerModel[PersistencyModel::Sfr]),
+                bench::geomean(swPerModel[PersistencyModel::Txn]),
+                bench::geomean(swPerModel[PersistencyModel::Atlas]));
+    bench::rule(76);
+    return 0;
+}

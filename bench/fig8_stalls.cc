@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 8 — CPU stalls as hardware enforces persist order. For each
+ * workload (SFR implementation) prints the persist-induced dispatch
+ * stall cycles of every design normalized to Intel x86, plus the
+ * aggregate reduction the paper reports (StrandWeaver: 62.4% fewer
+ * stalls than Intel; the NO-PQ intermediate design: 52.3% fewer).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hh"
+
+using namespace strand;
+
+int
+main()
+{
+    unsigned threads = benchThreads();
+    unsigned ops = benchOpsPerThread(60);
+    auto recorded = bench::recordAll(threads, ops);
+
+    constexpr HwDesign designs[] = {
+        HwDesign::IntelX86, HwDesign::Hops, HwDesign::NoPersistQueue,
+        HwDesign::StrandWeaver, HwDesign::NonAtomic};
+
+    std::printf("Figure 8: persist-ordering stall cycles, normalized "
+                "to Intel x86 (SFR model)\n");
+    std::printf("threads=%u ops/thread=%u\n", threads, ops);
+    bench::rule(76);
+    std::printf("%-12s %10s %10s %10s %10s %10s\n", "workload",
+                "intel-x86", "hops", "no-pq", "strandwvr",
+                "non-atomic");
+    bench::rule(76);
+
+    std::map<HwDesign, double> totalStalls;
+    for (const RecordedWorkload &workload : recorded) {
+        std::map<HwDesign, double> stalls;
+        for (HwDesign design : designs) {
+            RunMetrics metrics = runExperiment(
+                workload, design, PersistencyModel::Sfr);
+            stalls[design] = metrics.persistStalls;
+            totalStalls[design] += metrics.persistStalls;
+        }
+        double base = stalls[HwDesign::IntelX86];
+        std::printf("%-12s", workloadName(workload.kind));
+        for (HwDesign design : designs) {
+            if (base > 0)
+                std::printf(" %10.2f", stalls[design] / base);
+            else
+                std::printf(" %10s", "-");
+        }
+        std::printf("\n");
+    }
+    bench::rule(76);
+
+    double base = totalStalls[HwDesign::IntelX86];
+    if (base > 0) {
+        double swReduction =
+            100.0 *
+            (1.0 - totalStalls[HwDesign::StrandWeaver] / base);
+        double nopqReduction =
+            100.0 *
+            (1.0 - totalStalls[HwDesign::NoPersistQueue] / base);
+        std::printf("StrandWeaver: %.1f%% fewer persist stalls than "
+                    "Intel x86 (paper: 62.4%%)\n",
+                    swReduction);
+        std::printf("NO-PQ:        %.1f%% fewer persist stalls than "
+                    "Intel x86 (paper: 52.3%%)\n",
+                    nopqReduction);
+    }
+    return 0;
+}

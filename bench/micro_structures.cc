@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot
+ * structures: the event queue, the cache tag array, the RNG, the
+ * PMO litmus checker, and the lowering pass. These guard the
+ * simulator's own performance (a full Figure 7 matrix is ~120 timed
+ * runs) rather than reproducing a paper artifact.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hh"
+#include "persist/pmo.hh"
+#include "runtime/instrumentor.hh"
+#include "runtime/recorder.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace strand
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleService(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>((i * 7919) % 10007),
+                        [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleService);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    CacheArray array(32 * 1024, 2);
+    for (Addr line = 0; line < 32 * 1024; line += 64)
+        array.install(array.victimFor(line), line,
+                      CoherenceState::Shared);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.findLine(addr));
+        addr = (addr + 64) % (32 * 1024);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_ZipfianNext(benchmark::State &state)
+{
+    Rng rng(1);
+    ZipfianGenerator zipf(16384, 0.99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.next(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void
+BM_PmoModelBuildAndCheck(benchmark::State &state)
+{
+    const auto persists = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        PmoProgram prog;
+        prog.threads.resize(1);
+        std::vector<std::uint64_t> trace;
+        for (std::uint64_t i = 0; i < persists; ++i) {
+            prog.threads[0].push_back(
+                PmoOp::persist(i + 1, pmBase + i * 64));
+            if (i % 4 == 1)
+                prog.threads[0].push_back(PmoOp::barrier());
+            if (i % 4 == 3)
+                prog.threads[0].push_back(PmoOp::newStrand());
+            trace.push_back(i + 1);
+        }
+        PmoModel model(prog);
+        benchmark::DoNotOptimize(model.checkTrace(trace));
+    }
+    state.SetItemsProcessed(state.iterations() * persists);
+}
+BENCHMARK(BM_PmoModelBuildAndCheck)->Arg(16)->Arg(64);
+
+void
+BM_LoweringPass(benchmark::State &state)
+{
+    // One recorded region trace, lowered repeatedly.
+    TraceRecorder rec(2);
+    for (int r = 0; r < 64; ++r) {
+        for (CoreId t = 0; t < 2; ++t) {
+            rec.lockAcquire(t, 1);
+            rec.regionBegin(t);
+            rec.write(t, pmBase + 0x2000000 + (r * 2 + t) * 64,
+                      r + 1);
+            rec.regionEnd(t);
+            rec.lockRelease(t, 1);
+        }
+    }
+    RegionTrace trace = rec.takeTrace();
+    for (auto _ : state) {
+        InstrumentorParams params;
+        params.design = HwDesign::StrandWeaver;
+        params.model = PersistencyModel::Sfr;
+        Instrumentor instr(params);
+        benchmark::DoNotOptimize(instr.lower(trace));
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_LoweringPass);
+
+} // namespace
+} // namespace strand
+
+BENCHMARK_MAIN();

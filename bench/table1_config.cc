@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table I — simulator specifications. Prints the configuration the
+ * other harnesses run with, next to the paper's values, so any
+ * deviation is visible at a glance.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace strand;
+
+int
+main()
+{
+    SystemConfig cfg;
+    std::printf("Table I: simulator specifications\n");
+    bench::rule(72);
+    std::printf("%-26s %-26s %s\n", "parameter", "paper", "this run");
+    bench::rule(72);
+    std::printf("%-26s %-26s %u cores, %.1f GHz\n", "Core",
+                "8-core, 2 GHz OoO", cfg.numCores,
+                1000.0 / static_cast<double>(cfg.core.clockPeriod));
+    std::printf("%-26s %-26s %u-wide / %u-wide\n", "Dispatch/Commit",
+                "6-wide / 8-wide", cfg.core.dispatchWidth,
+                cfg.core.commitWidth);
+    std::printf("%-26s %-26s %u entries\n", "ROB", "224 entries",
+                cfg.core.robEntries);
+    std::printf("%-26s %-26s %u/%u entries\n", "Load/Store Queue",
+                "72/64 entries", cfg.core.lqEntries,
+                cfg.core.sqEntries);
+    std::printf("%-26s %-26s %llu KiB, %u-way, %llu ns, %u MSHRs\n",
+                "D-Cache", "32 KiB 2-way, 2 ns, 6 MSHRs",
+                static_cast<unsigned long long>(cfg.caches.l1Size /
+                                                1024),
+                cfg.caches.l1Ways,
+                static_cast<unsigned long long>(cfg.caches.l1Latency /
+                                                ticksPerNs),
+                cfg.caches.l1Mshrs);
+    std::printf("%-26s %-26s %llu MiB, %u-way, %llu ns, %u MSHRs\n",
+                "L2-Cache", "28 MiB 16-way, 16 ns, 16 MSHRs",
+                static_cast<unsigned long long>(cfg.caches.l2Size /
+                                                1024 / 1024),
+                cfg.caches.l2Ways,
+                static_cast<unsigned long long>(cfg.caches.l2Latency /
+                                                ticksPerNs),
+                cfg.caches.l2Mshrs);
+    std::printf("%-26s %-26s %u/%u entries\n", "PM write/read queue",
+                "64/32 entries", cfg.pm.writeQueueEntries,
+                cfg.pm.readQueueEntries);
+    std::printf("%-26s %-26s %llu B\n", "PM row buffer", "1 KiB",
+                static_cast<unsigned long long>(cfg.pm.rowBytes));
+    std::printf("%-26s %-26s %llu ns\n", "PM read latency",
+                "346 ns (per [58])",
+                static_cast<unsigned long long>(cfg.pm.readLatency /
+                                                ticksPerNs));
+    std::printf("%-26s %-26s %llu ns\n", "PM write to controller",
+                "96 ns (ADR ack)",
+                static_cast<unsigned long long>(
+                    cfg.pm.writeAcceptLatency / ticksPerNs));
+    std::printf("%-26s %-26s %llu ns\n", "PM write to media",
+                "500 ns",
+                static_cast<unsigned long long>(
+                    cfg.pm.mediaWriteLatency / ticksPerNs));
+    std::printf("%-26s %-26s %u-entry PQ, %ux%u strand buffers\n",
+                "StrandWeaver", "16-entry PQ, 4x4 buffers",
+                cfg.engine.pqEntries, cfg.engine.strandBuffers,
+                cfg.engine.entriesPerBuffer);
+    bench::rule(72);
+    return 0;
+}

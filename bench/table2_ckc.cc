@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table II — benchmark write intensity: CLWBs issued per 1000 CPU
+ * cycles (CKC) in the NON-ATOMIC design, next to the paper's
+ * reported values. Absolute CKC depends on the substrate's op
+ * density; the *ordering* across workloads is the property the
+ * evaluation keys on (N-Store write-heavy most intense, queue and
+ * TPCC least).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace strand;
+
+namespace
+{
+
+double
+paperCkc(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Queue:
+        return 0.78;
+      case WorkloadKind::Hashmap:
+        return 4.83;
+      case WorkloadKind::ArraySwap:
+        return 4.45;
+      case WorkloadKind::RbTree:
+        return 3.46;
+      case WorkloadKind::Tpcc:
+        return 1.58;
+      case WorkloadKind::NStoreRdHeavy:
+        return 4.41;
+      case WorkloadKind::NStoreBalanced:
+        return 8.06;
+      case WorkloadKind::NStoreWrHeavy:
+        return 10.05;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    unsigned threads = benchThreads();
+    unsigned ops = benchOpsPerThread(120);
+
+    std::printf("Table II: write intensity (CKC = CLWBs per 1000 "
+                "cycles, NON-ATOMIC design)\n");
+    std::printf("threads=%u ops/thread=%u (set SW_OPS / SW_THREADS to "
+                "scale)\n",
+                threads, ops);
+    bench::rule(74);
+    std::printf("%-12s %-34s %10s %10s\n", "benchmark", "description",
+                "paper CKC", "this CKC");
+    bench::rule(74);
+
+    const char *descriptions[] = {
+        "Insert/delete to queue [16,18]",
+        "Read/update to hashmap [26,17]",
+        "Swap of array elements [26,17]",
+        "Insert/delete to RB-tree [26,18]",
+        "New Order trans. from TPCC [61,17]",
+        "90% read/10% write KV workload [60]",
+        "50% read/50% write KV workload [60]",
+        "10% read/90% write KV workload [60]",
+    };
+
+    unsigned idx = 0;
+    for (WorkloadKind kind : allWorkloads) {
+        WorkloadParams params;
+        params.numThreads = threads;
+        params.opsPerThread = ops;
+        RecordedWorkload recorded = recordWorkload(kind, params);
+        RunMetrics metrics = runExperiment(
+            recorded, HwDesign::NonAtomic, PersistencyModel::Sfr);
+        std::printf("%-12s %-34s %10.2f %10.2f\n", workloadName(kind),
+                    descriptions[idx], paperCkc(kind), metrics.ckc);
+        ++idx;
+    }
+    bench::rule(74);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end use of the library.
+ *
+ * Builds a one-core system twice — once as the Intel x86 baseline,
+ * once as StrandWeaver — runs the paper's Figure 1 undo-logging
+ * pattern on both, and prints the persist timeline and speedup.
+ *
+ *   log A; flush; ORDER; store A; flush;   (pair 1)
+ *   log B; flush; ORDER; store B; flush;   (pair 2)
+ *
+ * Under Intel's model the ORDER is an SFENCE and the pairs
+ * serialize; under strand persistency each pair lives on its own
+ * strand and the pairs drain concurrently.
+ */
+
+#include <cstdio>
+
+#include "core/strandweaver.hh"
+
+using namespace strand;
+
+namespace
+{
+
+constexpr Addr logA = pmBase + 0x100000;
+constexpr Addr logB = pmBase + 0x100040;
+constexpr Addr dataA = pmBase + 0x200000;
+constexpr Addr dataB = pmBase + 0x200040;
+
+OpStream
+undoLoggedPairs(HwDesign design)
+{
+    OpStream s;
+    auto pair = [&](Addr log, Addr data, std::uint64_t value) {
+        s.push_back(Op::store(log, value)); // undo-log entry
+        s.push_back(Op::clwb(log));
+        if (design == HwDesign::IntelX86)
+            s.push_back(Op::sfence());
+        else
+            s.push_back(Op::persistBarrier());
+        s.push_back(Op::store(data, value)); // in-place update
+        s.push_back(Op::clwb(data));
+        if (design != HwDesign::IntelX86)
+            s.push_back(Op::newStrand());
+    };
+    pair(logA, dataA, 1);
+    pair(logB, dataB, 2);
+    if (design != HwDesign::IntelX86)
+        s.push_back(Op::joinStrand());
+    else
+        s.push_back(Op::sfence());
+    return s;
+}
+
+Tick
+runOnce(HwDesign design)
+{
+    SystemConfig cfg;
+    cfg.numCores = 1;
+    cfg.design = design;
+    System sys(cfg);
+    sys.loadStreams({undoLoggedPairs(design)});
+    Tick end = sys.run();
+
+    std::printf("  [%s]\n", hwDesignName(design));
+    for (const PersistRecord &p : sys.persistTrace()) {
+        const char *what = p.lineAddr == lineAlign(logA)    ? "log A "
+                           : p.lineAddr == lineAlign(logB)  ? "log B "
+                           : p.lineAddr == lineAlign(dataA) ? "data A"
+                                                            : "data B";
+        std::printf("    %6llu ns  %s persists\n",
+                    static_cast<unsigned long long>(p.when / 1000),
+                    what);
+    }
+    std::printf("    finished at %llu ns\n\n",
+                static_cast<unsigned long long>(end / 1000));
+    return end;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("StrandWeaver quickstart: two undo-logged updates "
+                "(Figure 1 of the paper)\n\n");
+    Tick intel = runOnce(HwDesign::IntelX86);
+    Tick sw = runOnce(HwDesign::StrandWeaver);
+    std::printf("StrandWeaver finishes %.2fx faster: each log/update "
+                "pair persists on its own strand,\nwhile SFENCE "
+                "serializes the pairs and stalls the pipeline.\n",
+                static_cast<double>(intel) / static_cast<double>(sw));
+    return 0;
+}

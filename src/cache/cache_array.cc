@@ -1,0 +1,94 @@
+#include "cache/cache_array.hh"
+
+namespace strand
+{
+
+const char *
+coherenceStateName(CoherenceState state)
+{
+    switch (state) {
+      case CoherenceState::Invalid:
+        return "I";
+      case CoherenceState::Shared:
+        return "S";
+      case CoherenceState::Exclusive:
+        return "E";
+      case CoherenceState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+CacheArray::CacheArray(std::uint64_t sizeBytes, unsigned ways)
+    : ways(ways)
+{
+    fatalIf(ways == 0, "cache must have at least one way");
+    std::uint64_t numLines = sizeBytes / lineBytes;
+    fatalIf(numLines == 0 || numLines % ways != 0,
+            "cache size {} not divisible into {}-way sets", sizeBytes,
+            ways);
+    sets = static_cast<unsigned>(numLines / ways);
+    lines.resize(numLines);
+}
+
+std::uint64_t
+CacheArray::setIndex(Addr addr) const
+{
+    return (lineAlign(addr) / lineBytes) % sets;
+}
+
+CacheLineInfo *
+CacheArray::findLine(Addr addr)
+{
+    Addr la = lineAlign(addr);
+    std::uint64_t base = setIndex(addr) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        CacheLineInfo &line = lines[base + w];
+        if (line.valid() && line.lineAddr == la)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLineInfo *
+CacheArray::findLine(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->findLine(addr);
+}
+
+CacheLineInfo &
+CacheArray::victimFor(Addr addr)
+{
+    std::uint64_t base = setIndex(addr) * ways;
+    CacheLineInfo *victim = &lines[base];
+    for (unsigned w = 0; w < ways; ++w) {
+        CacheLineInfo &line = lines[base + w];
+        if (!line.valid())
+            return line;
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    return *victim;
+}
+
+bool
+CacheArray::invalidate(Addr addr)
+{
+    CacheLineInfo *line = findLine(addr);
+    if (!line)
+        return false;
+    line->state = CoherenceState::Invalid;
+    return true;
+}
+
+std::uint64_t
+CacheArray::countValid() const
+{
+    std::uint64_t count = 0;
+    for (const auto &line : lines)
+        if (line.valid())
+            ++count;
+    return count;
+}
+
+} // namespace strand

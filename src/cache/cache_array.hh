@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Set-associative tag array with MESI state and LRU replacement.
+ *
+ * The timing model is tag-only: functional data lives in the global
+ * MemoryImage and is snapshotted when a line departs toward the
+ * memory controllers. The array tracks presence, coherence state,
+ * and dirtiness, which is all the persistency mechanisms need.
+ */
+
+#ifndef CACHE_CACHE_ARRAY_HH
+#define CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/** MESI coherence states. */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** @return a short name for tracing. */
+const char *coherenceStateName(CoherenceState state);
+
+/** One cache line's bookkeeping. */
+struct CacheLineInfo
+{
+    Addr lineAddr = 0;
+    CoherenceState state = CoherenceState::Invalid;
+    /** LRU timestamp; larger is more recent. */
+    std::uint64_t lastUse = 0;
+
+    bool valid() const { return state != CoherenceState::Invalid; }
+    bool dirty() const { return state == CoherenceState::Modified; }
+};
+
+/**
+ * Tag array for one cache. Geometry is (sizeBytes / 64) lines,
+ * arranged as sets of @p ways lines each.
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param sizeBytes Total capacity; must be a multiple of
+     * ways * 64.
+     * @param ways Set associativity.
+     */
+    CacheArray(std::uint64_t sizeBytes, unsigned ways);
+
+    unsigned numSets() const { return sets; }
+    unsigned numWays() const { return ways; }
+
+    /** @return the line's info if present, else nullptr. */
+    CacheLineInfo *findLine(Addr addr);
+    const CacheLineInfo *findLine(Addr addr) const;
+
+    /** Record a use for LRU purposes. */
+    void touch(CacheLineInfo &line) { line.lastUse = ++useClock; }
+
+    /**
+     * Choose a victim way in the set of @p addr. Prefers invalid
+     * lines; otherwise the least recently used. The returned line may
+     * be valid and dirty — the caller must handle the eviction.
+     */
+    CacheLineInfo &victimFor(Addr addr);
+
+    /**
+     * Install @p addr into @p victim (which must belong to the right
+     * set) with the given state.
+     */
+    void
+    install(CacheLineInfo &victim, Addr addr, CoherenceState state)
+    {
+        victim.lineAddr = lineAlign(addr);
+        victim.state = state;
+        touch(victim);
+    }
+
+    /** Invalidate a line if present. @return true if it was valid. */
+    bool invalidate(Addr addr);
+
+    /** @return number of valid lines (linear scan; tests only). */
+    std::uint64_t countValid() const;
+
+    /** Iterate all valid lines (tests and draining). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (auto &line : lines)
+            if (line.valid())
+                fn(line);
+    }
+
+  private:
+    std::uint64_t setIndex(Addr addr) const;
+
+    unsigned sets;
+    unsigned ways;
+    std::uint64_t useClock = 0;
+    std::vector<CacheLineInfo> lines;
+};
+
+} // namespace strand
+
+#endif // CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,697 @@
+#include "cache/hierarchy.hh"
+
+#include <algorithm>
+
+namespace strand
+{
+
+Hierarchy::Hierarchy(std::string name, EventQueue &eq, MemoryImage &image,
+                     unsigned numCores, const HierarchyParams &params,
+                     MemController &pmCtrl, MemController &dramCtrl,
+                     stats::StatGroup *parent)
+    : SimObject(std::move(name), eq, parent),
+      loadHits(this, "loadHits", "L1 load hits"),
+      loadMisses(this, "loadMisses", "L1 load misses"),
+      storeHits(this, "storeHits", "L1 store hits (owned line)"),
+      storeMisses(this, "storeMisses", "L1 store misses (RFO)"),
+      upgrades(this, "upgrades", "S->M upgrade transactions"),
+      cacheToCache(this, "cacheToCache", "L1-to-L1 transfers"),
+      l1Writebacks(this, "l1Writebacks", "dirty L1 evictions"),
+      l2Evictions(this, "l2Evictions", "dirty L2 evictions to memory"),
+      flushesDirty(this, "flushesDirty", "CLWB flushes that wrote PM"),
+      flushesClean(this, "flushesClean", "CLWB flushes of clean lines"),
+      snoopStalls(this, "snoopStalls",
+                  "read-exclusive snoops stalled on persist drain"),
+      writebackStalls(this, "writebackStalls",
+                      "fills stalled on a full write-back buffer"),
+      image(image), params(params), pmCtrl(pmCtrl), dramCtrl(dramCtrl),
+      l2(params.l2Size, params.l2Ways)
+{
+    fatalIf(numCores == 0, "hierarchy needs at least one core");
+    cores.reserve(numCores);
+    for (unsigned i = 0; i < numCores; ++i) {
+        cores.emplace_back(params);
+        cores.back().mshrLimit = params.l1Mshrs;
+    }
+    pmCtrl.addRetryCallback([this] { scheduleKick(); });
+    dramCtrl.addRetryCallback([this] { scheduleKick(); });
+}
+
+MemController &
+Hierarchy::controllerFor(Addr addr)
+{
+    return isPersistentAddr(addr) ? pmCtrl : dramCtrl;
+}
+
+Hierarchy::Clearance
+Hierarchy::recordDrainPoint(CoreId core)
+{
+    if (!params.persistInterlocks)
+        return {};
+    auto &recorder = cores.at(core).recorder;
+    return recorder ? recorder() : Clearance{};
+}
+
+void
+Hierarchy::park(std::function<bool()> attempt)
+{
+    parked.push_back({std::move(attempt)});
+    scheduleKick();
+}
+
+void
+Hierarchy::scheduleKick()
+{
+    if (kickScheduled)
+        return;
+    kickScheduled = true;
+    eq.schedule(curTick(), [this] {
+        kickScheduled = false;
+        kick();
+    }, EventPriority::Default);
+}
+
+void
+Hierarchy::kick()
+{
+    drainWritebacks();
+    drainL2Evicts();
+    // Retry parked transactions in arrival order; anything still
+    // blocked goes back on the list.
+    std::deque<Parked> work;
+    work.swap(parked);
+    for (auto &item : work) {
+        if (!item.attempt())
+            parked.push_back(std::move(item));
+    }
+    if (wakeCallback)
+        wakeCallback();
+}
+
+void
+Hierarchy::prewarmL2(Addr start, Addr end)
+{
+    for (Addr la = lineAlign(start); la < end; la += lineBytes) {
+        if (l2.findLine(la))
+            continue;
+        CacheLineInfo &victim = l2.victimFor(la);
+        // Warm-up only targets an empty cache; skip on conflict
+        // rather than evicting real state.
+        if (victim.valid())
+            continue;
+        l2.install(victim, la, CoherenceState::Shared);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CPU-side interface
+// ---------------------------------------------------------------------
+
+bool
+Hierarchy::tryLoad(CoreId core, Addr addr, std::function<void()> onDone)
+{
+    Addr la = lineAlign(addr);
+    L1 &l1 = cores.at(core);
+
+    if (CacheLineInfo *line = l1.array.findLine(la)) {
+        l1.array.touch(*line);
+        ++loadHits;
+        eq.scheduleIn(params.l1Latency, std::move(onDone),
+                      EventPriority::MemoryResponse);
+        return true;
+    }
+
+    auto it = l1.mshrs.find(la);
+    if (it != l1.mshrs.end()) {
+        // Merge with the outstanding miss; any fill satisfies a load.
+        it->second.waiters.push_back(std::move(onDone));
+        ++loadMisses;
+        return true;
+    }
+    if (l1.mshrs.size() >= l1.mshrLimit)
+        return false;
+
+    ++loadMisses;
+    auto &mshr = l1.mshrs[la];
+    mshr.exclusive = false;
+    mshr.waiters.push_back(std::move(onDone));
+    ++activeTransactions;
+    startMiss(core, la, false);
+    return true;
+}
+
+bool
+Hierarchy::tryStore(CoreId core, Addr addr, std::uint64_t value,
+                    std::function<void()> onDone)
+{
+    Addr la = lineAlign(addr);
+    L1 &l1 = cores.at(core);
+    CacheLineInfo *line = l1.array.findLine(la);
+
+    if (line && (line->state == CoherenceState::Modified ||
+                 line->state == CoherenceState::Exclusive)) {
+        l1.array.touch(*line);
+        ++storeHits;
+        eq.scheduleIn(params.l1Latency,
+                      [this, core, la, addr, value,
+                       onDone = std::move(onDone)] {
+            // Re-find: the line cannot have moved (no transaction can
+            // run on it without an MSHR/busy entry, and owned lines
+            // are only demoted by transactions).
+            // The line can only vanish if an L2 replacement
+            // back-invalidated it mid-store; treat it as a store that
+            // squeaked in before the invalidation.
+            if (CacheLineInfo *l = cores.at(core).array.findLine(la))
+                l->state = CoherenceState::Modified;
+            image.writeArch(addr, value);
+            if (onDone)
+                onDone();
+        }, EventPriority::MemoryResponse);
+        return true;
+    }
+
+    if (line && line->state == CoherenceState::Shared) {
+        // Upgrade. Serialize against other transactions on the line.
+        if (busyLines.contains(la))
+            return false;
+        busyLines.insert(la);
+        ++upgrades;
+        ++activeTransactions;
+        eq.scheduleIn(params.l1Latency + params.snoopLatency,
+                      [this, core, la, addr, value,
+                       onDone = std::move(onDone)] {
+            for (unsigned i = 0; i < cores.size(); ++i) {
+                if (i != core)
+                    cores[i].array.invalidate(la);
+            }
+            // Tolerate an L2 back-invalidation racing the upgrade.
+            if (CacheLineInfo *l = cores.at(core).array.findLine(la))
+                l->state = CoherenceState::Modified;
+            image.writeArch(addr, value);
+            busyLines.erase(la);
+            --activeTransactions;
+            if (onDone)
+                onDone();
+            scheduleKick();
+        }, EventPriority::MemoryResponse);
+        return true;
+    }
+
+    // Miss: RFO.
+    auto it = l1.mshrs.find(la);
+    if (it != l1.mshrs.end()) {
+        if (!it->second.exclusive) {
+            // A shared fill is in flight; retry once it lands and
+            // take the upgrade path.
+            return false;
+        }
+        it->second.waiters.push_back(
+            [this, core, la, addr, value, onDone = std::move(onDone)] {
+                if (CacheLineInfo *l = cores.at(core).array.findLine(la))
+                    l->state = CoherenceState::Modified;
+                image.writeArch(addr, value);
+                if (onDone)
+                    onDone();
+            });
+        ++storeMisses;
+        return true;
+    }
+    if (l1.mshrs.size() >= l1.mshrLimit)
+        return false;
+
+    ++storeMisses;
+    auto &mshr = l1.mshrs[la];
+    mshr.exclusive = true;
+    mshr.waiters.push_back(
+        [this, core, la, addr, value, onDone = std::move(onDone)] {
+            if (CacheLineInfo *l = cores.at(core).array.findLine(la))
+                l->state = CoherenceState::Modified;
+            image.writeArch(addr, value);
+            if (onDone)
+                onDone();
+        });
+    ++activeTransactions;
+    startMiss(core, la, true);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Miss handling
+// ---------------------------------------------------------------------
+
+void
+Hierarchy::startMiss(CoreId core, Addr lineAddr, bool exclusive)
+{
+    if (busyLines.contains(lineAddr)) {
+        park([this, core, lineAddr, exclusive] {
+            if (busyLines.contains(lineAddr))
+                return false;
+            busyLines.insert(lineAddr);
+            eq.scheduleIn(params.l1Latency, [this, core, lineAddr,
+                                             exclusive] {
+                serviceMiss(core, lineAddr, exclusive);
+            }, EventPriority::MemoryResponse);
+            return true;
+        });
+        return;
+    }
+    busyLines.insert(lineAddr);
+    eq.scheduleIn(params.l1Latency, [this, core, lineAddr, exclusive] {
+        serviceMiss(core, lineAddr, exclusive);
+    }, EventPriority::MemoryResponse);
+}
+
+void
+Hierarchy::serviceMiss(CoreId core, Addr lineAddr, bool exclusive)
+{
+    // 1. Snoop remote L1s for a dirty owner.
+    for (unsigned i = 0; i < cores.size(); ++i) {
+        if (i == core)
+            continue;
+        CacheLineInfo *remote = cores[i].array.findLine(lineAddr);
+        if (!remote || remote->state != CoherenceState::Modified)
+            continue;
+
+        // Dirty remote owner. For read-exclusive requests the reply
+        // stalls until the owner's persist engine drains past the
+        // point recorded now (§IV, inter-thread persist order).
+        Clearance clearance;
+        if (exclusive)
+            clearance = recordDrainPoint(i);
+
+        auto transfer = [this, core, lineAddr, exclusive, i] {
+            CacheLineInfo *owner = cores[i].array.findLine(lineAddr);
+            ++cacheToCache;
+            if (exclusive) {
+                if (owner)
+                    cores[i].array.invalidate(lineAddr);
+                // Ownership moves to the requester; the (inclusive)
+                // L2 copy is stale and clean.
+                if (CacheLineInfo *l2line = l2.findLine(lineAddr))
+                    l2line->state = CoherenceState::Shared;
+            } else {
+                if (owner)
+                    owner->state = CoherenceState::Shared;
+                // The L2 absorbs the dirty data.
+                if (CacheLineInfo *l2line = l2.findLine(lineAddr)) {
+                    l2line->state = CoherenceState::Modified;
+                } else {
+                    // Inclusion was broken by an L2 eviction racing
+                    // this transfer; fall back to a direct memory
+                    // write-back of the fresh data.
+                    queueL2Evict(lineAddr);
+                }
+            }
+            eq.scheduleIn(params.l2Latency, [this, core, lineAddr,
+                                             exclusive] {
+                finishFill(core, lineAddr, exclusive,
+                           exclusive ? CoherenceState::Exclusive
+                                     : CoherenceState::Shared);
+            }, EventPriority::MemoryResponse);
+        };
+
+        if (clearance && !clearance()) {
+            ++snoopStalls;
+            park([clearance, transfer] {
+                if (!clearance())
+                    return false;
+                transfer();
+                return true;
+            });
+        } else {
+            eq.scheduleIn(params.snoopLatency, transfer,
+                          EventPriority::MemoryResponse);
+        }
+        return;
+    }
+
+    // 2. Clean remote copies and the shared L2.
+    eq.scheduleIn(params.snoopLatency + params.l2Latency,
+                  [this, core, lineAddr, exclusive] {
+        bool remoteCopies = false;
+        for (unsigned i = 0; i < cores.size(); ++i) {
+            if (i == core)
+                continue;
+            CacheLineInfo *remote = cores[i].array.findLine(lineAddr);
+            if (!remote)
+                continue;
+            remoteCopies = true;
+            if (exclusive)
+                cores[i].array.invalidate(lineAddr);
+            else if (remote->state == CoherenceState::Exclusive)
+                remote->state = CoherenceState::Shared;
+        }
+
+        if (l2.findLine(lineAddr)) {
+            CoherenceState fill;
+            if (exclusive)
+                fill = CoherenceState::Exclusive;
+            else
+                fill = remoteCopies ? CoherenceState::Shared
+                                    : CoherenceState::Exclusive;
+            finishFill(core, lineAddr, exclusive, fill);
+            return;
+        }
+
+        // 3. Fetch from memory.
+        auto fetch = [this, core, lineAddr, exclusive]() -> bool {
+            if (l2MissesInFlight >= params.l2Mshrs)
+                return false;
+            auto pkt = makeReadPacket(
+                lineAddr, core, exclusive,
+                [this, core, lineAddr, exclusive] {
+                    --l2MissesInFlight;
+                    // Fill L2 (inclusive), then the L1.
+                    park([this, core, lineAddr, exclusive] {
+                        if (!installLineL2(lineAddr))
+                            return false;
+                        finishFill(core, lineAddr, exclusive,
+                                   CoherenceState::Exclusive);
+                        return true;
+                    });
+                });
+            pkt->id = nextPacketId++;
+            if (!controllerFor(lineAddr).tryRequest(pkt))
+                return false;
+            ++l2MissesInFlight;
+            return true;
+        };
+        if (!fetch())
+            park(fetch);
+    }, EventPriority::MemoryResponse);
+}
+
+void
+Hierarchy::finishFill(CoreId core, Addr lineAddr, bool exclusive,
+                      CoherenceState fillState)
+{
+    if (!installLine(core, lineAddr, fillState)) {
+        // Victim write-back buffer full; retry when it drains.
+        ++writebackStalls;
+        park([this, core, lineAddr, exclusive, fillState] {
+            if (!installLine(core, lineAddr, fillState))
+                return false;
+            finishFill(core, lineAddr, exclusive, fillState);
+            return true;
+        });
+        return;
+    }
+
+    L1 &l1 = cores.at(core);
+    auto it = l1.mshrs.find(lineAddr);
+    panicIf(it == l1.mshrs.end(), "fill without MSHR");
+    auto waiters = std::move(it->second.waiters);
+    l1.mshrs.erase(it);
+    busyLines.erase(lineAddr);
+    --activeTransactions;
+    for (auto &waiter : waiters)
+        if (waiter)
+            waiter();
+    scheduleKick();
+}
+
+bool
+Hierarchy::installLine(CoreId core, Addr lineAddr, CoherenceState state)
+{
+    L1 &l1 = cores.at(core);
+    if (l1.array.findLine(lineAddr)) {
+        // Already present (e.g. re-entered finishFill); just set state.
+        l1.array.findLine(lineAddr)->state = state;
+        return true;
+    }
+    CacheLineInfo &victim = l1.array.victimFor(lineAddr);
+    if (victim.valid() && victim.dirty()) {
+        if (l1.writebacks.full())
+            return false;
+        pushWriteback(core, victim.lineAddr);
+    }
+    if (victim.valid())
+        victim.state = CoherenceState::Invalid;
+    l1.array.install(victim, lineAddr, state);
+    // Maintain inclusion: make sure the L2 tracks the line too. A
+    // cache-to-cache or L2 fill already has it; memory fills insert
+    // it in the fetch path. If it is somehow absent, add it cheaply.
+    if (!l2.findLine(lineAddr))
+        installLineL2(lineAddr);
+    return true;
+}
+
+void
+Hierarchy::pushWriteback(CoreId core, Addr lineAddr)
+{
+    L1 &l1 = cores.at(core);
+    ++l1Writebacks;
+    // Record the persist drain point at write-back initiation (§IV).
+    Clearance clearance = recordDrainPoint(core);
+    l1.writebacks.push(lineAddr, image.snapshotLine(lineAddr),
+                       std::move(clearance));
+    drainWritebacks();
+}
+
+void
+Hierarchy::drainWritebacks()
+{
+    for (auto &l1 : cores) {
+        l1.writebacks.drain([this](Addr lineAddr, const LineData &data) {
+            if (CacheLineInfo *l2line = l2.findLine(lineAddr)) {
+                l2line->state = CoherenceState::Modified;
+                l2.touch(*l2line);
+            } else {
+                // The L2 evicted the line while the write-back sat in
+                // the buffer; forward the data to memory directly.
+                pendingL2Evicts.push_back({lineAddr, data, {}});
+            }
+        });
+    }
+    drainL2Evicts();
+}
+
+bool
+Hierarchy::installLineL2(Addr lineAddr)
+{
+    if (l2.findLine(lineAddr))
+        return true;
+    if (pendingL2Evicts.size() >= params.l2EvictEntries)
+        return false;
+
+    CacheLineInfo &victim = l2.victimFor(lineAddr);
+    if (victim.valid()) {
+        // Avoid victimizing a line with an in-flight coherence
+        // transaction; retry once it settles.
+        if (busyLines.contains(victim.lineAddr))
+            return false;
+        Addr victimAddr = victim.lineAddr;
+        // Inclusive hierarchy: force the line out of every L1 first.
+        // A dirty L1 copy departs the cache domain here, so record
+        // the owning core's persist drain point (same interlock as a
+        // voluntary write-back, §IV).
+        bool wasDirtyAnywhere = victim.dirty();
+        Clearance clearance;
+        for (unsigned i = 0; i < cores.size(); ++i) {
+            if (CacheLineInfo *line = cores[i].array.findLine(victimAddr)) {
+                if (line->dirty()) {
+                    wasDirtyAnywhere = true;
+                    clearance = recordDrainPoint(i);
+                }
+                cores[i].array.invalidate(victimAddr);
+            }
+        }
+        if (wasDirtyAnywhere)
+            queueL2Evict(victimAddr, std::move(clearance));
+        victim.state = CoherenceState::Invalid;
+    }
+    l2.install(victim, lineAddr, CoherenceState::Shared);
+    return true;
+}
+
+void
+Hierarchy::queueL2Evict(Addr lineAddr, Clearance clearance)
+{
+    ++l2Evictions;
+    pendingL2Evicts.push_back({lineAddr, image.snapshotLine(lineAddr),
+                               std::move(clearance)});
+    drainL2Evicts();
+}
+
+void
+Hierarchy::drainL2Evicts()
+{
+    while (!pendingL2Evicts.empty()) {
+        PendingEvict &head = pendingL2Evicts.front();
+        if (head.clearance && !head.clearance())
+            break;
+        auto pkt = makeWritePacket(head.data, 0, WriteOrigin::WriteBack,
+                                   nullptr);
+        pkt->id = nextPacketId++;
+        if (!controllerFor(head.lineAddr).tryRequest(pkt))
+            break;
+        pendingL2Evicts.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLWB flush path
+// ---------------------------------------------------------------------
+
+void
+Hierarchy::sendLineWrite(Addr lineAddr, PacketPtr pkt)
+{
+    auto &queue = lineSendQueues[lineAddr];
+    bool hadBacklog = !queue.empty();
+    queue.push_back(std::move(pkt));
+    drainLineWrites(lineAddr);
+    auto it = lineSendQueues.find(lineAddr);
+    if (it->second.empty()) {
+        lineSendQueues.erase(it);
+        return;
+    }
+    if (hadBacklog)
+        return; // a retry for this line is already parked
+    park([this, lineAddr] {
+        drainLineWrites(lineAddr);
+        auto entry = lineSendQueues.find(lineAddr);
+        if (entry == lineSendQueues.end() || entry->second.empty()) {
+            if (entry != lineSendQueues.end())
+                lineSendQueues.erase(entry);
+            return true;
+        }
+        return false;
+    });
+}
+
+void
+Hierarchy::drainLineWrites(Addr lineAddr)
+{
+    auto it = lineSendQueues.find(lineAddr);
+    if (it == lineSendQueues.end())
+        return;
+    auto &queue = it->second;
+    while (!queue.empty()) {
+        if (!controllerFor(lineAddr).tryRequest(queue.front()))
+            break;
+        queue.pop_front();
+    }
+}
+
+void
+Hierarchy::tryFlush(CoreId core, Addr addr,
+                    std::function<void(bool)> onDone,
+                    std::function<void()> onStarted)
+{
+    Addr la = lineAlign(addr);
+    ++activeTransactions;
+
+    // Flushes deliberately do not serialize on busyLines: a
+    // read-exclusive snoop parked on this core's persist drain point
+    // must not block the very CLWB it is waiting for (§IV —
+    // "CLWBs never stall ... so there is no possibility of circular
+    // dependency and deadlock"). Concurrent transactions tolerate
+    // the dirty-bit cleaning the flush performs.
+    {
+        // Fast path: the flushing core's own L1 owns the dirty line.
+        L1 &own = cores.at(core);
+        CacheLineInfo *line = own.array.findLine(la);
+        bool ownDirty = line && line->dirty();
+        Tick lookup = ownDirty
+                          ? params.l1Latency
+                          : params.l1Latency + params.snoopLatency +
+                                params.l2Latency;
+
+        eq.scheduleIn(lookup, [this, core, la, onDone,
+                               onStarted = std::move(onStarted)] {
+            // The flush performs its cache read here; stores gated
+            // behind a persist barrier may drain only after this
+            // point (the notification below), so the snapshot can
+            // never include post-barrier data.
+            if (onStarted)
+                onStarted();
+            bool dirty = false;
+            // Clean every dirty copy in the domain; CLWB retains
+            // clean copies (non-invalidating).
+            for (auto &l1 : cores) {
+                if (CacheLineInfo *l = l1.array.findLine(la)) {
+                    if (l->dirty()) {
+                        dirty = true;
+                        l->state = CoherenceState::Exclusive;
+                    }
+                }
+                if (l1.writebacks.contains(la))
+                    dirty = true;
+            }
+            if (CacheLineInfo *l2line = l2.findLine(la)) {
+                if (l2line->dirty()) {
+                    dirty = true;
+                    l2line->state = CoherenceState::Shared;
+                }
+            }
+
+            if (!dirty) {
+                ++flushesClean;
+                --activeTransactions;
+                if (onDone)
+                    onDone(false);
+                scheduleKick();
+                return;
+            }
+
+            ++flushesDirty;
+            auto pkt = makeWritePacket(
+                image.snapshotLine(la), core, WriteOrigin::Clwb,
+                [this, onDone] {
+                    --activeTransactions;
+                    if (onDone)
+                        onDone(true);
+                    scheduleKick();
+                });
+            pkt->id = nextPacketId++;
+            // Same-line writes enter the controller in snapshot
+            // order even if back-pressure forces retries.
+            sendLineWrite(la, std::move(pkt));
+        }, EventPriority::MemoryResponse);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+CoherenceState
+Hierarchy::l1State(CoreId core, Addr addr) const
+{
+    const CacheLineInfo *line =
+        cores.at(core).array.findLine(lineAlign(addr));
+    return line ? line->state : CoherenceState::Invalid;
+}
+
+bool
+Hierarchy::l1Dirty(CoreId core, Addr addr) const
+{
+    const CacheLineInfo *line =
+        cores.at(core).array.findLine(lineAlign(addr));
+    return line && line->dirty();
+}
+
+CoherenceState
+Hierarchy::l2State(Addr addr) const
+{
+    const CacheLineInfo *line = l2.findLine(lineAlign(addr));
+    return line ? line->state : CoherenceState::Invalid;
+}
+
+bool
+Hierarchy::l2Dirty(Addr addr) const
+{
+    const CacheLineInfo *line = l2.findLine(lineAlign(addr));
+    return line && line->dirty();
+}
+
+std::size_t
+Hierarchy::writebacksPending() const
+{
+    std::size_t total = 0;
+    for (const auto &l1 : cores)
+        total += l1.writebacks.size();
+    return total;
+}
+
+} // namespace strand

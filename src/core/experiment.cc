@@ -1,0 +1,112 @@
+#include "core/experiment.hh"
+
+#include <cstdlib>
+
+namespace strand
+{
+
+RecordedWorkload
+recordWorkload(WorkloadKind kind, const WorkloadParams &params)
+{
+    RecordedWorkload result;
+    result.kind = kind;
+    result.params = params;
+    result.workload = makeWorkload(kind);
+
+    LogLayout layout;
+    TraceRecorder rec(params.numThreads);
+    PersistentHeap heap(layout, params.numThreads);
+    result.workload->record(rec, heap, params);
+    result.preload = rec.preloadedWords();
+    // Keep the full functional memory as part of the preload? No:
+    // only preloaded setup state is durable at t=0; the rest flows
+    // through the timed run.
+    result.trace = rec.takeTrace();
+    return result;
+}
+
+RunMetrics
+runExperiment(const RecordedWorkload &recorded, HwDesign design,
+              PersistencyModel model, const ExperimentConfig &config,
+              bool validate)
+{
+    InstrumentorParams ip;
+    ip.design = design;
+    ip.model = model;
+    Instrumentor instr(ip);
+    auto streams = instr.lower(recorded.trace);
+
+    SystemConfig sysCfg = config.baseSystem;
+    // SFR/ATLAS lowering appends the background pruner's stream; it
+    // runs on an additional core.
+    sysCfg.numCores = static_cast<unsigned>(streams.size());
+    sysCfg.design = design;
+    sysCfg.engine = config.engine;
+    System sys(sysCfg);
+    sys.seedImage(recorded.preload);
+    sys.loadStreams(std::move(streams));
+
+    RunMetrics metrics;
+    sys.run();
+    // Throughput is defined by the program cores; the background
+    // pruner's end-of-run backlog drain (which steady-state
+    // execution would overlap) is excluded. Sustained pruner
+    // pressure still shows up through the run-ahead window.
+    for (CoreId i = 0; i < recorded.params.numThreads; ++i)
+        metrics.runTicks = std::max(metrics.runTicks,
+                                    sys.finishTickOf(i));
+    metrics.totalCycles = sys.totalCycles();
+    metrics.clwbs = sys.totalClwbs();
+    metrics.persistStalls = sys.totalPersistStalls();
+    for (CoreId i = 0; i < sys.numCores(); ++i)
+        metrics.allStalls += sys.core(i).stallCycles.sum();
+    metrics.ckc = metrics.totalCycles > 0
+                      ? 1000.0 * metrics.clwbs / metrics.totalCycles
+                      : 0.0;
+    metrics.lowering = instr.stats();
+
+    if (validate && design != HwDesign::NonAtomic) {
+        const MemoryImage &img = sys.memory();
+        auto read = [&img](Addr addr) {
+            return img.readPersisted(addr);
+        };
+        std::string problem = recorded.workload->checkInvariants(read);
+        panicIf(!problem.empty(),
+                "post-run invariant violation in {} under {}/{}: {}",
+                recorded.workload->name(), hwDesignName(design),
+                persistencyModelName(model), problem);
+    }
+    return metrics;
+}
+
+namespace
+{
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    unsigned long parsed = std::strtoul(value, &end, 10);
+    if (end == value || parsed == 0)
+        return fallback;
+    return static_cast<unsigned>(parsed);
+}
+
+} // namespace
+
+unsigned
+benchOpsPerThread(unsigned fallback)
+{
+    return envUnsigned("SW_OPS", fallback);
+}
+
+unsigned
+benchThreads(unsigned fallback)
+{
+    return envUnsigned("SW_THREADS", fallback);
+}
+
+} // namespace strand

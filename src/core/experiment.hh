@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Experiment driver: records workloads once, lowers them per
+ * (hardware design x persistency model), replays them on the full
+ * timing stack, and reports the metrics the paper's tables and
+ * figures are built from (execution time, CLWB counts / CKC,
+ * persist-induced stall cycles, speedups).
+ */
+
+#ifndef CORE_EXPERIMENT_HH
+#define CORE_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/system.hh"
+#include "runtime/instrumentor.hh"
+#include "workloads/workload.hh"
+
+namespace strand
+{
+
+/** A workload recorded once and reusable across designs/models. */
+struct RecordedWorkload
+{
+    WorkloadKind kind = WorkloadKind::Queue;
+    WorkloadParams params;
+    RegionTrace trace;
+    std::unordered_map<Addr, std::uint64_t> preload;
+    /** Kept for invariant checks against run results. */
+    std::shared_ptr<Workload> workload;
+};
+
+/** Metrics from one timing run. */
+struct RunMetrics
+{
+    /** Wall-clock of the run: tick at which the last core finished. */
+    Tick runTicks = 0;
+    /** Sum of active cycles over all cores. */
+    double totalCycles = 0;
+    /** CLWBs that reached the cache hierarchy. */
+    double clwbs = 0;
+    /** Persist-induced dispatch stalls (Figure 8 metric). */
+    double persistStalls = 0;
+    /** All dispatch stall cycles. */
+    double allStalls = 0;
+    /** CLWBs per 1000 cycles (Table II metric). */
+    double ckc = 0;
+    LoweringStats lowering;
+
+    /** Speedup of this run relative to @p baseline. */
+    double
+    speedupOver(const RunMetrics &baseline) const
+    {
+        return runTicks == 0
+                   ? 0.0
+                   : static_cast<double>(baseline.runTicks) /
+                         static_cast<double>(runTicks);
+    }
+};
+
+/** Experiment-wide knobs. */
+struct ExperimentConfig
+{
+    EngineConfig engine;
+    SystemConfig baseSystem; ///< numCores overridden per workload
+};
+
+/** Record @p kind once with @p params. */
+RecordedWorkload recordWorkload(WorkloadKind kind,
+                                const WorkloadParams &params);
+
+/**
+ * Lower @p recorded for (design, model) and replay it.
+ * @param validate When true, panic if post-run invariants fail.
+ */
+RunMetrics runExperiment(const RecordedWorkload &recorded,
+                         HwDesign design, PersistencyModel model,
+                         const ExperimentConfig &config = {},
+                         bool validate = true);
+
+/** Default op count per thread, overridable via env SW_OPS. */
+unsigned benchOpsPerThread(unsigned fallback = 220);
+
+/** Default thread count, overridable via env SW_THREADS. */
+unsigned benchThreads(unsigned fallback = 8);
+
+} // namespace strand
+
+#endif // CORE_EXPERIMENT_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Umbrella header: the public API of the StrandWeaver reproduction.
+ *
+ * Pull in this single header to get:
+ *  - the strand persistency primitives and formal model
+ *    (persist/pmo.hh),
+ *  - the five persist-engine hardware designs (persist/design.hh),
+ *  - the full-system simulator (core/system.hh),
+ *  - the language-level logging runtime: recorder, lowering,
+ *    recovery (runtime/...),
+ *  - the Table II workloads (workloads/workload.hh),
+ *  - the experiment driver used by the table/figure harnesses
+ *    (core/experiment.hh).
+ */
+
+#ifndef CORE_STRANDWEAVER_HH
+#define CORE_STRANDWEAVER_HH
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "persist/design.hh"
+#include "persist/pmo.hh"
+#include "runtime/instrumentor.hh"
+#include "runtime/recorder.hh"
+#include "runtime/recovery.hh"
+#include "workloads/workload.hh"
+
+#endif // CORE_STRANDWEAVER_HH

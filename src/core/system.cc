@@ -1,0 +1,125 @@
+#include "core/system.hh"
+
+#include "runtime/layout.hh"
+
+namespace strand
+{
+
+System::System(const SystemConfig &config)
+    : stats::StatGroup("system"), cfg(config)
+{
+    fatalIf(cfg.numCores == 0, "system needs at least one core");
+
+    pmCtrl = std::make_unique<MemController>("pm", eq, image, cfg.pm,
+                                             true, this);
+    dramCtrl = std::make_unique<MemController>("dram", eq, image,
+                                               cfg.dram, false, this);
+    caches = std::make_unique<Hierarchy>("caches", eq, image,
+                                         cfg.numCores, cfg.caches,
+                                         *pmCtrl, *dramCtrl, this);
+
+    caches->setWakeCallback([this] {
+        for (auto &core : cores)
+            core->wake();
+    });
+
+    pmCtrl->setPersistObserver([this](const Packet &pkt, Tick when) {
+        persists.push_back({pkt.data.lineAddr, when, pkt.requester,
+                            pkt.origin});
+    });
+
+    coreFinish.assign(cfg.numCores, 0);
+    for (CoreId i = 0; i < cfg.numCores; ++i) {
+        auto engine = makePersistEngine(
+            cfg.design, "engine", eq, i, *caches, cfg.engine);
+        cores.push_back(std::make_unique<Core>(
+            "cpu" + std::to_string(i), eq, i, *caches,
+            std::move(engine), locks, cfg.core, this));
+        cores.back()->setFinishedCallback([this, i] {
+            coreFinish[i] = eq.curTick();
+            if (eq.curTick() > lastFinish)
+                lastFinish = eq.curTick();
+        });
+    }
+}
+
+void
+System::seedImage(const std::unordered_map<Addr, std::uint64_t> &words)
+{
+    for (auto [addr, value] : words) {
+        if (isPersistentAddr(addr))
+            image.writeDurable(addr, value);
+        else
+            image.writeArch(addr, value);
+        if (cfg.warmCaches)
+            caches->prewarmL2(lineAlign(addr), lineAlign(addr) + 1);
+    }
+    if (cfg.warmCaches) {
+        // The per-thread circular log buffers are written on every
+        // operation and are LLC-resident in steady state.
+        LogLayout layout;
+        caches->prewarmL2(pmBase, layout.heapBase());
+    }
+}
+
+void
+System::loadStreams(std::vector<OpStream> streams)
+{
+    fatalIf(streams.size() != cores.size(),
+            "stream count {} does not match core count {}",
+            streams.size(), cores.size());
+    for (CoreId i = 0; i < cores.size(); ++i)
+        cores[i]->setStream(std::move(streams[i]));
+    streamsLoaded = true;
+}
+
+Tick
+System::run()
+{
+    fatalIf(!streamsLoaded, "run() without loadStreams()");
+    for (auto &core : cores)
+        core->start();
+    eq.run();
+    panicIf(!finishedAll(),
+            "event queue drained but cores have not finished "
+            "(deadlocked ordering constraint?)");
+    return lastFinish;
+}
+
+bool
+System::runUntil(Tick limit)
+{
+    fatalIf(!streamsLoaded, "runUntil() without loadStreams()");
+    for (auto &core : cores)
+        core->start();
+    eq.runUntil(limit);
+    return finishedAll();
+}
+
+double
+System::totalClwbs() const
+{
+    // CLWBs are counted at the hierarchy flush entry point, which
+    // every engine's CLWB path passes through exactly once.
+    return caches->flushesDirty.value() + caches->flushesClean.value();
+}
+
+double
+System::totalPersistStalls() const
+{
+    double total = 0;
+    for (const auto &core : cores)
+        total += core->persistStallCycles();
+    return total;
+}
+
+double
+System::totalCycles() const
+{
+    double total = 0;
+    for (const auto &core : cores)
+        total += core->numCycles.value();
+    return total;
+}
+
+} // namespace strand

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Top-level system assembly: cores with persist engines, the
+ * coherent cache hierarchy, PM and DRAM controllers, the lock table,
+ * and the event queue — configured per Table I of the paper.
+ *
+ * A System executes one op stream per core, supports running to
+ * completion or to an arbitrary crash point, and records the persist
+ * trace (ADR admissions) for order validation.
+ */
+
+#ifndef CORE_SYSTEM_HH
+#define CORE_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "persist/design.hh"
+
+namespace strand
+{
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    unsigned numCores = 8;
+    HwDesign design = HwDesign::StrandWeaver;
+    EngineConfig engine;
+    CoreParams core;
+    HierarchyParams caches;
+    /**
+     * Install preloaded data and the undo-log buffers into the L2
+     * before the run, modeling the steady-state residency a long
+     * (50K-op) run reaches; short replays would otherwise be
+     * dominated by one-time cold misses.
+     */
+    bool warmCaches = true;
+    MemControllerParams pm;
+    MemControllerParams dram = dramControllerParams();
+};
+
+/** One persist event observed at the PM controller. */
+struct PersistRecord
+{
+    Addr lineAddr;
+    Tick when;
+    CoreId requester;
+    WriteOrigin origin;
+};
+
+/**
+ * A complete simulated machine.
+ */
+class System : public stats::StatGroup
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    MemoryImage &memory() { return image; }
+    EventQueue &eventQueue() { return eq; }
+    Hierarchy &hierarchy() { return *caches; }
+    MemController &pmController() { return *pmCtrl; }
+    Core &core(CoreId id) { return *cores.at(id); }
+    unsigned numCores() const { return cores.size(); }
+    const SystemConfig &config() const { return cfg; }
+
+    /** Seed words as already-durable initial state. */
+    void seedImage(
+        const std::unordered_map<Addr, std::uint64_t> &words);
+
+    /** Install one op stream per core (size must match). */
+    void loadStreams(std::vector<OpStream> streams);
+
+    /**
+     * Run to completion.
+     * @return the tick at which the last core finished.
+     */
+    Tick run();
+
+    /**
+     * Run until @p limit or completion, whichever is first.
+     * @return true if all cores finished.
+     */
+    bool runUntil(Tick limit);
+
+    /** Simulate a failure: freeze PM, discard volatile state. */
+    void crash() { image.crash(); }
+
+    bool
+    finishedAll() const
+    {
+        for (const auto &core : cores)
+            if (!core->finished())
+                return false;
+        return true;
+    }
+
+    /** Persist trace (in ADR admission order). */
+    const std::vector<PersistRecord> &persistTrace() const
+    {
+        return persists;
+    }
+
+    /** Aggregate CLWBs issued by all cores' engines (CKC metric). */
+    double totalClwbs() const;
+
+    /** Aggregate persist-induced stall cycles (Figure 8 metric). */
+    double totalPersistStalls() const;
+
+    /** Total active cycles summed over cores. */
+    double totalCycles() const;
+
+    /** The tick at which the last core finished. */
+    Tick finishTick() const { return lastFinish; }
+
+    /** The tick at which core @p id finished (0 if still running). */
+    Tick
+    finishTickOf(CoreId id) const
+    {
+        return coreFinish.at(id);
+    }
+
+  private:
+    SystemConfig cfg;
+    EventQueue eq;
+    MemoryImage image;
+    std::unique_ptr<MemController> pmCtrl;
+    std::unique_ptr<MemController> dramCtrl;
+    std::unique_ptr<Hierarchy> caches;
+    LockTable locks;
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<PersistRecord> persists;
+    std::vector<Tick> coreFinish;
+    Tick lastFinish = 0;
+    bool streamsLoaded = false;
+};
+
+} // namespace strand
+
+#endif // CORE_SYSTEM_HH

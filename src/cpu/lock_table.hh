@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ticketed lock table used to replay recorded lock acquisition
+ * order.
+ *
+ * Workloads execute functionally first; each acquire in the trace
+ * records the ticket (per-lock acquisition index) it obtained. During
+ * timing replay, an acquire with ticket t succeeds only when all
+ * earlier ticket holders have released, reproducing the recorded
+ * inter-thread serialization (and hence contention) faithfully on
+ * every hardware design.
+ */
+
+#ifndef CPU_LOCK_TABLE_HH
+#define CPU_LOCK_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace strand
+{
+
+/** Shared ticketed lock table. */
+class LockTable
+{
+  public:
+    /**
+     * Attempt to acquire @p lockId with @p ticket.
+     * @return true on success; false if earlier holders still exist.
+     */
+    bool
+    tryAcquire(std::uint32_t lockId, std::uint64_t ticket)
+    {
+        Lock &lock = locks[lockId];
+        if (lock.held || lock.nextTicket != ticket)
+            return false;
+        lock.held = true;
+        return true;
+    }
+
+    /** Release @p lockId, passing it to the next ticket holder. */
+    void
+    release(std::uint32_t lockId)
+    {
+        Lock &lock = locks[lockId];
+        panicIf(!lock.held, "release of un-held lock {}", lockId);
+        lock.held = false;
+        ++lock.nextTicket;
+        for (auto &observer : releaseObservers)
+            observer();
+    }
+
+    /** Register a callback invoked after every release (used to wake
+     * cores spinning on an acquire). */
+    void
+    addReleaseObserver(std::function<void()> observer)
+    {
+        releaseObservers.push_back(std::move(observer));
+    }
+
+    /** @return true if @p lockId is currently held. */
+    bool
+    held(std::uint32_t lockId) const
+    {
+        auto it = locks.find(lockId);
+        return it != locks.end() && it->second.held;
+    }
+
+    /** Tickets granted so far for @p lockId. */
+    std::uint64_t
+    nextTicket(std::uint32_t lockId) const
+    {
+        auto it = locks.find(lockId);
+        return it == locks.end() ? 0 : it->second.nextTicket;
+    }
+
+  private:
+    struct Lock
+    {
+        bool held = false;
+        std::uint64_t nextTicket = 0;
+    };
+
+    std::unordered_map<std::uint32_t, Lock> locks;
+    std::vector<std::function<void()>> releaseObservers;
+};
+
+} // namespace strand
+
+#endif // CPU_LOCK_TABLE_HH

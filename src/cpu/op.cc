@@ -1,0 +1,38 @@
+#include "cpu/op.hh"
+
+namespace strand
+{
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Load:
+        return "LD";
+      case OpType::Store:
+        return "ST";
+      case OpType::Clwb:
+        return "CLWB";
+      case OpType::PersistBarrier:
+        return "PB";
+      case OpType::NewStrand:
+        return "NS";
+      case OpType::JoinStrand:
+        return "JS";
+      case OpType::Sfence:
+        return "SFENCE";
+      case OpType::Ofence:
+        return "OFENCE";
+      case OpType::Dfence:
+        return "DFENCE";
+      case OpType::Compute:
+        return "COMP";
+      case OpType::LockAcquire:
+        return "LOCK";
+      case OpType::LockRelease:
+        return "UNLOCK";
+    }
+    return "?";
+}
+
+} // namespace strand

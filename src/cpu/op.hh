@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The ISA-level operation stream executed by the core timing model.
+ *
+ * Workload region traces are lowered (per hardware design and
+ * language-level persistency model) into streams of these
+ * operations. Persist-ordering primitives cover every design studied
+ * in the paper: CLWB plus SFENCE (Intel x86), ofence/dfence (HOPS),
+ * and persist barrier / NewStrand / JoinStrand (StrandWeaver).
+ */
+
+#ifndef CPU_OP_HH
+#define CPU_OP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/** Operation kinds in a core's instruction stream. */
+enum class OpType : std::uint8_t
+{
+    Load,           ///< Read a word (address in @c addr).
+    Store,          ///< Write @c value to @c addr.
+    Clwb,           ///< Flush the line of @c addr toward PM.
+    PersistBarrier, ///< StrandWeaver: order persists within a strand.
+    NewStrand,      ///< StrandWeaver: begin a new strand.
+    JoinStrand,     ///< StrandWeaver: merge prior strands.
+    Sfence,         ///< Intel x86: order stores/CLWBs on completion.
+    Ofence,         ///< HOPS: lightweight ordering fence (delegated).
+    Dfence,         ///< HOPS: durability fence (drain persist buffer).
+    Compute,        ///< Busy the pipeline for @c latency cycles.
+    LockAcquire,    ///< Acquire lock @c lockId at recorded @c ticket.
+    LockRelease,    ///< Release lock @c lockId.
+};
+
+/** @return a short mnemonic for tracing. */
+const char *opTypeName(OpType type);
+
+/** @return true for ops handled by the persist engine. */
+constexpr bool
+isPersistOp(OpType type)
+{
+    switch (type) {
+      case OpType::Clwb:
+      case OpType::PersistBarrier:
+      case OpType::NewStrand:
+      case OpType::JoinStrand:
+      case OpType::Sfence:
+      case OpType::Ofence:
+      case OpType::Dfence:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** One operation in a thread's stream. */
+struct Op
+{
+    OpType type = OpType::Compute;
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    /** Compute ops: busy cycles. */
+    std::uint32_t latency = 1;
+    /** Lock ops: which lock and this thread's recorded turn. */
+    std::uint32_t lockId = 0;
+    std::uint64_t ticket = 0;
+
+    static Op
+    load(Addr addr)
+    {
+        return {OpType::Load, addr, 0, 1, 0, 0};
+    }
+
+    static Op
+    store(Addr addr, std::uint64_t value)
+    {
+        return {OpType::Store, addr, value, 1, 0, 0};
+    }
+
+    static Op
+    clwb(Addr addr)
+    {
+        return {OpType::Clwb, addr, 0, 1, 0, 0};
+    }
+
+    static Op
+    persistBarrier()
+    {
+        return {OpType::PersistBarrier, 0, 0, 1, 0, 0};
+    }
+
+    static Op
+    newStrand()
+    {
+        return {OpType::NewStrand, 0, 0, 1, 0, 0};
+    }
+
+    static Op
+    joinStrand()
+    {
+        return {OpType::JoinStrand, 0, 0, 1, 0, 0};
+    }
+
+    static Op
+    sfence()
+    {
+        return {OpType::Sfence, 0, 0, 1, 0, 0};
+    }
+
+    static Op
+    ofence()
+    {
+        return {OpType::Ofence, 0, 0, 1, 0, 0};
+    }
+
+    static Op
+    dfence()
+    {
+        return {OpType::Dfence, 0, 0, 1, 0, 0};
+    }
+
+    static Op
+    compute(std::uint32_t cycles)
+    {
+        return {OpType::Compute, 0, 0, cycles, 0, 0};
+    }
+
+    static Op
+    lockAcquire(std::uint32_t lockId, std::uint64_t ticket)
+    {
+        return {OpType::LockAcquire, 0, 0, 1, lockId, ticket};
+    }
+
+    static Op
+    lockRelease(std::uint32_t lockId)
+    {
+        return {OpType::LockRelease, 0, 0, 1, lockId, 0};
+    }
+};
+
+/** A per-thread sequence of operations. */
+using OpStream = std::vector<Op>;
+
+} // namespace strand
+
+#endif // CPU_OP_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Physical address map and line-granularity helpers.
+ *
+ * The simulated machine exposes volatile DRAM at low addresses and
+ * persistent memory (PM) in a disjoint high range. All caches use
+ * 64-byte lines; stores are modeled at 8-byte word granularity.
+ */
+
+#ifndef MEM_ADDRESS_MAP_HH
+#define MEM_ADDRESS_MAP_HH
+
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/** Cache line size in bytes, fixed across the hierarchy (Table I). */
+constexpr unsigned lineBytes = 64;
+
+/** Word size for functional store values. */
+constexpr unsigned wordBytes = 8;
+
+/** Words per cache line. */
+constexpr unsigned wordsPerLine = lineBytes / wordBytes;
+
+/** Base of the persistent memory range. */
+constexpr Addr pmBase = 0x4000'0000;
+
+/** Size of the persistent memory range (1 GiB). */
+constexpr Addr pmSize = 0x4000'0000;
+
+/** Base of volatile DRAM. */
+constexpr Addr dramBase = 0x0;
+
+/** Size of volatile DRAM. */
+constexpr Addr dramSize = pmBase;
+
+/** @return true if @p addr falls in persistent memory. */
+constexpr bool
+isPersistentAddr(Addr addr)
+{
+    return addr >= pmBase && addr < pmBase + pmSize;
+}
+
+/** @return the base address of the 64-byte line containing @p addr. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(lineBytes - 1);
+}
+
+/** @return the base address of the 8-byte word containing @p addr. */
+constexpr Addr
+wordAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(wordBytes - 1);
+}
+
+/** @return the word index of @p addr within its line. */
+constexpr unsigned
+wordIndex(Addr addr)
+{
+    return static_cast<unsigned>((addr & (lineBytes - 1)) / wordBytes);
+}
+
+} // namespace strand
+
+#endif // MEM_ADDRESS_MAP_HH

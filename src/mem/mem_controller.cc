@@ -1,0 +1,149 @@
+#include "mem/mem_controller.hh"
+
+namespace strand
+{
+
+MemControllerParams
+dramControllerParams()
+{
+    MemControllerParams p;
+    p.readQueueEntries = 32;
+    p.writeQueueEntries = 64;
+    p.banks = 16;
+    p.rowBytes = 2048;
+    p.readLatency = nsToTicks(80);
+    p.readRowHitLatency = nsToTicks(40);
+    p.writeAcceptLatency = nsToTicks(40);
+    p.mediaWriteLatency = nsToTicks(80);
+    p.mediaWriteRowHitLatency = nsToTicks(40);
+    p.readOccupancy = nsToTicks(20);
+    p.writeOccupancy = nsToTicks(20);
+    p.writeRowHitOccupancy = nsToTicks(20);
+    return p;
+}
+
+MemController::MemController(std::string name, EventQueue &eq,
+                             MemoryImage &image,
+                             const MemControllerParams &params,
+                             bool persistent, stats::StatGroup *parent)
+    : ClockedObject(std::move(name), eq, 500, parent),
+      numReads(this, "reads", "read requests serviced"),
+      numWrites(this, "writes", "write requests serviced"),
+      numRowHits(this, "rowHits", "row buffer hits"),
+      numRowMisses(this, "rowMisses", "row buffer misses"),
+      numRetries(this, "retries", "requests rejected due to full queues"),
+      readLatencyHist(this, "readLatency",
+                      "read service latency in ticks"),
+      image(image), params(params), persistent(persistent),
+      banks(params.banks)
+{
+    fatalIf(params.banks == 0, "controller must have at least one bank");
+}
+
+MemController::Bank &
+MemController::bankFor(Addr addr)
+{
+    return banks[(addr / params.rowBytes) % banks.size()];
+}
+
+Tick
+MemController::serviceOnBank(Addr addr, Tick earliest, Tick missLatency,
+                             Tick hitLatency, Tick occupancy,
+                             Tick hitOccupancy)
+{
+    Bank &bank = bankFor(addr);
+    Addr row = addr / params.rowBytes;
+    bool hit = bank.openRow == row;
+    if (hit)
+        ++numRowHits;
+    else
+        ++numRowMisses;
+    Tick start = std::max(earliest, bank.freeAt);
+    Tick end = start + (hit ? hitLatency : missLatency);
+    bank.freeAt = start + (hit ? hitOccupancy : occupancy);
+    bank.openRow = row;
+    return end;
+}
+
+bool
+MemController::tryRequest(const PacketPtr &pkt)
+{
+    panicIf(!pkt, "null packet");
+    switch (pkt->cmd) {
+      case MemCmd::Read:
+      case MemCmd::ReadExclusive:
+        if (readsInFlight >= params.readQueueEntries) {
+            ++numRetries;
+            return false;
+        }
+        handleRead(pkt);
+        return true;
+      case MemCmd::Write:
+        if (writesInFlight >= params.writeQueueEntries) {
+            ++numRetries;
+            return false;
+        }
+        handleWrite(pkt);
+        return true;
+    }
+    panic("unreachable memory command");
+}
+
+void
+MemController::handleRead(const PacketPtr &pkt)
+{
+    ++readsInFlight;
+    ++numReads;
+    Tick issued = curTick();
+    Tick done = serviceOnBank(pkt->addr, issued, params.readLatency,
+                              params.readRowHitLatency,
+                              params.readOccupancy,
+                              params.readOccupancy);
+    readLatencyHist.sample(static_cast<double>(done - issued));
+    eq.schedule(done, [this, pkt] {
+        --readsInFlight;
+        if (pkt->onResponse)
+            pkt->onResponse();
+        notifyRetry();
+    }, EventPriority::MemoryResponse);
+}
+
+void
+MemController::handleWrite(const PacketPtr &pkt)
+{
+    ++writesInFlight;
+    ++numWrites;
+    // ADR admission: transit to the controller, then the write is in
+    // the persist domain. The ack back to the flushing unit is sent
+    // at the same point.
+    Tick admitted = curTick() + params.writeAcceptLatency;
+    eq.schedule(admitted, [this, pkt] {
+        if (persistent) {
+            image.persistLine(pkt->data);
+            if (persistObserver)
+                persistObserver(*pkt, curTick());
+        }
+        if (pkt->onResponse)
+            pkt->onResponse();
+        // Media program happens after admission; the queue slot is
+        // held until the media write retires (back-pressure).
+        Tick done = serviceOnBank(pkt->addr, curTick(),
+                                  params.mediaWriteLatency,
+                                  params.mediaWriteRowHitLatency,
+                                  params.writeOccupancy,
+                                  params.writeRowHitOccupancy);
+        eq.schedule(done, [this] {
+            --writesInFlight;
+            notifyRetry();
+        }, EventPriority::MemoryResponse);
+    }, EventPriority::MemoryResponse);
+}
+
+void
+MemController::notifyRetry()
+{
+    for (auto &cb : retryCallbacks)
+        cb();
+}
+
+} // namespace strand

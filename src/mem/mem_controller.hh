@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Memory controllers for persistent memory and DRAM.
+ *
+ * Both controllers share a banked row-buffer timing model with
+ * bounded read/write queues. The PM controller additionally models
+ * the ADR (asynchronous data refresh) persist domain: a write is
+ * durable — and is acknowledged — once it is admitted to the
+ * controller, which is when its data is applied to the persisted view
+ * of the memory image. Media writes drain asynchronously and only
+ * affect back-pressure.
+ *
+ * Timing follows Table I of the paper (values from the Izraelevitz et
+ * al. Optane characterization): 346 ns PM read, 96 ns write latency
+ * to the controller, 500 ns write latency to the PM media, 1 KiB row
+ * buffer, 64/32-entry write/read queues.
+ */
+
+#ifndef MEM_MEM_CONTROLLER_HH
+#define MEM_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace strand
+{
+
+/** Timing and capacity parameters for a memory controller. */
+struct MemControllerParams
+{
+    unsigned readQueueEntries = 32;
+    unsigned writeQueueEntries = 64;
+    /** Aggregate bank-level parallelism across the PM DIMMs. */
+    unsigned banks = 24;
+    Addr rowBytes = 1024;
+    /** Device read access, row-buffer miss / hit. */
+    Tick readLatency = nsToTicks(346);
+    Tick readRowHitLatency = nsToTicks(170);
+    /** Request transit + admission into the controller (ADR point). */
+    Tick writeAcceptLatency = nsToTicks(96);
+    /** Media program time, row-buffer miss / hit. */
+    Tick mediaWriteLatency = nsToTicks(500);
+    Tick mediaWriteRowHitLatency = nsToTicks(200);
+    /**
+     * How long an access keeps its bank busy (bandwidth), as opposed
+     * to the end-to-end latency above, which includes controller and
+     * transit time that pipelines across banks.
+     */
+    Tick readOccupancy = nsToTicks(60);
+    /**
+     * Sequential 64-byte writes to an open row coalesce in the
+     * controller's write-combining buffers (Optane's 256-byte
+     * XPLine), so the effective per-line occupancy of a row hit is
+     * far below a full media program.
+     */
+    Tick writeOccupancy = nsToTicks(60);
+    Tick writeRowHitOccupancy = nsToTicks(15);
+};
+
+/** DRAM-ish defaults for the volatile controller. */
+MemControllerParams dramControllerParams();
+
+/**
+ * A banked memory controller with bounded queues.
+ *
+ * tryRequest() returns false when the relevant queue is full; the
+ * caller must retry after its retry callback fires.
+ */
+class MemController : public ClockedObject
+{
+  public:
+    /**
+     * @param persistent When true, admitted writes are applied to the
+     * persisted view of @p image (ADR semantics).
+     */
+    MemController(std::string name, EventQueue &eq, MemoryImage &image,
+                  const MemControllerParams &params, bool persistent,
+                  stats::StatGroup *parent = nullptr);
+
+    /** Attempt to hand a packet to the controller. */
+    bool tryRequest(const PacketPtr &pkt);
+
+    /** Register a callback invoked whenever queue space frees up. */
+    void
+    addRetryCallback(std::function<void()> cb)
+    {
+        retryCallbacks.push_back(std::move(cb));
+    }
+
+    /** @return true once all queued work has drained. */
+    bool
+    idle() const
+    {
+        return readsInFlight == 0 && writesInFlight == 0;
+    }
+
+    bool isPersistent() const { return persistent; }
+
+    /** Observer hook fired at each persist (ADR admission). */
+    void
+    setPersistObserver(
+        std::function<void(const Packet &, Tick)> observer)
+    {
+        persistObserver = std::move(observer);
+    }
+
+    /** @name Statistics @{ */
+    stats::Scalar numReads;
+    stats::Scalar numWrites;
+    stats::Scalar numRowHits;
+    stats::Scalar numRowMisses;
+    stats::Scalar numRetries;
+    stats::Histogram readLatencyHist;
+    /** @} */
+
+  private:
+    struct Bank
+    {
+        Tick freeAt = 0;
+        Addr openRow = ~static_cast<Addr>(0);
+    };
+
+    Bank &bankFor(Addr addr);
+
+    /** @return the device access completion tick for @p addr. */
+    Tick serviceOnBank(Addr addr, Tick earliest, Tick missLatency,
+                       Tick hitLatency, Tick occupancy,
+                       Tick hitOccupancy);
+
+    void handleRead(const PacketPtr &pkt);
+    void handleWrite(const PacketPtr &pkt);
+    void notifyRetry();
+
+    MemoryImage &image;
+    MemControllerParams params;
+    bool persistent;
+
+    std::vector<Bank> banks;
+    unsigned readsInFlight = 0;
+    unsigned writesInFlight = 0;
+
+    std::vector<std::function<void()>> retryCallbacks;
+    std::function<void(const Packet &, Tick)> persistObserver;
+};
+
+} // namespace strand
+
+#endif // MEM_MEM_CONTROLLER_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Functional memory state with separate architectural and persisted
+ * views.
+ *
+ * The architectural view reflects the newest value each word has
+ * taken on in the cache hierarchy (updated when a store drains from
+ * the store queue into the L1). The persisted view reflects only the
+ * data that has reached the ADR domain of the PM controller. A
+ * simulated crash freezes the persisted view; recovery code then
+ * reads it to reconstruct program state.
+ */
+
+#ifndef MEM_MEMORY_IMAGE_HH
+#define MEM_MEMORY_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/address_map.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/**
+ * A snapshot of (part of) one cache line, captured when a flush or
+ * write-back leaves the caches and applied to the persisted view when
+ * the PM controller accepts it.
+ */
+struct LineData
+{
+    Addr lineAddr = 0;
+    std::array<std::uint64_t, wordsPerLine> words{};
+    /** Bit i set means words[i] holds a captured value. */
+    std::uint8_t validMask = 0;
+
+    bool
+    valid(unsigned idx) const
+    {
+        return validMask & (1u << idx);
+    }
+
+    void
+    set(unsigned idx, std::uint64_t value)
+    {
+        panicIf(idx >= wordsPerLine, "line word index out of range");
+        words[idx] = value;
+        validMask |= static_cast<std::uint8_t>(1u << idx);
+    }
+};
+
+/**
+ * The global functional memory image for one simulated system.
+ */
+class MemoryImage
+{
+  public:
+    /** Architectural store: called when a store reaches the L1. */
+    void
+    writeArch(Addr addr, std::uint64_t value)
+    {
+        arch[wordAlign(addr)] = value;
+    }
+
+    /** @return the architectural value of the word at @p addr. */
+    std::uint64_t
+    readArch(Addr addr) const
+    {
+        auto it = arch.find(wordAlign(addr));
+        return it == arch.end() ? 0 : it->second;
+    }
+
+    /** @return true if the word has ever been written architecturally. */
+    bool
+    archContains(Addr addr) const
+    {
+        return arch.contains(wordAlign(addr));
+    }
+
+    /**
+     * Capture the current architectural content of the line holding
+     * @p addr. Words never written are left invalid in the snapshot.
+     */
+    LineData
+    snapshotLine(Addr addr) const
+    {
+        LineData data;
+        data.lineAddr = lineAlign(addr);
+        for (unsigned i = 0; i < wordsPerLine; ++i) {
+            Addr wa = data.lineAddr + i * wordBytes;
+            auto it = arch.find(wa);
+            if (it != arch.end())
+                data.set(i, it->second);
+        }
+        return data;
+    }
+
+    /**
+     * Apply a snapshot to the persisted view. Called by the PM
+     * controller at ADR admission, the point of persistence.
+     */
+    void
+    persistLine(const LineData &data)
+    {
+        panicIf(!isPersistentAddr(data.lineAddr) && data.validMask != 0,
+                "persist to non-PM address {}", data.lineAddr);
+        for (unsigned i = 0; i < wordsPerLine; ++i) {
+            if (data.valid(i))
+                persisted[data.lineAddr + i * wordBytes] = data.words[i];
+        }
+    }
+
+    /**
+     * Write a word durably in one step: both the architectural and
+     * persisted views are updated. Used to seed preloaded data
+     * before a run and by recovery code (whose writes are flushed
+     * before recovery completes).
+     */
+    void
+    writeDurable(Addr addr, std::uint64_t value)
+    {
+        arch[wordAlign(addr)] = value;
+        persisted[wordAlign(addr)] = value;
+    }
+
+    /** @return the persisted value of the word at @p addr. */
+    std::uint64_t
+    readPersisted(Addr addr) const
+    {
+        auto it = persisted.find(wordAlign(addr));
+        return it == persisted.end() ? 0 : it->second;
+    }
+
+    /** @return true if the word has persisted at least once. */
+    bool
+    persistedContains(Addr addr) const
+    {
+        return persisted.contains(wordAlign(addr));
+    }
+
+    /**
+     * Simulate a failure: volatile state disappears; the persisted
+     * view survives untouched. The architectural view is replaced by
+     * the persisted view, which is what a restarted program observes.
+     */
+    void
+    crash()
+    {
+        arch = persisted;
+    }
+
+    std::size_t archWords() const { return arch.size(); }
+    std::size_t persistedWords() const { return persisted.size(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> arch;
+    std::unordered_map<Addr, std::uint64_t> persisted;
+};
+
+} // namespace strand
+
+#endif // MEM_MEMORY_IMAGE_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Memory request packets exchanged between caches and memory
+ * controllers.
+ */
+
+#ifndef MEM_PACKET_HH
+#define MEM_PACKET_HH
+
+#include <functional>
+#include <memory>
+
+#include "mem/memory_image.hh"
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/** Kind of memory transaction. */
+enum class MemCmd
+{
+    /** Line fill (shared) on behalf of a load miss. */
+    Read,
+    /** Line fill with exclusive ownership (store miss / RFO). */
+    ReadExclusive,
+    /**
+     * A persist: data leaving the cache domain for the PM (or DRAM)
+     * controller, either from an explicit CLWB flush or a dirty
+     * write-back.
+     */
+    Write,
+};
+
+/** What produced a Write packet; persists are attributed per source. */
+enum class WriteOrigin
+{
+    Clwb,
+    WriteBack,
+    None,
+};
+
+/**
+ * One memory transaction. Requests travel down the hierarchy; the
+ * response is delivered by invoking onResponse at completion time.
+ */
+struct Packet
+{
+    MemCmd cmd = MemCmd::Read;
+    Addr addr = 0;
+    CoreId requester = 0;
+    WriteOrigin origin = WriteOrigin::None;
+
+    /** Data captured at flush time; meaningful for Write only. */
+    LineData data;
+
+    /** Monotonic id for debugging and persist-order tracing. */
+    std::uint64_t id = 0;
+
+    /** Tick at which the packet was created. */
+    Tick created = 0;
+
+    /** Completion callback, run when the transaction finishes. */
+    std::function<void()> onResponse;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** Build a read request. */
+inline PacketPtr
+makeReadPacket(Addr addr, CoreId requester, bool exclusive,
+               std::function<void()> onResponse)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->cmd = exclusive ? MemCmd::ReadExclusive : MemCmd::Read;
+    pkt->addr = lineAlign(addr);
+    pkt->requester = requester;
+    pkt->onResponse = std::move(onResponse);
+    return pkt;
+}
+
+/** Build a write (persist) request carrying a line snapshot. */
+inline PacketPtr
+makeWritePacket(LineData data, CoreId requester, WriteOrigin origin,
+                std::function<void()> onResponse)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->cmd = MemCmd::Write;
+    pkt->addr = data.lineAddr;
+    pkt->requester = requester;
+    pkt->origin = origin;
+    pkt->data = data;
+    pkt->onResponse = std::move(onResponse);
+    return pkt;
+}
+
+} // namespace strand
+
+#endif // MEM_PACKET_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The hardware designs and language-level persistency models
+ * evaluated in the paper (§VI-A), and the factory producing a persist
+ * engine for a design.
+ */
+
+#ifndef PERSIST_DESIGN_HH
+#define PERSIST_DESIGN_HH
+
+#include <memory>
+#include <string>
+
+#include "persist/persist_engine.hh"
+
+namespace strand
+{
+
+/** The five hardware designs compared in §VI. */
+enum class HwDesign
+{
+    IntelX86,       ///< CLWB + SFENCE epochs (baseline).
+    Hops,           ///< Delegated epoch persistency (ofence/dfence).
+    NoPersistQueue, ///< StrandWeaver minus the persist queue.
+    StrandWeaver,   ///< Full proposal (§IV).
+    NonAtomic,      ///< No log/update ordering (upper bound).
+};
+
+/** The three language-level persistency models (§V). */
+enum class PersistencyModel
+{
+    Txn,   ///< Failure-atomic transactions (PMDK-style).
+    Sfr,   ///< Synchronization-free regions.
+    Atlas, ///< Outermost critical sections.
+};
+
+const char *hwDesignName(HwDesign design);
+const char *persistencyModelName(PersistencyModel model);
+
+/** All designs, in the paper's presentation order. */
+inline constexpr HwDesign allDesigns[] = {
+    HwDesign::IntelX86, HwDesign::Hops, HwDesign::NoPersistQueue,
+    HwDesign::StrandWeaver, HwDesign::NonAtomic,
+};
+
+/** All language-level models. */
+inline constexpr PersistencyModel allModels[] = {
+    PersistencyModel::Txn, PersistencyModel::Sfr,
+    PersistencyModel::Atlas,
+};
+
+/** Knobs forwarded to the engines (used by the sensitivity study). */
+struct EngineConfig
+{
+    unsigned pqEntries = 16;
+    unsigned strandBuffers = 4;
+    unsigned entriesPerBuffer = 4;
+};
+
+/**
+ * Create the persist engine implementing @p design for one core.
+ */
+std::unique_ptr<PersistEngine>
+makePersistEngine(HwDesign design, std::string name, EventQueue &eq,
+                  CoreId core, Hierarchy &hier,
+                  const EngineConfig &config,
+                  stats::StatGroup *parent = nullptr);
+
+} // namespace strand
+
+#endif // PERSIST_DESIGN_HH

@@ -1,0 +1,177 @@
+#include "persist/intel_engine.hh"
+
+namespace strand
+{
+
+IntelEngine::IntelEngine(std::string name, EventQueue &eq, CoreId core,
+                         Hierarchy &hier,
+                         const IntelEngineParams &params,
+                         stats::StatGroup *parent)
+    : PersistEngine(std::move(name), eq, parent),
+      clwbsDispatched(this, "clwbs", "CLWBs dispatched"),
+      sfencesDispatched(this, "sfences", "SFENCEs dispatched"),
+      clwbsCompleted(this, "clwbsCompleted", "CLWBs completed"),
+      flushLatency(this, "flushLatency",
+                   "CLWB issue-to-completion latency in ticks"),
+      core(core), hier(hier), params(params)
+{
+}
+
+bool
+IntelEngine::canAccept() const
+{
+    return queue.size() < params.queueEntries;
+}
+
+void
+IntelEngine::dispatch(const Op &op, SeqNum seq, SeqNum elderStoreSeq)
+{
+    panicIf(!canAccept(), "Intel persist structure overflow");
+
+    Entry entry;
+    entry.addr = op.addr;
+    entry.seq = seq;
+    entry.elderStoreSeq = elderStoreSeq;
+
+    switch (op.type) {
+      case OpType::Clwb:
+        entry.type = OpType::Clwb;
+        ++clwbsDispatched;
+        break;
+      case OpType::Sfence:
+        entry.type = OpType::Sfence;
+        ++sfencesDispatched;
+        break;
+      case OpType::PersistBarrier:
+      case OpType::Ofence:
+      case OpType::Dfence:
+      case OpType::JoinStrand:
+        // Any stronger primitive maps onto SFENCE on this hardware.
+        entry.type = OpType::Sfence;
+        ++sfencesDispatched;
+        break;
+      case OpType::NewStrand:
+        // No equivalent exists; the op is a no-op here.
+        return;
+      default:
+        panic("op {} is not a persist op", opTypeName(op.type));
+    }
+    queue.push_back(entry);
+    evaluate();
+}
+
+bool
+IntelEngine::storeMayIssue(SeqNum seq) const
+{
+    // SFENCE delays visibility of younger stores until all earlier
+    // CLWBs complete (via the fence's own completion).
+    for (const Entry &entry : queue) {
+        if (entry.seq >= seq)
+            break;
+        if (entry.type == OpType::Sfence && !entry.completed)
+            return false;
+    }
+    return true;
+}
+
+void
+IntelEngine::issueEligible()
+{
+    // Every CLWB with no incomplete SFENCE ahead of it may flush;
+    // CLWBs within an epoch proceed concurrently.
+    bool blocked = false;
+    for (Entry &entry : queue) {
+        if (entry.type == OpType::Sfence) {
+            if (!entry.completed) {
+                // Try to complete the fence: all earlier CLWBs done
+                // and all earlier stores drained.
+                bool clwbsDone = true;
+                for (const Entry &other : queue) {
+                    if (other.seq >= entry.seq)
+                        break;
+                    if (other.type == OpType::Clwb && !other.completed) {
+                        clwbsDone = false;
+                        break;
+                    }
+                }
+                if (clwbsDone &&
+                    (!sq.allCompletedBefore ||
+                     sq.allCompletedBefore(entry.seq))) {
+                    entry.completed = true;
+                    noteProgress();
+                } else {
+                    blocked = true;
+                }
+            }
+            if (blocked)
+                return;
+            continue;
+        }
+        if (entry.issued || blocked)
+            continue;
+        if (entry.elderStoreSeq != 0 && sq.completed &&
+            !sq.completed(entry.elderStoreSeq)) {
+            // CLWB waits for the elder store to the same line so it
+            // flushes fresh data; younger independent CLWBs in the
+            // same epoch may still proceed.
+            continue;
+        }
+        entry.issued = true;
+        entry.issuedAt = curTick();
+        noteProgress();
+        SeqNum seq = entry.seq;
+        hier.tryFlush(core, entry.addr, [this, seq](bool) {
+            for (Entry &e : queue) {
+                if (e.type == OpType::Clwb && e.seq == seq) {
+                    e.completed = true;
+                    noteProgress();
+                    ++clwbsCompleted;
+                    flushLatency.sample(
+                        static_cast<double>(curTick() - e.issuedAt));
+                    break;
+                }
+            }
+            evaluate();
+        });
+    }
+}
+
+void
+IntelEngine::retire()
+{
+    while (!queue.empty() && queue.front().completed) {
+        lastRetiredSeq = queue.front().seq;
+        queue.pop_front();
+    }
+}
+
+void
+IntelEngine::evaluate()
+{
+    issueEligible();
+    retire();
+}
+
+bool
+IntelEngine::drained() const
+{
+    return queue.empty();
+}
+
+std::size_t
+IntelEngine::queueOccupancy() const
+{
+    return queue.size();
+}
+
+Hierarchy::Clearance
+IntelEngine::recordDrainPoint()
+{
+    if (queue.empty())
+        return {};
+    SeqNum tail = queue.back().seq;
+    return [this, tail] { return lastRetiredSeq >= tail || queue.empty() ||
+                                 queue.front().seq > tail; };
+}
+
+} // namespace strand

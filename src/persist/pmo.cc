@@ -1,0 +1,164 @@
+#include "persist/pmo.hh"
+
+#include <unordered_map>
+
+namespace strand
+{
+
+namespace
+{
+
+/** Positions of persists and primitives within one thread. */
+struct ThreadScan
+{
+    /** (position, persist index) pairs in program order. */
+    std::vector<std::pair<std::size_t, std::size_t>> persists;
+    std::vector<std::size_t> barriers;
+    std::vector<std::size_t> newStrands;
+    std::vector<std::size_t> joins;
+};
+
+bool
+anyBetween(const std::vector<std::size_t> &positions, std::size_t lo,
+           std::size_t hi)
+{
+    for (std::size_t pos : positions)
+        if (pos > lo && pos < hi)
+            return true;
+    return false;
+}
+
+} // namespace
+
+PmoModel::PmoModel(const PmoProgram &program)
+{
+    std::unordered_map<std::uint64_t, std::size_t> index;
+
+    // Collect persists and assign matrix indices.
+    std::vector<ThreadScan> scans(program.threads.size());
+    for (std::size_t t = 0; t < program.threads.size(); ++t) {
+        const auto &thread = program.threads[t];
+        for (std::size_t pos = 0; pos < thread.size(); ++pos) {
+            const PmoOp &op = thread[pos];
+            switch (op.kind) {
+              case PmoEvent::Persist: {
+                panicIf(index.contains(op.id),
+                        "duplicate persist id {}", op.id);
+                index[op.id] = ids.size();
+                scans[t].persists.emplace_back(pos, ids.size());
+                ids.push_back(op.id);
+                break;
+              }
+              case PmoEvent::Barrier:
+                scans[t].barriers.push_back(pos);
+                break;
+              case PmoEvent::NewStrand:
+                scans[t].newStrands.push_back(pos);
+                break;
+              case PmoEvent::JoinStrand:
+                scans[t].joins.push_back(pos);
+                break;
+            }
+        }
+    }
+
+    std::size_t n = ids.size();
+    ordered.assign(n, std::vector<bool>(n, false));
+
+    // Intra-thread edges: Eq. 1 (barrier, no intervening NewStrand),
+    // Eq. 2 (JoinStrand), Eq. 3 same-address program order.
+    for (const ThreadScan &scan : scans) {
+        for (std::size_t a = 0; a < scan.persists.size(); ++a) {
+            for (std::size_t b = a + 1; b < scan.persists.size(); ++b) {
+                auto [posA, idxA] = scan.persists[a];
+                auto [posB, idxB] = scan.persists[b];
+                bool order = false;
+                if (anyBetween(scan.joins, posA, posB)) {
+                    order = true; // Eq. 2
+                } else if (anyBetween(scan.barriers, posA, posB) &&
+                           !anyBetween(scan.newStrands, posA, posB)) {
+                    order = true; // Eq. 1
+                }
+                if (order)
+                    ordered[idxA][idxB] = true;
+            }
+        }
+    }
+
+    // Eq. 3 intra-thread same-address pairs (needs the addresses).
+    for (std::size_t t = 0; t < program.threads.size(); ++t) {
+        const auto &thread = program.threads[t];
+        const ThreadScan &scan = scans[t];
+        for (std::size_t a = 0; a < scan.persists.size(); ++a) {
+            for (std::size_t b = a + 1; b < scan.persists.size(); ++b) {
+                auto [posA, idxA] = scan.persists[a];
+                auto [posB, idxB] = scan.persists[b];
+                if (thread[posA].addr == thread[posB].addr)
+                    ordered[idxA][idxB] = true;
+            }
+        }
+    }
+
+    // Cross-thread/strand visibility edges (Eq. 3).
+    for (auto [earlier, later] : program.vmoEdges) {
+        panicIf(!index.contains(earlier), "unknown VMO id {}", earlier);
+        panicIf(!index.contains(later), "unknown VMO id {}", later);
+        ordered[index[earlier]][index[later]] = true;
+    }
+
+    // Eq. 4: transitive closure (Floyd-Warshall; litmus-scale).
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!ordered[i][k])
+                continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (ordered[k][j])
+                    ordered[i][j] = true;
+            }
+        }
+    }
+
+    // Irreflexivity check: a cycle means the program's VMO edges
+    // contradict program order.
+    for (std::size_t i = 0; i < n; ++i)
+        panicIf(ordered[i][i], "PMO contains a cycle through id {}",
+                ids[i]);
+}
+
+std::size_t
+PmoModel::indexOf(std::uint64_t id) const
+{
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        if (ids[i] == id)
+            return i;
+    panic("unknown persist id {}", id);
+}
+
+bool
+PmoModel::orderedBefore(std::uint64_t a, std::uint64_t b) const
+{
+    return ordered[indexOf(a)][indexOf(b)];
+}
+
+std::optional<PmoModel::Violation>
+PmoModel::checkTrace(const std::vector<std::uint64_t> &observed) const
+{
+    constexpr std::size_t absent = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> position(ids.size(), absent);
+    for (std::size_t pos = 0; pos < observed.size(); ++pos)
+        position[indexOf(observed[pos])] = pos;
+
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+        for (std::size_t b = 0; b < ids.size(); ++b) {
+            if (!ordered[a][b])
+                continue;
+            if (position[b] == absent)
+                continue; // b never persisted; nothing to violate
+            if (position[a] == absent || position[a] > position[b])
+                return Violation{ids[a], ids[b]};
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace strand

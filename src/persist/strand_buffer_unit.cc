@@ -1,0 +1,187 @@
+#include "persist/strand_buffer_unit.hh"
+
+namespace strand
+{
+
+StrandBufferUnit::StrandBufferUnit(std::string name, EventQueue &eq,
+                                   CoreId core, Hierarchy &hier,
+                                   const StrandBufferUnitParams &params,
+                                   stats::StatGroup *parent)
+    : SimObject(std::move(name), eq, parent),
+      clwbsIssued(this, "clwbsIssued", "CLWBs issued to the hierarchy"),
+      clwbsCompleted(this, "clwbsCompleted", "CLWBs completed"),
+      cleanFlushes(this, "cleanFlushes",
+                   "CLWBs that found no dirty data"),
+      barriersRetired(this, "barriersRetired",
+                      "persist barriers retired"),
+      strandsStarted(this, "strandsStarted", "NewStrand operations"),
+      flushLatency(this, "flushLatency",
+                   "CLWB issue-to-completion latency in ticks"),
+      core(core), hier(hier), params(params), buffers(params.numBuffers)
+{
+    fatalIf(params.numBuffers == 0 || params.entriesPerBuffer == 0,
+            "strand buffer unit needs at least one buffer and entry");
+}
+
+bool
+StrandBufferUnit::canAcceptClwb() const
+{
+    return buffers[ongoing].entries.size() < params.entriesPerBuffer;
+}
+
+void
+StrandBufferUnit::pushClwb(Addr addr, std::uint64_t id,
+                           std::function<bool()> ready)
+{
+    panicIf(!canAcceptClwb(), "strand buffer overflow");
+    Buffer &buffer = buffers[ongoing];
+    Entry entry;
+    entry.kind = Kind::Clwb;
+    entry.addr = addr;
+    entry.id = id;
+    entry.ready = std::move(ready);
+    entry.position = buffer.nextPosition++;
+    buffer.entries.push_back(entry);
+    issueFrom(buffer);
+}
+
+void
+StrandBufferUnit::pushBarrier()
+{
+    panicIf(!canAcceptBarrier(), "strand buffer overflow");
+    Buffer &buffer = buffers[ongoing];
+    Entry entry;
+    entry.kind = Kind::Barrier;
+    entry.position = buffer.nextPosition++;
+    buffer.entries.push_back(entry);
+    // A barrier with nothing ahead of it is immediately complete;
+    // retire it eagerly so it does not block issue.
+    retireCompleted(buffer);
+}
+
+void
+StrandBufferUnit::newStrand()
+{
+    ++strandsStarted;
+    ongoing = (ongoing + 1) % buffers.size();
+}
+
+bool
+StrandBufferUnit::drained() const
+{
+    for (const Buffer &buffer : buffers)
+        if (!buffer.entries.empty())
+            return false;
+    return true;
+}
+
+std::size_t
+StrandBufferUnit::occupancy() const
+{
+    std::size_t total = 0;
+    for (const Buffer &buffer : buffers)
+        total += buffer.entries.size();
+    return total;
+}
+
+Hierarchy::Clearance
+StrandBufferUnit::recordDrainPoint()
+{
+    // Capture the tail position of every buffer. The predicate holds
+    // once each buffer has retired everything up to its captured
+    // tail. Empty buffers contribute no constraint.
+    std::vector<std::uint64_t> tails(buffers.size(), 0);
+    bool anyPending = false;
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+        if (!buffers[i].entries.empty()) {
+            tails[i] = buffers[i].entries.back().position;
+            anyPending = true;
+        }
+    }
+    if (!anyPending)
+        return {};
+    return [this, tails = std::move(tails)] {
+        for (std::size_t i = 0; i < buffers.size(); ++i)
+            if (buffers[i].retiredUpTo < tails[i])
+                return false;
+        return true;
+    };
+}
+
+void
+StrandBufferUnit::issueFrom(Buffer &buffer)
+{
+    // Issue every CLWB ahead of the first incomplete barrier. CLWBs
+    // in the same barrier-free prefix may flush concurrently.
+    for (Entry &entry : buffer.entries) {
+        if (entry.kind == Kind::Barrier) {
+            if (!entry.completed)
+                break;
+            continue;
+        }
+        if (entry.hasIssued)
+            continue;
+        if (entry.ready && !entry.ready())
+            continue; // not flushable yet; later entries may proceed
+        entry.hasIssued = true;
+        entry.issuedAt = curTick();
+        ++clwbsIssued;
+        std::uint64_t position = entry.position;
+        std::uint64_t id = entry.id;
+        Buffer *bufferPtr = &buffer;
+        hier.tryFlush(core, entry.addr,
+                      [this, bufferPtr, position](bool wrotePm) {
+            // Find the entry by position; earlier entries may have
+            // retired meanwhile but this one cannot have.
+            for (Entry &e : bufferPtr->entries) {
+                if (e.position != position)
+                    continue;
+                e.completed = true;
+                if (!wrotePm)
+                    ++cleanFlushes;
+                ++clwbsCompleted;
+                flushLatency.sample(
+                    static_cast<double>(curTick() - e.issuedAt));
+                if (completionCallback)
+                    completionCallback(e.id);
+                break;
+            }
+            retireCompleted(*bufferPtr);
+            issueFrom(*bufferPtr);
+            hier.kick();
+        },
+        [this, id] {
+            if (startedCallback)
+                startedCallback(id);
+        });
+    }
+}
+
+void
+StrandBufferUnit::retireCompleted(Buffer &buffer)
+{
+    // Retire from the head: completed CLWBs, and barriers whose
+    // predecessors have all retired.
+    while (!buffer.entries.empty()) {
+        Entry &head = buffer.entries.front();
+        if (head.kind == Kind::Barrier) {
+            head.completed = true;
+            ++barriersRetired;
+        } else if (!head.completed) {
+            break;
+        }
+        buffer.retiredUpTo = head.position;
+        buffer.entries.pop_front();
+    }
+}
+
+void
+StrandBufferUnit::evaluate()
+{
+    for (Buffer &buffer : buffers) {
+        retireCompleted(buffer);
+        issueFrom(buffer);
+    }
+}
+
+} // namespace strand

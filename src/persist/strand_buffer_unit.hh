@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The strand buffer unit (§IV of the paper).
+ *
+ * An array of strand buffers sits beside the L1 cache. Each buffer
+ * manages persist ordering within one strand: CLWBs separated by a
+ * persist barrier complete in order, while CLWBs in different
+ * buffers issue to the PM controller concurrently. A NewStrand
+ * operation advances the ongoing-buffer index (round-robin), so
+ * subsequent CLWBs land in the next buffer.
+ *
+ * The same structure models HOPS's per-core persist buffer: a single
+ * buffer whose persist barriers are ofences.
+ *
+ * The unit exposes recordDrainPoint(), which captures the current
+ * tail index of every buffer and returns a predicate that holds once
+ * all buffers have drained past the captured points — the interlock
+ * used by the write-back buffer and snoop handling.
+ */
+
+#ifndef PERSIST_STRAND_BUFFER_UNIT_HH
+#define PERSIST_STRAND_BUFFER_UNIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "sim/sim_object.hh"
+
+namespace strand
+{
+
+/** Configuration of the strand buffer unit. */
+struct StrandBufferUnitParams
+{
+    unsigned numBuffers = 4;
+    unsigned entriesPerBuffer = 4;
+};
+
+/**
+ * The strand buffer unit for one core.
+ */
+class StrandBufferUnit : public SimObject
+{
+  public:
+    /** Entry kinds tracked inside a strand buffer. */
+    enum class Kind : std::uint8_t
+    {
+        Clwb,
+        Barrier,
+    };
+
+    /**
+     * @param core The owning core (used for cache requests).
+     * @param hier The cache hierarchy used to perform flushes.
+     */
+    StrandBufferUnit(std::string name, EventQueue &eq, CoreId core,
+                     Hierarchy &hier,
+                     const StrandBufferUnitParams &params,
+                     stats::StatGroup *parent = nullptr);
+
+    /** @return true if the ongoing buffer can take another entry. */
+    bool canAcceptClwb() const;
+
+    /** @return true if the ongoing buffer can take a barrier. */
+    bool canAcceptBarrier() const { return canAcceptClwb(); }
+
+    /**
+     * Append a CLWB to the ongoing strand buffer.
+     * @param id Token reported back through the completion callback.
+     * @param ready Optional predicate delaying the flush until the
+     * elder same-line store has written the L1 (the wait is
+     * per-line: other entries and buffers proceed).
+     */
+    void pushClwb(Addr addr, std::uint64_t id,
+                  std::function<bool()> ready = {});
+
+    /** Append a persist barrier to the ongoing strand buffer. */
+    void pushBarrier();
+
+    /**
+     * Begin a new strand: advance the ongoing buffer index
+     * (round-robin). Completes immediately.
+     */
+    void newStrand();
+
+    /** Invoked (with the CLWB id) when a CLWB completes its flush. */
+    void
+    setCompletionCallback(std::function<void(std::uint64_t)> cb)
+    {
+        completionCallback = std::move(cb);
+    }
+
+    /**
+     * Invoked (with the CLWB id) when a CLWB has performed its cache
+     * read — the point after which post-barrier stores may safely
+     * drain (§IV: persist barriers order prior CLWBs before
+     * subsequent stores).
+     */
+    void
+    setStartedCallback(std::function<void(std::uint64_t)> cb)
+    {
+        startedCallback = std::move(cb);
+    }
+
+    /** @return true once every buffer is empty. */
+    bool drained() const;
+
+    /** Number of CLWB entries currently buffered (all strands). */
+    std::size_t occupancy() const;
+
+    /**
+     * Capture the current tail of every buffer; the returned
+     * predicate holds once every buffer has retired everything that
+     * was buffered at capture time (§IV write-back/snoop interlock).
+     */
+    Hierarchy::Clearance recordDrainPoint();
+
+    /** Issue any entries whose dependencies have resolved. */
+    void evaluate();
+
+    /** @name Statistics @{ */
+    stats::Scalar clwbsIssued;
+    stats::Scalar clwbsCompleted;
+    stats::Scalar cleanFlushes;
+    stats::Scalar barriersRetired;
+    stats::Scalar strandsStarted;
+    stats::Histogram flushLatency;
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        Kind kind = Kind::Clwb;
+        Addr addr = 0;
+        std::uint64_t id = 0;
+        bool hasIssued = false;
+        bool completed = false;
+        Tick issuedAt = 0;
+        std::function<bool()> ready;
+        /** Monotonic position used by drain-point predicates. */
+        std::uint64_t position = 0;
+    };
+
+    struct Buffer
+    {
+        std::deque<Entry> entries;
+        /** Position of the most recently retired entry. */
+        std::uint64_t retiredUpTo = 0;
+        /** Position assigned to the next appended entry. */
+        std::uint64_t nextPosition = 1;
+    };
+
+    void issueFrom(Buffer &buffer);
+    void retireCompleted(Buffer &buffer);
+
+    CoreId core;
+    Hierarchy &hier;
+    StrandBufferUnitParams params;
+    std::vector<Buffer> buffers;
+    unsigned ongoing = 0;
+    std::function<void(std::uint64_t)> completionCallback;
+    std::function<void(std::uint64_t)> startedCallback;
+};
+
+} // namespace strand
+
+#endif // PERSIST_STRAND_BUFFER_UNIT_HH

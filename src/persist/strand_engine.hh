@@ -1,0 +1,129 @@
+/**
+ * @file
+ * StrandWeaver's persist queue plus strand buffer unit, and its two
+ * parameterized siblings (§IV, §VI-A).
+ *
+ * The persist queue tracks in-flight CLWBs, persist barriers,
+ * NewStrand and JoinStrand operations, issuing them to the strand
+ * buffer unit in order. JoinStrand is not issued; it completes when
+ * all earlier CLWBs and stores complete and, until then, gates issue
+ * of younger stores and persist ops.
+ *
+ * Parameterizations:
+ *  - StrandWeaver: separate 16-entry queue, 4x4 strand buffers,
+ *    persist barriers gate younger stores until they issue.
+ *  - NO-PERSIST-QUEUE: persist ops share the store queue, coupling
+ *    store and CLWB issue into one FIFO.
+ *  - HOPS: a single persist buffer; ofence is delegated (no
+ *    CPU-side gating) and dfence enforces durability like
+ *    JoinStrand.
+ */
+
+#ifndef PERSIST_STRAND_ENGINE_HH
+#define PERSIST_STRAND_ENGINE_HH
+
+#include <deque>
+
+#include "persist/persist_engine.hh"
+#include "persist/strand_buffer_unit.hh"
+
+namespace strand
+{
+
+/** Parameters selecting which design variant the engine models. */
+struct StrandEngineParams
+{
+    /** Persist queue capacity (entries). */
+    unsigned pqEntries = 16;
+    StrandBufferUnitParams sbu;
+    /**
+     * Persist barriers stall younger stores until the barrier has
+     * issued to the strand buffer unit (true for StrandWeaver;
+     * false for HOPS's delegated ofence).
+     */
+    bool pbGatesStores = true;
+    /**
+     * Persist ops occupy store-queue slots and issue in one FIFO
+     * with stores (NO-PERSIST-QUEUE design).
+     */
+    bool sharedStoreQueue = false;
+};
+
+/** @return the StrandWeaver configuration (Table: 16-entry PQ, 4x4). */
+StrandEngineParams strandWeaverParams();
+
+/** @return the NO-PERSIST-QUEUE intermediate design. */
+StrandEngineParams noPersistQueueParams();
+
+/** @return the HOPS delegated epoch-persistency configuration. */
+StrandEngineParams hopsParams();
+
+/**
+ * Persist engine built from a persist queue and strand buffer unit.
+ */
+class StrandEngine : public PersistEngine
+{
+  public:
+    StrandEngine(std::string name, EventQueue &eq, CoreId core,
+                 Hierarchy &hier, const StrandEngineParams &params,
+                 stats::StatGroup *parent = nullptr);
+
+    bool canAccept() const override;
+    void beginCycle() override;
+    bool portBusy() const override;
+    void dispatch(const Op &op, SeqNum seq,
+                  SeqNum elderStoreSeq) override;
+    bool storeMayIssue(SeqNum seq) const override;
+    void evaluate() override;
+    bool drained() const override;
+    std::size_t queueOccupancy() const override;
+    bool sharesStoreQueue() const override;
+    SeqNum oldestIncompleteSeq() const override;
+    Hierarchy::Clearance recordDrainPoint() override;
+
+    /** The strand buffer unit (exposed for tests and stats). */
+    StrandBufferUnit &bufferUnit() { return sbu; }
+
+    /** @name Statistics @{ */
+    stats::Scalar clwbsDispatched;
+    stats::Scalar barriersDispatched;
+    stats::Scalar newStrands;
+    stats::Scalar joinStrands;
+    stats::Histogram pqOccupancyHist;
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        OpType type = OpType::Clwb;
+        Addr addr = 0;
+        SeqNum seq = 0;
+        SeqNum elderStoreSeq = 0;
+        bool issued = false;
+        /** CLWB has performed its cache read (flush started). */
+        bool flushStarted = false;
+        bool completed = false;
+    };
+
+    /** True when the head entry's issue preconditions hold. */
+    bool headMayIssue(const Entry &entry) const;
+
+    void issueHead();
+    void retire();
+    void onClwbComplete(SeqNum seq);
+    void onClwbStarted(SeqNum seq);
+
+    /** @return true if a JoinStrand-like entry is complete. */
+    bool joinComplete(const Entry &entry) const;
+
+    StrandEngineParams params;
+    StrandBufferUnit sbu;
+    std::deque<Entry> queue;
+    /** Shared-queue designs: issues left this cycle (one drain port). */
+    unsigned issueBudget = ~0u;
+    bool usedPort = false;
+};
+
+} // namespace strand
+
+#endif // PERSIST_STRAND_ENGINE_HH

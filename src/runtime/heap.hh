@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A simple persistent-heap allocator for workload data structures.
+ *
+ * Allocation is a per-thread bump pointer over disjoint arenas so
+ * that functional execution needs no cross-thread coordination and
+ * replay is deterministic. A free list per size class supports
+ * reuse; allocator metadata is volatile (recovery re-derives
+ * reachability from the data structures themselves, as PM allocators
+ * built on garbage-collected roots do).
+ */
+
+#ifndef RUNTIME_HEAP_HH
+#define RUNTIME_HEAP_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/layout.hh"
+
+namespace strand
+{
+
+/** Per-thread bump allocator over the PM heap area. */
+class PersistentHeap
+{
+  public:
+    PersistentHeap(const LogLayout &layout, unsigned numThreads)
+    {
+        fatalIf(numThreads == 0, "heap needs at least one thread");
+        Addr base = layout.heapBase();
+        Addr size = (layout.heapEnd() - base) / numThreads;
+        // Keep arenas line-aligned.
+        size &= ~static_cast<Addr>(lineBytes - 1);
+        for (unsigned i = 0; i < numThreads; ++i)
+            arenas.push_back({base + i * size, base + (i + 1) * size});
+    }
+
+    /**
+     * Allocate @p bytes (rounded up to a multiple of 64 so objects
+     * never share cache lines, the common PM practice).
+     */
+    Addr
+    alloc(CoreId tid, std::uint64_t bytes)
+    {
+        std::uint64_t rounded =
+            (bytes + lineBytes - 1) & ~static_cast<std::uint64_t>(
+                                          lineBytes - 1);
+        Arena &arena = arenas.at(tid);
+        auto &freeList = arena.freeLists[rounded];
+        if (!freeList.empty()) {
+            Addr addr = freeList.back();
+            freeList.pop_back();
+            return addr;
+        }
+        fatalIf(arena.next + rounded > arena.end,
+                "persistent heap arena exhausted for thread {}", tid);
+        Addr addr = arena.next;
+        arena.next += rounded;
+        return addr;
+    }
+
+    /** Return an allocation of @p bytes to the free list. */
+    void
+    free(CoreId tid, Addr addr, std::uint64_t bytes)
+    {
+        std::uint64_t rounded =
+            (bytes + lineBytes - 1) & ~static_cast<std::uint64_t>(
+                                          lineBytes - 1);
+        arenas.at(tid).freeLists[rounded].push_back(addr);
+    }
+
+    /** Bytes bump-allocated so far by @p tid (excludes reuse). */
+    std::uint64_t
+    bytesUsed(CoreId tid) const
+    {
+        const Arena &arena = arenas.at(tid);
+        return arena.next - arena.base;
+    }
+
+  private:
+    struct Arena
+    {
+        Addr base;
+        Addr end;
+        Addr next = 0;
+        std::unordered_map<std::uint64_t, std::vector<Addr>> freeLists;
+
+        Arena(Addr base, Addr end) : base(base), end(end), next(base) {}
+    };
+
+    std::vector<Arena> arenas;
+};
+
+} // namespace strand
+
+#endif // RUNTIME_HEAP_HH

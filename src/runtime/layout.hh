@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Persistent-memory layout used by the logging runtime.
+ *
+ * The PM range is carved into three areas:
+ *  - a metadata page holding each thread's persistent log head
+ *    pointer (one cache line per thread),
+ *  - one circular undo-log buffer per thread (64-byte entries, §V
+ *    "Log structure"),
+ *  - the persistent heap used by workload data structures.
+ *
+ * Log entries occupy one cache line with one 8-byte word per field:
+ * Type, Addr, Value, Size, Valid, CommitMarker (the paper's entry
+ * format). The tail pointer lives only in volatile state.
+ */
+
+#ifndef RUNTIME_LAYOUT_HH
+#define RUNTIME_LAYOUT_HH
+
+#include "mem/address_map.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/** Log entry types (§V). */
+enum class LogType : std::uint64_t
+{
+    Free = 0, ///< Slot never used.
+    Store = 1,
+    Acquire = 2,
+    Release = 3,
+    TxBegin = 4,
+    TxEnd = 5,
+    /** Redo-log entry: value holds the NEW data (§VII future work:
+     * redo logging under strand persistency). */
+    RedoStore = 6,
+};
+
+/** Field offsets within a 64-byte log entry. */
+namespace log_field
+{
+constexpr Addr type = 0;
+constexpr Addr addr = 8;
+constexpr Addr value = 16;
+constexpr Addr size = 24;
+constexpr Addr valid = 32;
+constexpr Addr commitMarker = 40;
+/** Monotonic entry index; distinguishes live entries from stale
+ * content of previous laps around the circular buffer. */
+constexpr Addr seq = 48;
+/** Global creation order (scalar clock, consistent with
+ * happens-before): cross-thread rollback order after a crash. */
+constexpr Addr globalSeq = 56;
+} // namespace log_field
+
+/** Geometry of the per-thread logs and the heap. */
+struct LogLayout
+{
+    unsigned maxThreads = 8;
+    /** Entries per thread's circular buffer. */
+    std::uint64_t entriesPerThread = 8192;
+
+    /** One cache line per thread for the persistent head pointer. */
+    Addr
+    headPtrAddr(CoreId tid) const
+    {
+        checkThread(tid);
+        return pmBase + static_cast<Addr>(tid) * lineBytes;
+    }
+
+    /**
+     * The global commit frontier: one past the globalSeq of the last
+     * region committed by the background pruner (SFR/ATLAS batched
+     * commits). Regions whose end-entry globalSeq is below the
+     * frontier are durable and committed; recovery never rolls them
+     * back.
+     */
+    Addr
+    frontierAddr() const
+    {
+        return pmBase + static_cast<Addr>(maxThreads) * lineBytes;
+    }
+
+    /** Base of thread @p tid's log buffer. */
+    Addr
+    logBase(CoreId tid) const
+    {
+        checkThread(tid);
+        return pmBase + 0x10000 +
+               static_cast<Addr>(tid) * entriesPerThread * lineBytes;
+    }
+
+    /** Address of entry @p idx (mod capacity) in @p tid's buffer. */
+    Addr
+    entryAddr(CoreId tid, std::uint64_t idx) const
+    {
+        return logBase(tid) + (idx % entriesPerThread) * lineBytes;
+    }
+
+    /** First address past all log buffers: heap begins here. */
+    Addr
+    heapBase() const
+    {
+        return pmBase + 0x10000 +
+               static_cast<Addr>(maxThreads) * entriesPerThread *
+                   lineBytes;
+    }
+
+    Addr heapEnd() const { return pmBase + pmSize; }
+
+  private:
+    void
+    checkThread(CoreId tid) const
+    {
+        panicIf(tid >= maxThreads, "thread id {} out of range", tid);
+    }
+};
+
+} // namespace strand
+
+#endif // RUNTIME_LAYOUT_HH

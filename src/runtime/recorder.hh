@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The trace recorder: the functional execution environment workloads
+ * run against.
+ *
+ * Workloads perform loads, stores, lock operations, and
+ * failure-atomic regions against the recorder; it maintains the
+ * functional memory contents (so data structures really work),
+ * records old values for undo logging, assigns lock tickets in
+ * acquisition order, and numbers region completions globally so that
+ * log commits can later be serialized in a happens-before-consistent
+ * order.
+ */
+
+#ifndef RUNTIME_RECORDER_HH
+#define RUNTIME_RECORDER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "runtime/trace.hh"
+#include "sim/logging.hh"
+
+namespace strand
+{
+
+/** Functional execution and trace recording for all threads. */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(unsigned numThreads)
+        : traces(numThreads), inRegion(numThreads, false)
+    {
+    }
+
+    unsigned numThreads() const { return traces.size(); }
+
+    /** Functional read; records a Load event. */
+    std::uint64_t
+    read(CoreId tid, Addr addr)
+    {
+        TraceEvent ev;
+        ev.kind = TraceEvent::Kind::Load;
+        ev.addr = addr;
+        trace(tid).push_back(ev);
+        return peek(addr);
+    }
+
+    /** Functional read with no trace event (bookkeeping reads). */
+    std::uint64_t
+    peek(Addr addr) const
+    {
+        auto it = memory.find(wordAlign(addr));
+        return it == memory.end() ? 0 : it->second;
+    }
+
+    /**
+     * Functional write. Inside a region on persistent memory it
+     * records a LoggedStore with the displaced value; otherwise a
+     * PlainStore.
+     */
+    void
+    write(CoreId tid, Addr addr, std::uint64_t value)
+    {
+        TraceEvent ev;
+        ev.addr = addr;
+        ev.newValue = value;
+        if (inRegion.at(tid) && isPersistentAddr(addr)) {
+            ev.kind = TraceEvent::Kind::LoggedStore;
+            ev.oldValue = peek(addr);
+            ev.storeSeq = ++nextStoreSeq;
+        } else {
+            ev.kind = TraceEvent::Kind::PlainStore;
+        }
+        trace(tid).push_back(ev);
+        memory[wordAlign(addr)] = value;
+    }
+
+    /** Begin a failure-atomic region. */
+    void
+    regionBegin(CoreId tid)
+    {
+        panicIf(inRegion.at(tid), "nested region on thread {}", tid);
+        inRegion[tid] = true;
+        TraceEvent ev;
+        ev.kind = TraceEvent::Kind::RegionBegin;
+        trace(tid).push_back(ev);
+    }
+
+    /** End a region; assigns the global completion number. */
+    void
+    regionEnd(CoreId tid)
+    {
+        panicIf(!inRegion.at(tid), "regionEnd outside region");
+        inRegion[tid] = false;
+        TraceEvent ev;
+        ev.kind = TraceEvent::Kind::RegionEnd;
+        ev.globalSeq = nextRegionSeq++;
+        trace(tid).push_back(ev);
+    }
+
+    /** Acquire @p lockId; tickets replay the recorded order. */
+    void
+    lockAcquire(CoreId tid, std::uint32_t lockId)
+    {
+        TraceEvent ev;
+        ev.kind = TraceEvent::Kind::LockAcquire;
+        ev.lockId = lockId;
+        ev.ticket = lockTickets[lockId]++;
+        trace(tid).push_back(ev);
+    }
+
+    void
+    lockRelease(CoreId tid, std::uint32_t lockId)
+    {
+        TraceEvent ev;
+        ev.kind = TraceEvent::Kind::LockRelease;
+        ev.lockId = lockId;
+        trace(tid).push_back(ev);
+    }
+
+    /** Record @p cycles of non-memory work. */
+    void
+    compute(CoreId tid, std::uint32_t cycles)
+    {
+        TraceEvent ev;
+        ev.kind = TraceEvent::Kind::Compute;
+        ev.cycles = cycles;
+        trace(tid).push_back(ev);
+    }
+
+    /**
+     * Seed a word as already-durable initial state (setup data that
+     * the timed run starts from). No trace event is recorded; the
+     * system copies preloaded words into the memory image (both
+     * views) before timing replay.
+     */
+    void
+    preload(Addr addr, std::uint64_t value)
+    {
+        memory[wordAlign(addr)] = value;
+        preloaded[wordAlign(addr)] = value;
+    }
+
+    const std::unordered_map<Addr, std::uint64_t> &
+    preloadedWords() const
+    {
+        return preloaded;
+    }
+
+    /** Regions completed so far. */
+    std::uint64_t regionsCompleted() const { return nextRegionSeq; }
+
+    /** Move the recorded traces out. */
+    RegionTrace
+    takeTrace()
+    {
+        RegionTrace result;
+        result.threads = std::move(traces);
+        traces.assign(result.threads.size(), {});
+        return result;
+    }
+
+    const ThreadTrace &threadTrace(CoreId tid) const
+    {
+        return traces.at(tid);
+    }
+
+    /** The complete functional memory, for validating final state. */
+    const std::unordered_map<Addr, std::uint64_t> &
+    functionalMemory() const
+    {
+        return memory;
+    }
+
+  private:
+    ThreadTrace &trace(CoreId tid) { return traces.at(tid); }
+
+    std::vector<ThreadTrace> traces;
+    std::vector<bool> inRegion;
+    std::unordered_map<Addr, std::uint64_t> memory;
+    std::unordered_map<Addr, std::uint64_t> preloaded;
+    std::unordered_map<std::uint32_t, std::uint64_t> lockTickets;
+    std::uint64_t nextRegionSeq = 0;
+    std::uint64_t nextStoreSeq = 0;
+};
+
+} // namespace strand
+
+#endif // RUNTIME_RECORDER_HH

@@ -1,0 +1,156 @@
+#include "runtime/recovery.hh"
+
+#include <algorithm>
+
+namespace strand
+{
+
+RecoveryManager::EntryView
+RecoveryManager::readEntry(const MemoryImage &image, CoreId tid,
+                           std::uint64_t slot) const
+{
+    Addr base = layout.entryAddr(tid, slot);
+    EntryView view;
+    view.seq = image.readPersisted(base + log_field::seq);
+    view.type = static_cast<LogType>(
+        image.readPersisted(base + log_field::type));
+    view.addr = image.readPersisted(base + log_field::addr);
+    view.value = image.readPersisted(base + log_field::value);
+    view.valid = image.readPersisted(base + log_field::valid) != 0;
+    view.commitMarker =
+        image.readPersisted(base + log_field::commitMarker) != 0;
+    view.globalSeq = image.readPersisted(base + log_field::globalSeq);
+    view.tid = tid;
+    return view;
+}
+
+RecoveryReport
+RecoveryManager::recover(MemoryImage &image, unsigned numThreads) const
+{
+    RecoveryReport report;
+    std::vector<EntryView> allLive;
+    std::uint64_t frontier =
+        image.readPersisted(layout.frontierAddr());
+
+    for (CoreId tid = 0; tid < numThreads; ++tid) {
+        std::uint64_t head =
+            image.readPersisted(layout.headPtrAddr(tid));
+
+        // Gather live entries: one pass over the whole buffer.
+        std::vector<EntryView> live;
+        std::uint64_t committedUpTo = 0; // seq+1 of CM entry, if any
+        for (std::uint64_t slot = 0; slot < layout.entriesPerThread;
+             ++slot) {
+            EntryView entry = readEntry(image, tid, slot);
+            if (entry.type == LogType::Free)
+                continue;
+            // Stale lap content: ignore.
+            if (entry.seq < head)
+                continue;
+            if (entry.commitMarker && entry.seq + 1 > committedUpTo)
+                committedUpTo = entry.seq + 1;
+            if (entry.valid)
+                live.push_back(entry);
+        }
+
+        // Step 2 (Figure 6(b)): a crash during commit left a marker;
+        // everything up to it is committed — finish invalidating.
+        // Undo entries are simply dropped; redo entries of committed
+        // regions are REPLAYED forward (their in-place updates may
+        // not have persisted yet).
+        if (committedUpTo > head) {
+            std::sort(live.begin(), live.end(),
+                      [](const EntryView &a, const EntryView &b) {
+                          return a.seq < b.seq;
+                      });
+            for (auto it = live.begin(); it != live.end();) {
+                if (it->seq < committedUpTo) {
+                    if (it->type == LogType::RedoStore) {
+                        image.writeDurable(it->addr, it->value);
+                        ++report.entriesRolledBack;
+                        report.rollbacks.emplace_back(it->addr,
+                                                      it->value);
+                    }
+                    Addr base = layout.entryAddr(tid, it->seq);
+                    image.writeDurable(base + log_field::valid, 0);
+                    ++report.entriesCommittedDuringRecovery;
+                    it = live.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            head = committedUpTo;
+            image.writeDurable(layout.headPtrAddr(tid), head);
+        }
+
+        // Uncommitted redo entries carry no obligation: their
+        // in-place updates were held back until the commit marker,
+        // so dropping them is the correct outcome.
+        for (auto it = live.begin(); it != live.end();) {
+            if (it->type == LogType::RedoStore) {
+                Addr base = layout.entryAddr(tid, it->seq);
+                image.writeDurable(base + log_field::valid, 0);
+                it = live.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // Frontier filtering (SFR/ATLAS batched commits): regions
+        // whose end entry is below the pruner's durable commit
+        // frontier are committed; their surviving entries are dead.
+        std::sort(live.begin(), live.end(),
+                  [](const EntryView &a, const EntryView &b) {
+                      return a.seq < b.seq;
+                  });
+        std::vector<EntryView> uncommitted;
+        std::vector<EntryView> pending;
+        for (const EntryView &entry : live) {
+            if (entry.type == LogType::Release ||
+                entry.type == LogType::TxEnd) {
+                if (entry.globalSeq < frontier) {
+                    pending.clear(); // committed region
+                } else {
+                    uncommitted.insert(uncommitted.end(),
+                                       pending.begin(), pending.end());
+                    pending.clear();
+                }
+                continue;
+            }
+            pending.push_back(entry);
+        }
+        // Entries after the last region end: crashed mid-region.
+        uncommitted.insert(uncommitted.end(), pending.begin(),
+                           pending.end());
+
+        if (uncommitted.empty())
+            continue;
+        ++report.threadsWithUncommittedWork;
+        allLive.insert(allLive.end(), uncommitted.begin(),
+                       uncommitted.end());
+    }
+
+    // Step 3: roll back store entries across all threads in reverse
+    // global creation order; conflicting updates from different
+    // threads unwind newest-first, leaving the oldest displaced
+    // value in place.
+    std::sort(allLive.begin(), allLive.end(),
+              [](const EntryView &a, const EntryView &b) {
+                  if (a.globalSeq != b.globalSeq)
+                      return a.globalSeq > b.globalSeq;
+                  return a.seq > b.seq;
+              });
+    for (const EntryView &entry : allLive) {
+        if (entry.type == LogType::Store) {
+            image.writeDurable(entry.addr, entry.value);
+            ++report.entriesRolledBack;
+            report.rollbacks.emplace_back(entry.addr, entry.value);
+        }
+        // Invalidate the entry so recovery is idempotent.
+        Addr base = layout.entryAddr(entry.tid, entry.seq);
+        image.writeDurable(base + log_field::valid, 0);
+    }
+    return report;
+}
+
+} // namespace strand

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Post-crash recovery (§V "Log structure", Figure 6).
+ *
+ * Recovery reads only the persisted view of memory (what survived
+ * the crash):
+ *  1. Read each thread's persistent head pointer.
+ *  2. If an entry at-or-after head has its commit marker set, the
+ *     crash interrupted a commit: the entries up to the marker are
+ *     committed — finish invalidating them and advance head.
+ *  3. Roll back remaining valid entries — across all threads — in
+ *     reverse global creation order (each store entry carries a
+ *     scalar clock consistent with happens-before, the role the
+ *     sync-entry metadata plays in ATLAS/SFR), restoring each
+ *     logged old value durably.
+ *
+ * Entries store their monotonic sequence number, so stale content
+ * from previous laps around the circular buffer (seq < head) is
+ * ignored regardless of its valid bit.
+ */
+
+#ifndef RUNTIME_RECOVERY_HH
+#define RUNTIME_RECOVERY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_image.hh"
+#include "runtime/layout.hh"
+
+namespace strand
+{
+
+/** Outcome of one recovery pass. */
+struct RecoveryReport
+{
+    /** Store entries rolled back, over all threads. */
+    std::uint64_t entriesRolledBack = 0;
+    /** Entries that a crashed commit had left valid. */
+    std::uint64_t entriesCommittedDuringRecovery = 0;
+    /** Threads that had any uncommitted work. */
+    unsigned threadsWithUncommittedWork = 0;
+
+    /** Rolled-back (addr, restoredValue) pairs, for diagnostics. */
+    std::vector<std::pair<Addr, std::uint64_t>> rollbacks;
+};
+
+/**
+ * The recovery process. Stateless aside from its layout.
+ */
+class RecoveryManager
+{
+  public:
+    explicit RecoveryManager(const LogLayout &layout) : layout(layout) {}
+
+    /**
+     * Recover @p image in place after a crash. Reads the persisted
+     * view; writes restored values durably.
+     */
+    RecoveryReport recover(MemoryImage &image, unsigned numThreads) const;
+
+  private:
+    struct EntryView
+    {
+        std::uint64_t seq;
+        std::uint64_t globalSeq;
+        CoreId tid;
+        LogType type;
+        Addr addr;
+        std::uint64_t value;
+        bool valid;
+        bool commitMarker;
+    };
+
+    EntryView readEntry(const MemoryImage &image, CoreId tid,
+                        std::uint64_t slot) const;
+
+    LogLayout layout;
+};
+
+} // namespace strand
+
+#endif // RUNTIME_RECOVERY_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Region traces: the runtime-level events recorded during functional
+ * workload execution and later lowered (per hardware design and
+ * language-level persistency model) into ISA op streams.
+ */
+
+#ifndef RUNTIME_TRACE_HH
+#define RUNTIME_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/** One runtime-level event in a thread's execution. */
+struct TraceEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        RegionBegin, ///< Failure-atomic region begins.
+        RegionEnd,   ///< Region ends; globalSeq orders ends globally.
+        LoggedStore, ///< Persistent store inside a region (undo-logged).
+        PlainStore,  ///< Store without logging (volatile or setup).
+        Load,
+        LockAcquire, ///< lockId + recorded ticket.
+        LockRelease,
+        Compute, ///< cycles of non-memory work.
+    };
+
+    Kind kind = Kind::Compute;
+    Addr addr = 0;
+    std::uint64_t oldValue = 0; ///< LoggedStore: value being replaced.
+    std::uint64_t newValue = 0;
+    std::uint32_t lockId = 0;
+    std::uint64_t ticket = 0;
+    std::uint32_t cycles = 0;
+    /** RegionEnd: global region completion order (happens-before
+     * consistent); used to serialize log commits across threads. */
+    std::uint64_t globalSeq = 0;
+    /** LoggedStore: global store creation order (scalar clock),
+     * recorded into the log entry for cross-thread rollback order. */
+    std::uint64_t storeSeq = 0;
+};
+
+/** Per-thread sequence of runtime events. */
+using ThreadTrace = std::vector<TraceEvent>;
+
+/** A complete multi-threaded region trace. */
+struct RegionTrace
+{
+    std::vector<ThreadTrace> threads;
+};
+
+} // namespace strand
+
+#endif // RUNTIME_TRACE_HH

@@ -1,0 +1,81 @@
+#include "sim/event_queue.hh"
+
+namespace strand
+{
+
+EventQueue::Handle
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    panicIf(when < now,
+            "event scheduled in the past: when={} now={}", when, now);
+    panicIf(!cb, "event scheduled with empty callback");
+
+    Handle handle;
+    handle.record = std::make_shared<Handle::Record>();
+    handle.record->when = when;
+    handle.record->priority = static_cast<int>(prio);
+    handle.record->seq = nextSeq++;
+    handle.record->callback = std::move(cb);
+
+    heap.push(handle.record);
+    ++liveEvents;
+    return handle;
+}
+
+void
+EventQueue::deschedule(Handle &handle)
+{
+    if (!handle.scheduled())
+        return;
+    handle.record->cancelled = true;
+    --liveEvents;
+}
+
+bool
+EventQueue::serviceOne()
+{
+    while (!heap.empty()) {
+        RecordPtr rec = heap.top();
+        heap.pop();
+        if (rec->cancelled)
+            continue;
+
+        panicIf(rec->when < now, "event queue went backwards");
+        now = rec->when;
+        rec->done = true;
+        --liveEvents;
+        ++servicedEvents;
+        // Move the callback out so that its captures are released
+        // promptly even if a handle keeps the record alive.
+        Callback cb = std::move(rec->callback);
+        cb();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run()
+{
+    while (serviceOne()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap.empty()) {
+        // Skip cancelled carcasses without advancing time.
+        if (heap.top()->cancelled) {
+            heap.pop();
+            continue;
+        }
+        if (heap.top()->when > limit)
+            break;
+        serviceOne();
+    }
+    if (now < limit)
+        now = limit;
+}
+
+} // namespace strand

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The event queue dispatches callbacks in (tick, priority, insertion
+ * order) order, so simulations are fully deterministic for a given
+ * seed and schedule. Events are scheduled by value and may be
+ * descheduled through the handle returned by schedule().
+ */
+
+#ifndef SIM_EVENT_QUEUE_HH
+#define SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/**
+ * Relative ordering of events scheduled for the same tick. Lower
+ * values run first.
+ */
+enum class EventPriority : int
+{
+    /** Coherence and memory responses run before CPU progress. */
+    MemoryResponse = 10,
+    Default = 20,
+    /** Per-cycle CPU evaluation. */
+    CpuTick = 30,
+    /** Stat sampling and end-of-quantum bookkeeping run last. */
+    Stat = 40,
+};
+
+/**
+ * The central event queue. One instance drives a whole simulated
+ * system; components hold a reference and schedule callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Handle used to deschedule a pending event. */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        /** @return true if this handle refers to a scheduled event. */
+        bool
+        scheduled() const
+        {
+            return record && !record->cancelled && !record->done;
+        }
+
+      private:
+        friend class EventQueue;
+
+        struct Record
+        {
+            Tick when = 0;
+            int priority = 0;
+            std::uint64_t seq = 0;
+            bool cancelled = false;
+            bool done = false;
+            Callback callback;
+        };
+
+        std::shared_ptr<Record> record;
+    };
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** @return the current simulated time. */
+    Tick curTick() const { return now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must not be in the past.
+     * @param cb Callback invoked when the event fires.
+     * @param prio Same-tick ordering class.
+     * @return Handle that can cancel the event before it fires.
+     */
+    Handle schedule(Tick when, Callback cb,
+                    EventPriority prio = EventPriority::Default);
+
+    /** Schedule a callback @p delta ticks in the future. */
+    Handle
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(now + delta, std::move(cb), prio);
+    }
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or
+     * already-cancelled event is a no-op.
+     */
+    void deschedule(Handle &handle);
+
+    /** @return true if no live events remain. */
+    bool empty() const { return liveEvents == 0; }
+
+    /** @return the number of scheduled, not-yet-fired events. */
+    std::uint64_t pending() const { return liveEvents; }
+
+    /** @return total events serviced since construction. */
+    std::uint64_t serviced() const { return servicedEvents; }
+
+    /**
+     * Service the single next event.
+     * @return true if an event was serviced, false if empty.
+     */
+    bool serviceOne();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run until the queue drains or simulated time would pass
+     * @p limit, whichever is first. Events scheduled exactly at
+     * @p limit are serviced.
+     */
+    void runUntil(Tick limit);
+
+  private:
+    using RecordPtr = std::shared_ptr<Handle::Record>;
+
+    struct Later
+    {
+        bool
+        operator()(const RecordPtr &a, const RecordPtr &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->seq > b->seq;
+        }
+    };
+
+    std::priority_queue<RecordPtr, std::vector<RecordPtr>, Later> heap;
+    Tick now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t liveEvents = 0;
+    std::uint64_t servicedEvents = 0;
+};
+
+} // namespace strand
+
+#endif // SIM_EVENT_QUEUE_HH

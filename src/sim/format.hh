@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal string formatting used until the toolchain ships
+ * std::format. Supports "{}" placeholders and a "{:.Ng}" precision
+ * spec for floating-point values; unmatched placeholders render
+ * verbatim and excess arguments are ignored.
+ */
+
+#ifndef SIM_FORMAT_HH
+#define SIM_FORMAT_HH
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace strand
+{
+
+namespace detail
+{
+
+/** Render one value honoring an optional "{:.Ng}" style spec. */
+template <typename T>
+void
+renderArg(std::ostringstream &os, std::string_view spec, const T &value)
+{
+    if constexpr (std::is_floating_point_v<T>) {
+        if (spec.size() >= 3 && spec[0] == ':' && spec[1] == '.') {
+            std::size_t digits = 0;
+            std::size_t i = 2;
+            while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+                digits = digits * 10 + (spec[i] - '0');
+                ++i;
+            }
+            auto old = os.precision(static_cast<int>(digits));
+            os << value;
+            os.precision(old);
+            return;
+        }
+    }
+    os << value;
+}
+
+inline void
+formatStep(std::ostringstream &os, std::string_view &fmt)
+{
+    // No arguments left: emit the rest, collapsing escaped braces.
+    while (!fmt.empty()) {
+        if (fmt.size() >= 2 && (fmt.substr(0, 2) == "{{" ||
+                                fmt.substr(0, 2) == "}}")) {
+            os << fmt[0];
+            fmt.remove_prefix(2);
+            continue;
+        }
+        os << fmt[0];
+        fmt.remove_prefix(1);
+    }
+}
+
+template <typename First, typename... Rest>
+void
+formatStep(std::ostringstream &os, std::string_view &fmt,
+           const First &first, const Rest &...rest)
+{
+    while (!fmt.empty()) {
+        if (fmt.size() >= 2 && fmt.substr(0, 2) == "{{") {
+            os << '{';
+            fmt.remove_prefix(2);
+            continue;
+        }
+        if (fmt.size() >= 2 && fmt.substr(0, 2) == "}}") {
+            os << '}';
+            fmt.remove_prefix(2);
+            continue;
+        }
+        if (fmt[0] == '{') {
+            std::size_t close = fmt.find('}');
+            if (close == std::string_view::npos) {
+                // Unterminated placeholder: emit verbatim.
+                os << fmt;
+                fmt = {};
+                return;
+            }
+            std::string_view spec = fmt.substr(1, close - 1);
+            renderArg(os, spec, first);
+            fmt.remove_prefix(close + 1);
+            formatStep(os, fmt, rest...);
+            return;
+        }
+        os << fmt[0];
+        fmt.remove_prefix(1);
+    }
+}
+
+} // namespace detail
+
+/** Format @p fmt with "{}" placeholders substituted in order. */
+template <typename... Args>
+std::string
+sformat(std::string_view fmt, const Args &...args)
+{
+    std::ostringstream os;
+    std::string_view rest = fmt;
+    detail::formatStep(os, rest, args...);
+    return os.str();
+}
+
+} // namespace strand
+
+#endif // SIM_FORMAT_HH

@@ -1,0 +1,60 @@
+#include "sim/logging.hh"
+
+#include <stdexcept>
+
+namespace strand
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Normal;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail
+{
+
+void
+panicImpl(std::string_view where, const std::string &msg)
+{
+    // Throw rather than abort so that library users and tests can
+    // observe invariant violations; unhandled, it still terminates.
+    throw std::logic_error(std::string(where) + ": " + msg);
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    throw std::invalid_argument("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (globalLevel != LogLevel::Quiet)
+        std::cerr << "warn: " << msg << '\n';
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (globalLevel == LogLevel::Verbose)
+        std::cerr << "info: " << msg << '\n';
+}
+
+} // namespace detail
+
+} // namespace strand

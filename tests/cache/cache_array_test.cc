@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array: geometry, lookup,
+ * LRU victimization, and invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hh"
+
+namespace strand
+{
+namespace
+{
+
+TEST(CacheArray, GeometryFromSizeAndWays)
+{
+    CacheArray arr(32 * 1024, 2);
+    EXPECT_EQ(arr.numWays(), 2u);
+    EXPECT_EQ(arr.numSets(), 32u * 1024 / 64 / 2);
+    EXPECT_EQ(arr.countValid(), 0u);
+}
+
+TEST(CacheArray, BadGeometryIsFatal)
+{
+    EXPECT_THROW(CacheArray(0, 2), std::invalid_argument);
+    EXPECT_THROW(CacheArray(1024, 0), std::invalid_argument);
+}
+
+TEST(CacheArray, InstallAndFind)
+{
+    CacheArray arr(1024, 2); // 8 sets
+    EXPECT_EQ(arr.findLine(0x1000), nullptr);
+    CacheLineInfo &victim = arr.victimFor(0x1000);
+    arr.install(victim, 0x1000, CoherenceState::Exclusive);
+
+    CacheLineInfo *line = arr.findLine(0x1000);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, CoherenceState::Exclusive);
+    EXPECT_FALSE(line->dirty());
+    line->state = CoherenceState::Modified;
+    EXPECT_TRUE(line->dirty());
+
+    // Any address within the line maps to the same entry.
+    EXPECT_EQ(arr.findLine(0x1000 + 63), line);
+    EXPECT_EQ(arr.findLine(0x1000 + 64), nullptr);
+}
+
+TEST(CacheArray, VictimPrefersInvalid)
+{
+    CacheArray arr(256, 2); // 2 sets, 2 ways
+    // Two lines map to set 0: line addresses 0 and 128.
+    arr.install(arr.victimFor(0), 0, CoherenceState::Shared);
+    CacheLineInfo &victim = arr.victimFor(128);
+    EXPECT_FALSE(victim.valid());
+}
+
+TEST(CacheArray, VictimIsLeastRecentlyUsed)
+{
+    CacheArray arr(256, 2); // 2 sets x 2 ways; set stride is 128
+    arr.install(arr.victimFor(0), 0, CoherenceState::Shared);
+    arr.install(arr.victimFor(128), 128, CoherenceState::Shared);
+    // Touch line 0 so that 128 becomes LRU.
+    arr.touch(*arr.findLine(0));
+    CacheLineInfo &victim = arr.victimFor(256);
+    EXPECT_TRUE(victim.valid());
+    EXPECT_EQ(victim.lineAddr, 128u);
+}
+
+TEST(CacheArray, InvalidateRemovesLine)
+{
+    CacheArray arr(1024, 2);
+    arr.install(arr.victimFor(0x40), 0x40, CoherenceState::Modified);
+    EXPECT_TRUE(arr.invalidate(0x40));
+    EXPECT_EQ(arr.findLine(0x40), nullptr);
+    EXPECT_FALSE(arr.invalidate(0x40));
+    EXPECT_EQ(arr.countValid(), 0u);
+}
+
+TEST(CacheArray, ForEachValidVisitsAll)
+{
+    CacheArray arr(1024, 2);
+    arr.install(arr.victimFor(0), 0, CoherenceState::Shared);
+    arr.install(arr.victimFor(64), 64, CoherenceState::Modified);
+    int seen = 0;
+    arr.forEachValid([&](CacheLineInfo &) { ++seen; });
+    EXPECT_EQ(seen, 2);
+}
+
+TEST(CacheArray, StateNames)
+{
+    EXPECT_STREQ(coherenceStateName(CoherenceState::Invalid), "I");
+    EXPECT_STREQ(coherenceStateName(CoherenceState::Shared), "S");
+    EXPECT_STREQ(coherenceStateName(CoherenceState::Exclusive), "E");
+    EXPECT_STREQ(coherenceStateName(CoherenceState::Modified), "M");
+}
+
+TEST(CacheArray, ConflictingLinesShareASet)
+{
+    CacheArray arr(256, 2); // 2 sets x 2 ways
+    // Three conflicting lines for set 0: 0, 128, 256.
+    arr.install(arr.victimFor(0), 0, CoherenceState::Shared);
+    arr.install(arr.victimFor(128), 128, CoherenceState::Shared);
+    CacheLineInfo &victim = arr.victimFor(256);
+    ASSERT_TRUE(victim.valid()); // set is full, a valid line must go
+    Addr evicted = victim.lineAddr;
+    arr.install(victim, 256, CoherenceState::Shared);
+    EXPECT_EQ(arr.findLine(evicted), nullptr);
+    EXPECT_NE(arr.findLine(256), nullptr);
+    EXPECT_EQ(arr.countValid(), 2u);
+}
+
+} // namespace
+} // namespace strand

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Integration-grade unit tests for the coherent cache hierarchy:
+ * miss latencies, MESI transitions, cache-to-cache transfers,
+ * write-backs with persist interlocks, CLWB flushes, and snoop
+ * stalls (§IV mechanisms).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+
+namespace strand
+{
+namespace
+{
+
+constexpr Addr lineA = pmBase + 0x0000;
+constexpr Addr lineB = pmBase + 0x4000;
+
+class HierarchyFixture : public ::testing::Test
+{
+  protected:
+    void
+    build(unsigned cores = 2, HierarchyParams p = HierarchyParams{})
+    {
+        params = p;
+        pm = std::make_unique<MemController>("pm", eq, img,
+                                             MemControllerParams{}, true);
+        dram = std::make_unique<MemController>(
+            "dram", eq, img, dramControllerParams(), false);
+        hier = std::make_unique<Hierarchy>("caches", eq, img, cores,
+                                           params, *pm, *dram);
+    }
+
+    /** Blocking store helper: run until the store completes. */
+    void
+    store(CoreId core, Addr addr, std::uint64_t value)
+    {
+        bool done = false;
+        while (!hier->tryStore(core, addr, value, [&] { done = true; }))
+            eq.serviceOne();
+        while (!done)
+            ASSERT_TRUE(eq.serviceOne());
+    }
+
+    void
+    load(CoreId core, Addr addr)
+    {
+        bool done = false;
+        while (!hier->tryLoad(core, addr, [&] { done = true; }))
+            eq.serviceOne();
+        while (!done)
+            ASSERT_TRUE(eq.serviceOne());
+    }
+
+    /** Flush and report whether PM was written. */
+    bool
+    flush(CoreId core, Addr addr)
+    {
+        bool done = false;
+        bool wrote = false;
+        hier->tryFlush(core, addr, [&](bool w) {
+            done = true;
+            wrote = w;
+        });
+        while (!done)
+            EXPECT_TRUE(eq.serviceOne());
+        return wrote;
+    }
+
+    EventQueue eq;
+    MemoryImage img;
+    HierarchyParams params;
+    std::unique_ptr<MemController> pm;
+    std::unique_ptr<MemController> dram;
+    std::unique_ptr<Hierarchy> hier;
+};
+
+TEST_F(HierarchyFixture, ColdLoadMissFillsExclusiveFromMemory)
+{
+    build();
+    Tick done = 0;
+    ASSERT_TRUE(hier->tryLoad(0, lineA, [&] { done = eq.curTick(); }));
+    eq.run();
+    // l1 lookup + snoop + l2 lookup + PM row-miss read.
+    Tick expected = params.l1Latency + params.snoopLatency +
+                    params.l2Latency + nsToTicks(346);
+    EXPECT_EQ(done, expected);
+    EXPECT_EQ(hier->l1State(0, lineA), CoherenceState::Exclusive);
+    EXPECT_NE(hier->l2State(lineA), CoherenceState::Invalid);
+    EXPECT_EQ(hier->loadMisses.value(), 1.0);
+}
+
+TEST_F(HierarchyFixture, WarmLoadHitsInL1)
+{
+    build();
+    load(0, lineA);
+    Tick before = eq.curTick();
+    Tick done = 0;
+    ASSERT_TRUE(hier->tryLoad(0, lineA, [&] { done = eq.curTick(); }));
+    eq.run();
+    EXPECT_EQ(done - before, params.l1Latency);
+    EXPECT_EQ(hier->loadHits.value(), 1.0);
+}
+
+TEST_F(HierarchyFixture, StoreMissInstallsModifiedAndUpdatesImage)
+{
+    build();
+    store(0, lineA + 8, 1234);
+    EXPECT_EQ(hier->l1State(0, lineA), CoherenceState::Modified);
+    EXPECT_TRUE(hier->l1Dirty(0, lineA));
+    EXPECT_EQ(img.readArch(lineA + 8), 1234u);
+    EXPECT_EQ(hier->storeMisses.value(), 1.0);
+    // Nothing persisted yet.
+    EXPECT_FALSE(img.persistedContains(lineA + 8));
+}
+
+TEST_F(HierarchyFixture, StoreHitOnOwnedLineIsFast)
+{
+    build();
+    store(0, lineA, 1);
+    Tick before = eq.curTick();
+    Tick done = 0;
+    ASSERT_TRUE(hier->tryStore(0, lineA + 8, 2,
+                               [&] { done = eq.curTick(); }));
+    eq.run();
+    EXPECT_EQ(done - before, params.l1Latency);
+    EXPECT_EQ(hier->storeHits.value(), 1.0);
+}
+
+TEST_F(HierarchyFixture, ReadSharingDemotesOwnerAndDirtiesL2)
+{
+    build();
+    store(0, lineA, 7);
+    load(1, lineA);
+    EXPECT_EQ(hier->l1State(0, lineA), CoherenceState::Shared);
+    EXPECT_EQ(hier->l1State(1, lineA), CoherenceState::Shared);
+    EXPECT_TRUE(hier->l2Dirty(lineA));
+    EXPECT_EQ(hier->cacheToCache.value(), 1.0);
+}
+
+TEST_F(HierarchyFixture, UpgradeInvalidatesSharers)
+{
+    build();
+    load(0, lineA);
+    load(1, lineA); // both shared now
+    EXPECT_EQ(hier->l1State(0, lineA), CoherenceState::Shared);
+    store(1, lineA, 5);
+    EXPECT_EQ(hier->l1State(0, lineA), CoherenceState::Invalid);
+    EXPECT_EQ(hier->l1State(1, lineA), CoherenceState::Modified);
+    EXPECT_EQ(hier->upgrades.value(), 1.0);
+}
+
+TEST_F(HierarchyFixture, RfoStealsDirtyLineFromRemoteOwner)
+{
+    build();
+    store(0, lineA, 1);
+    store(1, lineA, 2);
+    EXPECT_EQ(hier->l1State(0, lineA), CoherenceState::Invalid);
+    EXPECT_EQ(hier->l1State(1, lineA), CoherenceState::Modified);
+    EXPECT_EQ(img.readArch(lineA), 2u);
+    EXPECT_EQ(hier->cacheToCache.value(), 1.0);
+}
+
+TEST_F(HierarchyFixture, RfoStallsOnOwnersPersistDrain)
+{
+    build();
+    bool clear = false;
+    int recordings = 0;
+    hier->setDrainPointRecorder(0, [&] {
+        ++recordings;
+        return [&clear] { return clear; };
+    });
+
+    store(0, lineA, 1);
+    EXPECT_EQ(recordings, 0); // stores alone record nothing
+
+    bool done = false;
+    ASSERT_TRUE(hier->tryStore(1, lineA, 2, [&] { done = true; }));
+    // Run a generous amount of simulated time: the RFO must not
+    // complete while the owner's persist engine has not drained.
+    eq.runUntil(eq.curTick() + nsToTicks(10000));
+    EXPECT_FALSE(done);
+    EXPECT_EQ(recordings, 1);
+    EXPECT_EQ(hier->snoopStalls.value(), 1.0);
+
+    clear = true;
+    hier->kick();
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(hier->l1State(1, lineA), CoherenceState::Modified);
+}
+
+TEST_F(HierarchyFixture, FlushDirtyLinePersistsData)
+{
+    build();
+    store(0, lineA, 42);
+    EXPECT_TRUE(flush(0, lineA));
+    EXPECT_EQ(img.readPersisted(lineA), 42u);
+    // CLWB retains a clean copy.
+    EXPECT_EQ(hier->l1State(0, lineA), CoherenceState::Exclusive);
+    EXPECT_FALSE(hier->l1Dirty(0, lineA));
+    EXPECT_EQ(hier->flushesDirty.value(), 1.0);
+}
+
+TEST_F(HierarchyFixture, FlushCleanLineDoesNotWritePm)
+{
+    build();
+    load(0, lineA);
+    EXPECT_FALSE(flush(0, lineA));
+    EXPECT_EQ(hier->flushesClean.value(), 1.0);
+    EXPECT_FALSE(img.persistedContains(lineA));
+}
+
+TEST_F(HierarchyFixture, FlushAbsentLineCompletesClean)
+{
+    build();
+    EXPECT_FALSE(flush(0, lineB));
+}
+
+TEST_F(HierarchyFixture, FlushFindsDirtyLineInRemoteL1)
+{
+    build();
+    store(1, lineA, 9);
+    EXPECT_TRUE(flush(0, lineA));
+    EXPECT_EQ(img.readPersisted(lineA), 9u);
+    EXPECT_FALSE(hier->l1Dirty(1, lineA));
+}
+
+TEST_F(HierarchyFixture, FlushSnapshotExcludesLaterStores)
+{
+    build();
+    store(0, lineA, 1);
+    bool done = false;
+    hier->tryFlush(0, lineA, [&](bool) { done = true; });
+    // Let the flush pass its lookup point, then store again before
+    // the PM ack arrives.
+    eq.runUntil(eq.curTick() + params.l1Latency);
+    bool stored = false;
+    ASSERT_TRUE(hier->tryStore(0, lineA, 2, [&] { stored = true; }));
+    eq.run();
+    EXPECT_TRUE(done && stored);
+    EXPECT_EQ(img.readPersisted(lineA), 1u);
+    EXPECT_EQ(img.readArch(lineA), 2u);
+}
+
+TEST_F(HierarchyFixture, MshrLimitBoundsOutstandingMisses)
+{
+    build();
+    unsigned accepted = 0;
+    for (unsigned i = 0; i < params.l1Mshrs + 2; ++i) {
+        Addr addr = pmBase + 0x10000 + i * 0x1000;
+        if (hier->tryLoad(0, addr, nullptr))
+            ++accepted;
+    }
+    EXPECT_EQ(accepted, params.l1Mshrs);
+    eq.run();
+    // After draining, new misses are accepted again.
+    EXPECT_TRUE(hier->tryLoad(0, pmBase + 0x80000, nullptr));
+    eq.run();
+}
+
+TEST_F(HierarchyFixture, MissesToSameLineMergeInOneMshr)
+{
+    build();
+    int completions = 0;
+    ASSERT_TRUE(hier->tryLoad(0, lineA, [&] { ++completions; }));
+    ASSERT_TRUE(hier->tryLoad(0, lineA + 8, [&] { ++completions; }));
+    EXPECT_EQ(hier->loadMisses.value(), 2.0);
+    eq.run();
+    EXPECT_EQ(completions, 2);
+    // Only one memory read should have been issued.
+    EXPECT_EQ(pm->numReads.value(), 1.0);
+}
+
+TEST_F(HierarchyFixture, CapacityEvictionWritesBackThroughL2)
+{
+    // Shrink both levels so evictions happen quickly.
+    HierarchyParams p;
+    p.l1Size = 256;  // 2 sets x 2 ways
+    p.l2Size = 2048; // 2 sets x 16 ways
+    build(1, p);
+
+    // Dirty three conflicting L1 lines (same L1 set: stride 128).
+    // With 2 ways the third store evicts a dirty victim.
+    store(0, pmBase + 0, 1);
+    store(0, pmBase + 128, 2);
+    store(0, pmBase + 256, 3);
+    eq.run();
+    EXPECT_GE(hier->l1Writebacks.value(), 1.0);
+    // The write-back landed in the L2 and marked it dirty.
+    EXPECT_TRUE(hier->l2Dirty(pmBase + 0));
+}
+
+TEST_F(HierarchyFixture, WritebackWaitsForPersistClearance)
+{
+    HierarchyParams p;
+    p.l1Size = 256;
+    build(1, p);
+
+    bool clear = false;
+    hier->setDrainPointRecorder(0, [&] {
+        return [&clear] { return clear; };
+    });
+
+    store(0, pmBase + 0, 1);
+    store(0, pmBase + 128, 2);
+    store(0, pmBase + 256, 3); // evicts a dirty line into the WB buffer
+    eq.run();
+    EXPECT_EQ(hier->writebacksPending(), 1u);
+
+    clear = true;
+    hier->kick();
+    eq.run();
+    EXPECT_EQ(hier->writebacksPending(), 0u);
+}
+
+TEST_F(HierarchyFixture, L2CapacityEvictionPersistsDirtyData)
+{
+    HierarchyParams p;
+    p.l1Size = 256;
+    p.l2Size = 1024; // 1 set x 16 ways: 16 lines total
+    p.l2Ways = 16;
+    build(1, p);
+
+    // Dirty more lines than the L2 can hold; evictions must reach PM.
+    for (unsigned i = 0; i < 24; ++i)
+        store(0, pmBase + i * 64, i + 1);
+    eq.run();
+    EXPECT_GE(hier->l2Evictions.value(), 1.0);
+    EXPECT_GE(pm->numWrites.value(), 1.0);
+    EXPECT_GT(img.persistedWords(), 0u);
+}
+
+TEST_F(HierarchyFixture, DramTrafficDoesNotPersist)
+{
+    build();
+    store(0, dramBase + 0x100, 5);
+    EXPECT_TRUE(flush(0, dramBase + 0x100) == true ||
+                img.persistedWords() == 0u);
+    eq.run();
+    EXPECT_EQ(img.persistedWords(), 0u);
+}
+
+TEST_F(HierarchyFixture, ConcurrentMissesToDistinctLinesOverlap)
+{
+    build();
+    std::vector<Tick> done;
+    ASSERT_TRUE(hier->tryLoad(0, pmBase + 0x100000,
+                              [&] { done.push_back(eq.curTick()); }));
+    ASSERT_TRUE(hier->tryLoad(0, pmBase + 0x200000,
+                              [&] { done.push_back(eq.curTick()); }));
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Different banks: the two fills overlap almost entirely.
+    Tick serial = 2 * (params.l1Latency + params.snoopLatency +
+                       params.l2Latency + nsToTicks(346));
+    EXPECT_LT(done[1], serial);
+}
+
+TEST_F(HierarchyFixture, HierarchyReportsIdleAfterDraining)
+{
+    build();
+    store(0, lineA, 1);
+    flush(0, lineA);
+    eq.run();
+    EXPECT_TRUE(hier->idle());
+}
+
+} // namespace
+} // namespace strand

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Full-matrix smoke and invariant tests: every Table II workload on
+ * every hardware design (SFR model). Checks that hold universally:
+ *
+ *  - the run completes and the persisted data structure satisfies
+ *    its structural invariants,
+ *  - every persistent word the workload wrote functionally is
+ *    durable with its final value,
+ *  - the CLWB count is identical across designs (the same region
+ *    trace lowers to the same flush set; only ordering primitives
+ *    differ),
+ *  - the Intel baseline is never faster than StrandWeaver, and the
+ *    NON-ATOMIC bound is never slower (sanity of the evaluation's
+ *    directionality at test sizes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/strandweaver.hh"
+
+namespace strand
+{
+namespace
+{
+
+using Cell = std::tuple<WorkloadKind, HwDesign>;
+
+class DesignMatrix : public ::testing::TestWithParam<Cell>
+{
+  protected:
+    static RecordedWorkload &
+    recorded(WorkloadKind kind)
+    {
+        static std::map<WorkloadKind, RecordedWorkload> cache;
+        auto it = cache.find(kind);
+        if (it == cache.end()) {
+            WorkloadParams params;
+            params.numThreads = 3;
+            params.opsPerThread = 12;
+            params.seed = 17;
+            it = cache.emplace(kind, recordWorkload(kind, params))
+                     .first;
+        }
+        return it->second;
+    }
+};
+
+TEST_P(DesignMatrix, RunsCleanAndPersistsEverything)
+{
+    auto [kind, design] = GetParam();
+    RecordedWorkload &workload = recorded(kind);
+
+    // runExperiment validates invariants itself (panics otherwise).
+    RunMetrics metrics =
+        runExperiment(workload, design, PersistencyModel::Sfr);
+    EXPECT_GT(metrics.runTicks, 0u);
+    EXPECT_GT(metrics.clwbs, 0.0);
+
+    // CLWB counts match the Intel baseline exactly: same trace, same
+    // flush set, different ordering primitives only.
+    RunMetrics intel = runExperiment(workload, HwDesign::IntelX86,
+                                     PersistencyModel::Sfr);
+    EXPECT_EQ(metrics.lowering.clwbs, intel.lowering.clwbs);
+}
+
+TEST_P(DesignMatrix, DirectionalSanity)
+{
+    auto [kind, design] = GetParam();
+    if (design != HwDesign::StrandWeaver)
+        GTEST_SKIP() << "one comparison per workload is enough";
+    RecordedWorkload &workload = recorded(kind);
+
+    RunMetrics intel = runExperiment(workload, HwDesign::IntelX86,
+                                     PersistencyModel::Sfr);
+    RunMetrics sw = runExperiment(workload, HwDesign::StrandWeaver,
+                                  PersistencyModel::Sfr);
+    RunMetrics na = runExperiment(workload, HwDesign::NonAtomic,
+                                  PersistencyModel::Sfr);
+    // Allow 5% noise at these tiny sizes.
+    EXPECT_LE(sw.runTicks, intel.runTicks * 21 / 20)
+        << workloadName(kind);
+    EXPECT_LE(na.runTicks, sw.runTicks * 21 / 20)
+        << workloadName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, DesignMatrix,
+    ::testing::Combine(::testing::ValuesIn(allWorkloads),
+                       ::testing::ValuesIn(allDesigns)),
+    [](const ::testing::TestParamInfo<Cell> &info) {
+        std::string name = workloadName(std::get<0>(info.param));
+        name += "_";
+        name += hwDesignName(std::get<1>(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace strand

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Litmus tests for the formal strand persistency model (Equations
+ * 1-4, §III), mirroring the scenarios of Figure 2 of the paper, plus
+ * linear-extension trace checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+#include "persist/pmo.hh"
+
+namespace strand
+{
+namespace
+{
+
+constexpr Addr A = pmBase + 0x000;
+constexpr Addr B = pmBase + 0x100;
+constexpr Addr C = pmBase + 0x200;
+constexpr Addr D = pmBase + 0x300;
+
+// Figure 2(a,b): persist barrier orders A before B on strand 0;
+// NewStrand makes C concurrent with both.
+TEST(Pmo, IntraStrandBarrierOrdersAndNewStrandClears)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, A),
+        PmoOp::barrier(),
+        PmoOp::persist(2, B),
+        PmoOp::newStrand(),
+        PmoOp::persist(3, C),
+    }};
+    PmoModel model(prog);
+    EXPECT_TRUE(model.orderedBefore(1, 2)); // Eq. 1
+    EXPECT_TRUE(model.concurrent(1, 3));    // NS clears order
+    EXPECT_TRUE(model.concurrent(2, 3));
+}
+
+// A NewStrand between two persists defeats a barrier even when the
+// barrier precedes the NewStrand.
+TEST(Pmo, NewStrandAfterBarrierStillClearsOrder)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, A),
+        PmoOp::barrier(),
+        PmoOp::newStrand(),
+        PmoOp::persist(2, B),
+    }};
+    PmoModel model(prog);
+    EXPECT_TRUE(model.concurrent(1, 2));
+}
+
+// Without any primitive, persists on one strand are concurrent.
+TEST(Pmo, NoPrimitivesMeansConcurrent)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, A),
+        PmoOp::persist(2, B),
+    }};
+    PmoModel model(prog);
+    EXPECT_TRUE(model.concurrent(1, 2));
+}
+
+// Figure 2(c,d): JoinStrand orders persists on prior strands before
+// subsequent persists.
+TEST(Pmo, JoinStrandOrdersAcrossStrands)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, A),
+        PmoOp::newStrand(),
+        PmoOp::persist(2, B),
+        PmoOp::joinStrand(),
+        PmoOp::persist(3, C),
+    }};
+    PmoModel model(prog);
+    EXPECT_TRUE(model.concurrent(1, 2));    // separate strands
+    EXPECT_TRUE(model.orderedBefore(1, 3)); // Eq. 2
+    EXPECT_TRUE(model.orderedBefore(2, 3)); // Eq. 2
+}
+
+// Figure 2(e,f): strong persist atomicity across strands — two
+// persists to A follow program order; B on strand 1 then follows A
+// on strand 0 transitively.
+TEST(Pmo, StrongPersistAtomicityAcrossStrands)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, A), // strand 0: A = 1
+        PmoOp::newStrand(),
+        PmoOp::persist(2, A), // strand 1: A = 2 (same location)
+        PmoOp::barrier(),
+        PmoOp::persist(3, B), // strand 1: B
+    }};
+    PmoModel model(prog);
+    EXPECT_TRUE(model.orderedBefore(1, 2)); // Eq. 3
+    EXPECT_TRUE(model.orderedBefore(2, 3)); // Eq. 1
+    EXPECT_TRUE(model.orderedBefore(1, 3)); // Eq. 4 transitivity
+}
+
+// Figure 2(g,h): a load to the same location on another strand does
+// not order persists — loads are simply absent from the persist
+// program, so B stays concurrent with A.
+TEST(Pmo, LoadsDoNotEstablishPersistOrder)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, A),
+        PmoOp::newStrand(),
+        // load A would appear here; it creates no persist event
+        PmoOp::persist(2, B),
+    }};
+    PmoModel model(prog);
+    EXPECT_TRUE(model.concurrent(1, 2));
+}
+
+// Figure 2(i,j): inter-thread SPA. Thread 0 persists A and B on
+// separate strands; thread 1's store to B is visibility-ordered
+// after thread 0's, and C follows by a barrier.
+TEST(Pmo, InterThreadSpaWithTransitivity)
+{
+    PmoProgram prog;
+    prog.threads = {
+        {
+            PmoOp::persist(1, A),
+            PmoOp::newStrand(),
+            PmoOp::persist(2, B),
+        },
+        {
+            PmoOp::persist(3, B),
+            PmoOp::barrier(),
+            PmoOp::persist(4, C),
+        },
+    };
+    prog.vmoEdges = {{2, 3}}; // thread 0's B visible first
+    PmoModel model(prog);
+    EXPECT_TRUE(model.concurrent(1, 2));    // separate strands
+    EXPECT_TRUE(model.orderedBefore(2, 3)); // SPA via coherence
+    EXPECT_TRUE(model.orderedBefore(3, 4)); // barrier
+    EXPECT_TRUE(model.orderedBefore(2, 4)); // transitivity
+    EXPECT_TRUE(model.concurrent(1, 3));    // A unrelated to B chain
+}
+
+// Undo-logging shape (Figure 5): pairwise log-before-update order
+// with full cross-pair concurrency.
+TEST(Pmo, UndoLoggingPairwiseOrder)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, C), // log for A
+        PmoOp::barrier(),
+        PmoOp::persist(2, A), // update A
+        PmoOp::newStrand(),
+        PmoOp::persist(3, D), // log for B
+        PmoOp::barrier(),
+        PmoOp::persist(4, B), // update B
+        PmoOp::joinStrand(),
+        PmoOp::persist(5, pmBase + 0x400), // commit record
+    }};
+    PmoModel model(prog);
+    EXPECT_TRUE(model.orderedBefore(1, 2));
+    EXPECT_TRUE(model.orderedBefore(3, 4));
+    EXPECT_TRUE(model.concurrent(1, 3));
+    EXPECT_TRUE(model.concurrent(1, 4));
+    EXPECT_TRUE(model.concurrent(2, 3));
+    EXPECT_TRUE(model.concurrent(2, 4));
+    for (std::uint64_t id = 1; id <= 4; ++id)
+        EXPECT_TRUE(model.orderedBefore(id, 5));
+}
+
+TEST(Pmo, CheckTraceAcceptsLinearExtensions)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, A),
+        PmoOp::barrier(),
+        PmoOp::persist(2, B),
+        PmoOp::newStrand(),
+        PmoOp::persist(3, C),
+    }};
+    PmoModel model(prog);
+    EXPECT_FALSE(model.checkTrace({1, 2, 3}).has_value());
+    EXPECT_FALSE(model.checkTrace({3, 1, 2}).has_value());
+    EXPECT_FALSE(model.checkTrace({1, 3, 2}).has_value());
+}
+
+TEST(Pmo, CheckTraceRejectsViolations)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, A),
+        PmoOp::barrier(),
+        PmoOp::persist(2, B),
+    }};
+    PmoModel model(prog);
+    auto violation = model.checkTrace({2, 1});
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->first, 1u);
+    EXPECT_EQ(violation->second, 2u);
+}
+
+TEST(Pmo, CheckTraceHandlesCrashTruncation)
+{
+    PmoProgram prog;
+    prog.threads = {{
+        PmoOp::persist(1, A),
+        PmoOp::barrier(),
+        PmoOp::persist(2, B),
+    }};
+    PmoModel model(prog);
+    // Crash after only the first persist: fine.
+    EXPECT_FALSE(model.checkTrace({1}).has_value());
+    // The dependent persist present without its predecessor: broken.
+    EXPECT_TRUE(model.checkTrace({2}).has_value());
+    // Nothing persisted at all: fine.
+    EXPECT_FALSE(model.checkTrace({}).has_value());
+}
+
+TEST(Pmo, CycleInVmoEdgesPanics)
+{
+    PmoProgram prog;
+    prog.threads = {
+        {PmoOp::persist(1, A)},
+        {PmoOp::persist(2, A)},
+    };
+    prog.vmoEdges = {{1, 2}, {2, 1}};
+    EXPECT_THROW(PmoModel{prog}, std::logic_error);
+}
+
+TEST(Pmo, DuplicateIdsPanic)
+{
+    PmoProgram prog;
+    prog.threads = {{PmoOp::persist(1, A), PmoOp::persist(1, B)}};
+    EXPECT_THROW(PmoModel{prog}, std::logic_error);
+}
+
+} // namespace
+} // namespace strand

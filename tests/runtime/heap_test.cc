@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the persistent heap allocator: arena isolation,
+ * line alignment, free-list reuse, and exhaustion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/heap.hh"
+
+namespace strand
+{
+namespace
+{
+
+TEST(Heap, AllocationsAreLineAlignedAndInPm)
+{
+    LogLayout layout;
+    PersistentHeap heap(layout, 2);
+    for (int i = 0; i < 16; ++i) {
+        Addr addr = heap.alloc(0, 24);
+        EXPECT_EQ(addr % lineBytes, 0u);
+        EXPECT_TRUE(isPersistentAddr(addr));
+        EXPECT_GE(addr, layout.heapBase());
+    }
+}
+
+TEST(Heap, SmallSizesRoundUpToALine)
+{
+    LogLayout layout;
+    PersistentHeap heap(layout, 1);
+    Addr a = heap.alloc(0, 1);
+    Addr b = heap.alloc(0, 64);
+    EXPECT_EQ(b - a, static_cast<Addr>(lineBytes));
+    EXPECT_EQ(heap.bytesUsed(0), 2u * lineBytes);
+}
+
+TEST(Heap, ArenasAreDisjointPerThread)
+{
+    LogLayout layout;
+    PersistentHeap heap(layout, 4);
+    Addr a0 = heap.alloc(0, 64);
+    Addr a1 = heap.alloc(1, 64);
+    Addr a3 = heap.alloc(3, 64);
+    // Arena stride: quarter of the heap each.
+    Addr quarter = (layout.heapEnd() - layout.heapBase()) / 4 &
+                   ~static_cast<Addr>(lineBytes - 1);
+    EXPECT_EQ(a1 - a0, quarter);
+    EXPECT_EQ(a3 - a0, 3 * quarter);
+}
+
+TEST(Heap, FreeListReusesSameSizeClass)
+{
+    LogLayout layout;
+    PersistentHeap heap(layout, 1);
+    Addr a = heap.alloc(0, 64);
+    heap.free(0, a, 64);
+    Addr b = heap.alloc(0, 64);
+    EXPECT_EQ(a, b);
+    // A different size class does not reuse it.
+    heap.free(0, b, 64);
+    Addr c = heap.alloc(0, 128);
+    EXPECT_NE(c, a);
+}
+
+TEST(Heap, MultipleFreesServeLifo)
+{
+    LogLayout layout;
+    PersistentHeap heap(layout, 1);
+    Addr a = heap.alloc(0, 64);
+    Addr b = heap.alloc(0, 64);
+    heap.free(0, a, 64);
+    heap.free(0, b, 64);
+    EXPECT_EQ(heap.alloc(0, 64), b);
+    EXPECT_EQ(heap.alloc(0, 64), a);
+}
+
+TEST(Heap, ExhaustionIsFatal)
+{
+    LogLayout layout;
+    PersistentHeap heap(layout, 8);
+    // One arena is (heapEnd-heapBase)/8; allocate beyond it.
+    Addr arena = (layout.heapEnd() - layout.heapBase()) / 8;
+    EXPECT_THROW(
+        {
+            for (Addr used = 0; used <= arena; used += 1 << 20)
+                heap.alloc(7, 1 << 20);
+        },
+        std::invalid_argument);
+}
+
+TEST(Heap, ZeroThreadsIsFatal)
+{
+    LogLayout layout;
+    EXPECT_THROW(PersistentHeap(layout, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace strand

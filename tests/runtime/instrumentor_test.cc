@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the lowering pass: per-design primitive sequences
+ * (Figure 5), per-model commit strategies, and lowering statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/instrumentor.hh"
+#include "runtime/recorder.hh"
+
+namespace strand
+{
+namespace
+{
+
+constexpr Addr dataWord = pmBase + 0x2000000;
+
+unsigned
+count(const OpStream &stream, OpType type)
+{
+    return std::count_if(stream.begin(), stream.end(),
+                         [type](const Op &op) {
+                             return op.type == type;
+                         });
+}
+
+/** A single region with one logged store, under one lock. */
+RegionTrace
+oneStoreTrace()
+{
+    TraceRecorder rec(1);
+    rec.preload(dataWord, 5);
+    rec.lockAcquire(0, 1);
+    rec.regionBegin(0);
+    rec.write(0, dataWord, 6);
+    rec.regionEnd(0);
+    rec.lockRelease(0, 1);
+    return rec.takeTrace();
+}
+
+InstrumentorParams
+makeParams(HwDesign design, PersistencyModel model)
+{
+    InstrumentorParams p;
+    p.design = design;
+    p.model = model;
+    return p;
+}
+
+TEST(Instrumentor, StrandWeaverTxnShape)
+{
+    Instrumentor instr(
+        makeParams(HwDesign::StrandWeaver, PersistencyModel::Txn));
+    auto streams = instr.lower(oneStoreTrace());
+    ASSERT_EQ(streams.size(), 1u);
+    const OpStream &s = streams[0];
+
+    // Log-entry creation + pairwise barrier + update + NewStrand.
+    EXPECT_GT(count(s, OpType::PersistBarrier), 0u);
+    EXPECT_GT(count(s, OpType::NewStrand), 0u);
+    EXPECT_GT(count(s, OpType::JoinStrand), 0u);
+    EXPECT_EQ(count(s, OpType::Sfence), 0u);
+    EXPECT_EQ(count(s, OpType::Ofence), 0u);
+    EXPECT_EQ(count(s, OpType::Dfence), 0u);
+
+    // The data update and its flush appear, in order: the barrier
+    // separating log flush from data store must come between.
+    auto dataStore = std::find_if(s.begin(), s.end(), [](const Op &op) {
+        return op.type == OpType::Store && op.addr == dataWord;
+    });
+    ASSERT_NE(dataStore, s.end());
+    bool barrierBefore = false;
+    for (auto it = s.begin(); it != dataStore; ++it)
+        if (it->type == OpType::PersistBarrier)
+            barrierBefore = true;
+    EXPECT_TRUE(barrierBefore);
+}
+
+TEST(Instrumentor, IntelTxnUsesSfenceOnly)
+{
+    Instrumentor instr(
+        makeParams(HwDesign::IntelX86, PersistencyModel::Txn));
+    auto streams = instr.lower(oneStoreTrace());
+    const OpStream &s = streams[0];
+    EXPECT_GT(count(s, OpType::Sfence), 0u);
+    EXPECT_EQ(count(s, OpType::PersistBarrier), 0u);
+    EXPECT_EQ(count(s, OpType::NewStrand), 0u);
+    EXPECT_EQ(count(s, OpType::JoinStrand), 0u);
+}
+
+TEST(Instrumentor, HopsUsesOfenceAndDfence)
+{
+    Instrumentor instr(
+        makeParams(HwDesign::Hops, PersistencyModel::Txn));
+    auto streams = instr.lower(oneStoreTrace());
+    const OpStream &s = streams[0];
+    EXPECT_GT(count(s, OpType::Ofence), 0u);
+    EXPECT_GT(count(s, OpType::Dfence), 0u);
+    EXPECT_EQ(count(s, OpType::Sfence), 0u);
+    EXPECT_EQ(count(s, OpType::PersistBarrier), 0u);
+}
+
+TEST(Instrumentor, NonAtomicRemovesOnlyPairwiseOrdering)
+{
+    // §VI-A: the non-atomic design removes the ordering between log
+    // entry creation and the in-place update. Synchronization-point
+    // drains remain; only the pairwise primitives disappear.
+    Instrumentor instr(
+        makeParams(HwDesign::NonAtomic, PersistencyModel::Txn));
+    auto streams = instr.lower(oneStoreTrace());
+    const OpStream &s = streams[0];
+    EXPECT_EQ(count(s, OpType::Sfence), 0u);
+    EXPECT_EQ(count(s, OpType::PersistBarrier), 0u);
+    EXPECT_EQ(count(s, OpType::Ofence), 0u);
+    EXPECT_EQ(count(s, OpType::Dfence), 0u);
+    EXPECT_GT(count(s, OpType::JoinStrand), 0u);
+    // The logging itself still happens.
+    EXPECT_GT(count(s, OpType::Clwb), 2u);
+
+    // Contrast: StrandWeaver has strictly more ordering (the PBs).
+    Instrumentor sw(
+        makeParams(HwDesign::StrandWeaver, PersistencyModel::Txn));
+    auto swStreams = sw.lower(oneStoreTrace());
+    EXPECT_GT(count(swStreams[0], OpType::PersistBarrier), 0u);
+}
+
+TEST(Instrumentor, LogEntryWritesAllFieldsThenValid)
+{
+    Instrumentor instr(
+        makeParams(HwDesign::StrandWeaver, PersistencyModel::Txn));
+    auto streams = instr.lower(oneStoreTrace());
+    const OpStream &s = streams[0];
+    LogLayout layout;
+    // First log entry is the region-begin entry; the store entry
+    // follows. Find the store-entry's valid-field store and check
+    // the old value was recorded before it.
+    Addr entry = layout.entryAddr(0, 1);
+    bool sawOldValue = false;
+    bool sawValid = false;
+    for (const Op &op : s) {
+        if (op.type != OpType::Store)
+            continue;
+        if (op.addr == entry + log_field::value) {
+            EXPECT_EQ(op.value, 5u); // preloaded old value
+            EXPECT_FALSE(sawValid);
+            sawOldValue = true;
+        }
+        if (op.addr == entry + log_field::valid && op.value == 1) {
+            EXPECT_TRUE(sawOldValue);
+            sawValid = true;
+        }
+    }
+    EXPECT_TRUE(sawValid);
+}
+
+TEST(Instrumentor, TxnCommitsEveryRegionBeforeRelease)
+{
+    Instrumentor instr(
+        makeParams(HwDesign::StrandWeaver, PersistencyModel::Txn));
+    auto streams = instr.lower(oneStoreTrace());
+    const OpStream &s = streams[0];
+    LogLayout layout;
+    // Head-pointer update (commit step 4) must precede the lock
+    // release.
+    auto headStore = std::find_if(s.begin(), s.end(), [&](const Op &op) {
+        return op.type == OpType::Store &&
+               op.addr == layout.headPtrAddr(0);
+    });
+    auto release = std::find_if(s.begin(), s.end(), [](const Op &op) {
+        return op.type == OpType::LockRelease;
+    });
+    ASSERT_NE(headStore, s.end());
+    ASSERT_NE(release, s.end());
+    EXPECT_LT(headStore - s.begin(), release - s.begin());
+    EXPECT_EQ(instr.stats().commits, 1u);
+    // TXN does not use the commit gate.
+    EXPECT_EQ(count(s, OpType::LockAcquire), 1u);
+}
+
+TEST(Instrumentor, SfrOffloadsCommitsToThePruner)
+{
+    TraceRecorder rec(1);
+    rec.preload(dataWord, 0);
+    for (int r = 0; r < 10; ++r) {
+        rec.lockAcquire(0, 1);
+        rec.regionBegin(0);
+        rec.write(0, dataWord, r + 1);
+        rec.regionEnd(0);
+        rec.lockRelease(0, 1);
+    }
+    Instrumentor instr(
+        makeParams(HwDesign::StrandWeaver, PersistencyModel::Sfr));
+    EXPECT_TRUE(instr.usesPruner());
+    auto streams = instr.lower(rec.takeTrace());
+    // One program stream plus the pruner's.
+    ASSERT_EQ(streams.size(), 2u);
+
+    LogLayout layout;
+    unsigned programHeadUpdates = 0;
+    for (const Op &op : streams[0])
+        if (op.type == OpType::Store &&
+            op.addr == layout.headPtrAddr(0))
+            ++programHeadUpdates;
+    // The program thread never commits...
+    EXPECT_EQ(programHeadUpdates, 0u);
+    // ...the pruner does, once per batch (10 regions fit in one
+    // window), advancing the commit frontier first.
+    unsigned prunerHeadUpdates = 0;
+    unsigned frontierUpdates = 0;
+    for (const Op &op : streams[1]) {
+        if (op.type != OpType::Store)
+            continue;
+        if (op.addr == layout.headPtrAddr(0))
+            ++prunerHeadUpdates;
+        if (op.addr == layout.frontierAddr())
+            ++frontierUpdates;
+    }
+    EXPECT_EQ(prunerHeadUpdates, 1u);
+    EXPECT_EQ(frontierUpdates, 1u);
+    EXPECT_EQ(instr.stats().commits, 10u);
+
+    // The frontier advance precedes the head update (ordering that
+    // keeps crash states happens-before consistent).
+    auto frontierPos = std::find_if(
+        streams[1].begin(), streams[1].end(), [&](const Op &op) {
+            return op.type == OpType::Store &&
+                   op.addr == layout.frontierAddr();
+        });
+    auto headPos = std::find_if(
+        streams[1].begin(), streams[1].end(), [&](const Op &op) {
+            return op.type == OpType::Store &&
+                   op.addr == layout.headPtrAddr(0);
+        });
+    EXPECT_LT(frontierPos - streams[1].begin(),
+              headPos - streams[1].begin());
+}
+
+TEST(Instrumentor, PrunerCommitsInGlobalRegionOrder)
+{
+    TraceRecorder rec(2);
+    rec.preload(dataWord, 0);
+    for (int r = 0; r < 2; ++r) {
+        for (CoreId t = 0; t < 2; ++t) {
+            rec.lockAcquire(t, 1);
+            rec.regionBegin(t);
+            rec.write(t, dataWord + 64 * (t + 1), r);
+            rec.regionEnd(t);
+            rec.lockRelease(t, 1);
+        }
+    }
+    Instrumentor instr(
+        makeParams(HwDesign::StrandWeaver, PersistencyModel::Sfr));
+    auto streams = instr.lower(rec.takeTrace());
+    ASSERT_EQ(streams.size(), 3u);
+
+    // The pruner's handshake acquires walk the regions in global
+    // completion order.
+    std::vector<std::uint64_t> order;
+    for (const Op &op : streams.back())
+        if (op.type == OpType::LockAcquire &&
+            op.lockId >= regionDoneLockBase &&
+            op.lockId < prunedLockBase)
+            order.push_back(op.lockId - regionDoneLockBase);
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+
+    // Every program-side handshake releases with ticket 0, so the
+    // pruner (ticket 1) always waits for the owner.
+    for (unsigned t = 0; t < 2; ++t) {
+        for (const Op &op : streams[t]) {
+            if (op.type == OpType::LockAcquire &&
+                op.lockId >= regionDoneLockBase &&
+                op.lockId < prunedLockBase) {
+                EXPECT_EQ(op.ticket, 0u);
+            }
+        }
+    }
+}
+
+TEST(Instrumentor, TxnHasNoPrunerStream)
+{
+    Instrumentor instr(
+        makeParams(HwDesign::StrandWeaver, PersistencyModel::Txn));
+    EXPECT_FALSE(instr.usesPruner());
+    auto streams = instr.lower(oneStoreTrace());
+    EXPECT_EQ(streams.size(), 1u);
+}
+
+TEST(Instrumentor, AtlasSyncOverheadExceedsSfr)
+{
+    auto cyclesFor = [&](PersistencyModel model) {
+        Instrumentor instr(makeParams(HwDesign::StrandWeaver, model));
+        auto streams = instr.lower(oneStoreTrace());
+        std::uint64_t cycles = 0;
+        for (const Op &op : streams[0])
+            if (op.type == OpType::Compute)
+                cycles += op.latency;
+        return cycles;
+    };
+    EXPECT_GT(cyclesFor(PersistencyModel::Atlas),
+              cyclesFor(PersistencyModel::Sfr));
+    EXPECT_GT(cyclesFor(PersistencyModel::Sfr),
+              cyclesFor(PersistencyModel::Txn));
+}
+
+TEST(Instrumentor, StatsCountLoweredOps)
+{
+    Instrumentor instr(
+        makeParams(HwDesign::StrandWeaver, PersistencyModel::Txn));
+    auto streams = instr.lower(oneStoreTrace());
+    const LoweringStats &stats = instr.stats();
+    // Region begin + store + region end = 3 log entries.
+    EXPECT_EQ(stats.logEntries, 3u);
+    EXPECT_GE(stats.clwbs, 4u); // 3 entries + 1 data + commit
+    EXPECT_GT(stats.stores, 20u);
+    EXPECT_EQ(stats.commits, 1u);
+}
+
+TEST(Instrumentor, UnmatchedReleasePanics)
+{
+    RegionTrace trace;
+    TraceEvent release;
+    release.kind = TraceEvent::Kind::LockRelease;
+    release.lockId = 1;
+    trace.threads.push_back({release});
+    Instrumentor instr(
+        makeParams(HwDesign::StrandWeaver, PersistencyModel::Txn));
+    EXPECT_THROW(instr.lower(trace), std::logic_error);
+}
+
+} // namespace
+} // namespace strand

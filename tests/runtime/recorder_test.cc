@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the trace recorder: functional memory, undo-log old
+ * values, region bracketing, lock tickets, and preloading.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/recorder.hh"
+
+namespace strand
+{
+namespace
+{
+
+constexpr Addr pmWord = pmBase + 0x100000;
+constexpr Addr dramWord = dramBase + 0x1000;
+
+TEST(Recorder, FunctionalReadWriteRoundTrip)
+{
+    TraceRecorder rec(2);
+    EXPECT_EQ(rec.peek(pmWord), 0u);
+    rec.write(0, pmWord, 42);
+    EXPECT_EQ(rec.peek(pmWord), 42u);
+    EXPECT_EQ(rec.read(1, pmWord), 42u);
+}
+
+TEST(Recorder, LoggedStoreCapturesOldValue)
+{
+    TraceRecorder rec(1);
+    rec.write(0, pmWord, 1); // outside region: plain
+    rec.regionBegin(0);
+    rec.write(0, pmWord, 2); // logged
+    rec.regionEnd(0);
+
+    const ThreadTrace &trace = rec.threadTrace(0);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0].kind, TraceEvent::Kind::PlainStore);
+    EXPECT_EQ(trace[1].kind, TraceEvent::Kind::RegionBegin);
+    EXPECT_EQ(trace[2].kind, TraceEvent::Kind::LoggedStore);
+    EXPECT_EQ(trace[2].oldValue, 1u);
+    EXPECT_EQ(trace[2].newValue, 2u);
+    EXPECT_EQ(trace[3].kind, TraceEvent::Kind::RegionEnd);
+}
+
+TEST(Recorder, VolatileStoresAreNeverLogged)
+{
+    TraceRecorder rec(1);
+    rec.regionBegin(0);
+    rec.write(0, dramWord, 5);
+    rec.regionEnd(0);
+    EXPECT_EQ(rec.threadTrace(0)[1].kind,
+              TraceEvent::Kind::PlainStore);
+}
+
+TEST(Recorder, RegionEndsAreGloballyNumbered)
+{
+    TraceRecorder rec(2);
+    rec.regionBegin(0);
+    rec.regionEnd(0);
+    rec.regionBegin(1);
+    rec.regionEnd(1);
+    rec.regionBegin(0);
+    rec.regionEnd(0);
+    EXPECT_EQ(rec.threadTrace(0)[1].globalSeq, 0u);
+    EXPECT_EQ(rec.threadTrace(1)[1].globalSeq, 1u);
+    EXPECT_EQ(rec.threadTrace(0)[3].globalSeq, 2u);
+    EXPECT_EQ(rec.regionsCompleted(), 3u);
+}
+
+TEST(Recorder, NestedRegionsPanic)
+{
+    TraceRecorder rec(1);
+    rec.regionBegin(0);
+    EXPECT_THROW(rec.regionBegin(0), std::logic_error);
+    rec.regionEnd(0);
+    EXPECT_THROW(rec.regionEnd(0), std::logic_error);
+}
+
+TEST(Recorder, LockTicketsFollowAcquisitionOrder)
+{
+    TraceRecorder rec(2);
+    rec.lockAcquire(0, 9);
+    rec.lockRelease(0, 9);
+    rec.lockAcquire(1, 9);
+    rec.lockRelease(1, 9);
+    rec.lockAcquire(0, 3); // different lock: own ticket space
+    EXPECT_EQ(rec.threadTrace(0)[0].ticket, 0u);
+    EXPECT_EQ(rec.threadTrace(1)[0].ticket, 1u);
+    EXPECT_EQ(rec.threadTrace(0)[2].ticket, 0u);
+}
+
+TEST(Recorder, PreloadBypassesTrace)
+{
+    TraceRecorder rec(1);
+    rec.preload(pmWord, 77);
+    EXPECT_EQ(rec.peek(pmWord), 77u);
+    EXPECT_TRUE(rec.threadTrace(0).empty());
+    EXPECT_EQ(rec.preloadedWords().at(wordAlign(pmWord)), 77u);
+
+    // A logged store over preloaded data records the preloaded value
+    // as the old value.
+    rec.regionBegin(0);
+    rec.write(0, pmWord, 78);
+    EXPECT_EQ(rec.threadTrace(0)[1].oldValue, 77u);
+}
+
+TEST(Recorder, TakeTraceMovesAndResets)
+{
+    TraceRecorder rec(2);
+    rec.compute(0, 10);
+    rec.compute(1, 20);
+    RegionTrace trace = rec.takeTrace();
+    ASSERT_EQ(trace.threads.size(), 2u);
+    EXPECT_EQ(trace.threads[0].size(), 1u);
+    EXPECT_TRUE(rec.threadTrace(0).empty());
+}
+
+} // namespace
+} // namespace strand

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for redo logging under strand persistency — the paper's §VII
+ * future-work sketch, implemented here for failure-atomic
+ * transactions: the transaction's redo entries flush concurrently on
+ * its strand, a persist barrier orders them before the commit
+ * marker, and the in-place updates follow the marker. Recovery
+ * replays committed transactions forward.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/system.hh"
+#include "runtime/instrumentor.hh"
+#include "runtime/recorder.hh"
+#include "runtime/recovery.hh"
+
+namespace strand
+{
+namespace
+{
+
+constexpr Addr dataA = pmBase + 0x2000000;
+constexpr Addr dataB = pmBase + 0x2000040;
+
+RegionTrace
+twoStoreTrace()
+{
+    TraceRecorder rec(1);
+    rec.preload(dataA, 5);
+    rec.preload(dataB, 6);
+    rec.lockAcquire(0, 1);
+    rec.regionBegin(0);
+    rec.write(0, dataA, 50);
+    rec.write(0, dataB, 60);
+    rec.regionEnd(0);
+    rec.lockRelease(0, 1);
+    return rec.takeTrace();
+}
+
+InstrumentorParams
+redoParams(HwDesign design = HwDesign::StrandWeaver)
+{
+    InstrumentorParams p;
+    p.design = design;
+    p.model = PersistencyModel::Txn;
+    p.logStyle = LogStyle::Redo;
+    return p;
+}
+
+TEST(RedoLogging, RequiresTransactions)
+{
+    InstrumentorParams p = redoParams();
+    p.model = PersistencyModel::Sfr;
+    EXPECT_THROW(Instrumentor{p}, std::invalid_argument);
+}
+
+TEST(RedoLogging, LogsNewValuesAndDefersUpdates)
+{
+    Instrumentor instr(redoParams());
+    auto streams = instr.lower(twoStoreTrace());
+    ASSERT_EQ(streams.size(), 1u);
+    const OpStream &s = streams[0];
+    LogLayout layout;
+
+    // The redo entries hold the NEW values.
+    bool sawNewValueInLog = false;
+    for (const Op &op : s) {
+        if (op.type == OpType::Store && op.value == 50 &&
+            op.addr < layout.heapBase()) {
+            sawNewValueInLog = true;
+        }
+    }
+    EXPECT_TRUE(sawNewValueInLog);
+
+    // The in-place update of dataA appears AFTER the commit-marker
+    // store of the region's terminating entry.
+    std::ptrdiff_t updatePos = -1, markerPos = -1;
+    for (std::ptrdiff_t i = 0; i < std::ssize(s); ++i) {
+        const Op &op = s[i];
+        if (op.type != OpType::Store)
+            continue;
+        if (op.addr == dataA)
+            updatePos = i;
+        if (op.value == 1 &&
+            (op.addr & (lineBytes - 1)) == log_field::commitMarker &&
+            markerPos < 0) {
+            markerPos = i;
+        }
+    }
+    ASSERT_GE(updatePos, 0);
+    ASSERT_GE(markerPos, 0);
+    EXPECT_GT(updatePos, markerPos);
+
+    // A persist barrier separates marker and updates (StrandWeaver).
+    bool barrierBetween = false;
+    for (std::ptrdiff_t i = markerPos; i < updatePos; ++i)
+        if (s[i].type == OpType::PersistBarrier)
+            barrierBetween = true;
+    EXPECT_TRUE(barrierBetween);
+}
+
+TEST(RedoLogging, EntriesShareOneStrandWithoutInternalBarriers)
+{
+    Instrumentor instr(redoParams());
+    TraceRecorder rec(1);
+    rec.preload(dataA, 1);
+    rec.lockAcquire(0, 1);
+    rec.regionBegin(0);
+    for (int i = 0; i < 4; ++i)
+        rec.write(0, dataA + 0x80 * i, 100 + i);
+    rec.regionEnd(0);
+    rec.lockRelease(0, 1);
+    auto streams = instr.lower(rec.takeTrace());
+    const OpStream &s = streams[0];
+
+    // Between the region's first log-entry store and the commit
+    // marker there must be no PersistBarrier or NewStrand: the
+    // transaction's redo entries flush concurrently on one strand.
+    LogLayout layout;
+    std::ptrdiff_t firstEntry = -1, marker = -1;
+    for (std::ptrdiff_t i = 0; i < std::ssize(s); ++i) {
+        if (s[i].type == OpType::Store &&
+            s[i].addr >= layout.logBase(0) &&
+            s[i].addr < layout.heapBase() && firstEntry < 0) {
+            firstEntry = i;
+        }
+        if (s[i].type == OpType::Store && s[i].value == 1 &&
+            (s[i].addr & (lineBytes - 1)) == log_field::commitMarker) {
+            marker = i;
+            break;
+        }
+    }
+    ASSERT_GE(firstEntry, 0);
+    ASSERT_GE(marker, 0);
+    unsigned barriers = 0, strands = 0;
+    for (std::ptrdiff_t i = firstEntry; i < marker; ++i) {
+        if (s[i].type == OpType::PersistBarrier)
+            ++barriers;
+        if (s[i].type == OpType::NewStrand)
+            ++strands;
+    }
+    EXPECT_EQ(strands, 0u);
+    EXPECT_EQ(barriers, 1u); // only the pre-marker barrier
+}
+
+class RedoCrash : public ::testing::TestWithParam<HwDesign>
+{
+};
+
+TEST_P(RedoCrash, AtomicityHoldsAtEveryCrashPoint)
+{
+    // Two-account transfer under redo logging: the sum survives
+    // crashes at every persist boundary.
+    TraceRecorder rec(2);
+    rec.preload(dataA, 100);
+    rec.preload(dataB, 100);
+    for (int round = 0; round < 6; ++round) {
+        for (CoreId t = 0; t < 2; ++t) {
+            rec.lockAcquire(t, 1);
+            rec.regionBegin(t);
+            std::uint64_t a = rec.read(t, dataA);
+            std::uint64_t b = rec.read(t, dataB);
+            rec.write(t, dataA, a - 1);
+            rec.write(t, dataB, b + 1);
+            rec.regionEnd(t);
+            rec.lockRelease(t, 1);
+        }
+    }
+    auto preload = rec.preloadedWords();
+    RegionTrace trace = rec.takeTrace();
+
+    InstrumentorParams p = redoParams(GetParam());
+    std::vector<Tick> persistTicks;
+    {
+        Instrumentor instr(p);
+        SystemConfig cfg;
+        cfg.numCores = 2;
+        cfg.design = GetParam();
+        System sys(cfg);
+        sys.seedImage(preload);
+        sys.loadStreams(instr.lower(trace));
+        sys.run();
+        EXPECT_EQ(sys.memory().readPersisted(dataA) +
+                      sys.memory().readPersisted(dataB),
+                  200u);
+        for (const PersistRecord &rec2 : sys.persistTrace())
+            persistTicks.push_back(rec2.when);
+    }
+
+    RecoveryManager recovery{LogLayout{}};
+    for (std::size_t i = 0; i < persistTicks.size();
+         i += std::max<std::size_t>(1, persistTicks.size() / 24)) {
+        Instrumentor instr(p);
+        SystemConfig cfg;
+        cfg.numCores = 2;
+        cfg.design = GetParam();
+        System sys(cfg);
+        sys.seedImage(preload);
+        sys.loadStreams(instr.lower(trace));
+        sys.runUntil(persistTicks[i] + 1);
+        sys.crash();
+        recovery.recover(sys.memory(), 2);
+        EXPECT_EQ(sys.memory().readPersisted(dataA) +
+                      sys.memory().readPersisted(dataB),
+                  200u)
+            << "crash at " << persistTicks[i];
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, RedoCrash,
+    ::testing::Values(HwDesign::IntelX86, HwDesign::StrandWeaver,
+                      HwDesign::Hops),
+    [](const ::testing::TestParamInfo<HwDesign> &info) {
+        std::string name = hwDesignName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(RedoRecovery, ReplaysCommittedEntriesForward)
+{
+    LogLayout layout;
+    MemoryImage img;
+    // Committed region: two redo entries + TxEnd with marker; the
+    // in-place updates never persisted.
+    auto writeEntry = [&](std::uint64_t idx, LogType type, Addr addr,
+                          std::uint64_t value, bool cm) {
+        Addr base = layout.entryAddr(0, idx);
+        img.writeDurable(base + log_field::type,
+                         static_cast<std::uint64_t>(type));
+        img.writeDurable(base + log_field::addr, addr);
+        img.writeDurable(base + log_field::value, value);
+        img.writeDurable(base + log_field::seq, idx);
+        img.writeDurable(base + log_field::valid, 1);
+        img.writeDurable(base + log_field::commitMarker, cm ? 1 : 0);
+    };
+    writeEntry(0, LogType::RedoStore, dataA, 11, false);
+    writeEntry(1, LogType::RedoStore, dataB, 22, false);
+    writeEntry(2, LogType::TxEnd, 0, 0, true);
+
+    RecoveryManager recovery{layout};
+    auto report = recovery.recover(img, 1);
+    EXPECT_EQ(img.readPersisted(dataA), 11u);
+    EXPECT_EQ(img.readPersisted(dataB), 22u);
+    EXPECT_EQ(report.entriesCommittedDuringRecovery, 3u);
+}
+
+TEST(RedoRecovery, DropsUncommittedEntries)
+{
+    LogLayout layout;
+    MemoryImage img;
+    img.writeDurable(dataA, 99);
+    Addr base = layout.entryAddr(0, 0);
+    img.writeDurable(base + log_field::type,
+                     static_cast<std::uint64_t>(LogType::RedoStore));
+    img.writeDurable(base + log_field::addr, dataA);
+    img.writeDurable(base + log_field::value, 11);
+    img.writeDurable(base + log_field::seq, 0);
+    img.writeDurable(base + log_field::valid, 1);
+
+    RecoveryManager recovery{layout};
+    auto report = recovery.recover(img, 1);
+    // No marker: the update was held back, nothing to do.
+    EXPECT_EQ(img.readPersisted(dataA), 99u);
+    EXPECT_EQ(report.entriesRolledBack, 0u);
+}
+
+} // namespace
+} // namespace strand

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, priorities,
+ * cancellation, and time-limited execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace strand
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.serviceOne());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] { order.push_back(2); }, EventPriority::CpuTick);
+    eq.schedule(50, [&] { order.push_back(0); },
+                EventPriority::MemoryResponse);
+    eq.schedule(50, [&] { order.push_back(3); }, EventPriority::CpuTick);
+    eq.schedule(50, [&] { order.push_back(1); },
+                EventPriority::MemoryResponse);
+    eq.schedule(50, [&] { order.push_back(4); }, EventPriority::Stat);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(25, [&] { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 125u);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    auto handle = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(handle.scheduled());
+    eq.deschedule(handle);
+    EXPECT_FALSE(handle.scheduled());
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleIsIdempotent)
+{
+    EventQueue eq;
+    int count = 0;
+    auto keep = eq.schedule(10, [&] { ++count; });
+    auto cancel = eq.schedule(20, [&] { ++count; });
+    eq.deschedule(cancel);
+    eq.deschedule(cancel);
+    eq.run();
+    EXPECT_EQ(count, 1);
+    EXPECT_FALSE(keep.scheduled());
+}
+
+TEST(EventQueue, EventsScheduledFromCallbacksRun)
+{
+    EventQueue eq;
+    std::vector<Tick> fires;
+    // A self-rescheduling event, the pattern used by clocked
+    // components.
+    std::function<void()> tick = [&] {
+        fires.push_back(eq.curTick());
+        if (fires.size() < 5)
+            eq.scheduleIn(500, tick);
+    };
+    eq.schedule(0, tick);
+    eq.run();
+    EXPECT_EQ(fires, (std::vector<Tick>{0, 500, 1000, 1500, 2000}));
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.runUntil(200);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.curTick(), 200u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(12345);
+    EXPECT_EQ(eq.curTick(), 12345u);
+}
+
+TEST(EventQueue, PendingAndServicedCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(10 * (i + 1), [] {});
+    EXPECT_EQ(eq.pending(), 10u);
+    eq.serviceOne();
+    eq.serviceOne();
+    EXPECT_EQ(eq.pending(), 8u);
+    EXPECT_EQ(eq.serviced(), 2u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.serviced(), 10u);
+}
+
+TEST(EventQueue, ManyEventsStaySorted)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotonic = true;
+    // Insert ticks in a scrambled deterministic pattern.
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        Tick when = (i * 7919) % 10007;
+        eq.schedule(when, [&, when] {
+            if (eq.curTick() < last)
+                monotonic = false;
+            last = eq.curTick();
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace strand

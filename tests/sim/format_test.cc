@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the minimal formatting shim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/format.hh"
+
+namespace strand
+{
+namespace
+{
+
+TEST(Format, SubstitutesInOrder)
+{
+    EXPECT_EQ(sformat("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Format, HandlesStringsAndChars)
+{
+    EXPECT_EQ(sformat("{} {}", "abc", std::string("def")), "abc def");
+}
+
+TEST(Format, NoPlaceholders)
+{
+    EXPECT_EQ(sformat("plain"), "plain");
+    EXPECT_EQ(sformat("plain", 1, 2), "plain");
+}
+
+TEST(Format, ExtraPlaceholdersRenderVerbatim)
+{
+    EXPECT_EQ(sformat("{} {}", 1), "1 {}");
+}
+
+TEST(Format, EscapedBraces)
+{
+    EXPECT_EQ(sformat("{{}} {}", 7), "{} 7");
+}
+
+TEST(Format, FloatPrecisionSpec)
+{
+    EXPECT_EQ(sformat("{:.3}", 3.14159), "3.14");
+    EXPECT_EQ(sformat("{:.6}", 2.5), "2.5");
+}
+
+TEST(Format, UnsignedAndNegative)
+{
+    EXPECT_EQ(sformat("{} {}", -5, 18446744073709551615ULL),
+              "-5 18446744073709551615");
+}
+
+TEST(Format, UnterminatedPlaceholderIsVerbatim)
+{
+    EXPECT_EQ(sformat("oops {", 1), "oops {");
+}
+
+} // namespace
+} // namespace strand

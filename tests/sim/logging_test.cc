@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the error-reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace strand
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("boom {}", 3), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsInvalidArgument)
+{
+    EXPECT_THROW(fatal("bad config: {}", "x"), std::invalid_argument);
+}
+
+TEST(Logging, PanicIfRespectsCondition)
+{
+    EXPECT_NO_THROW(panicIf(false, "never"));
+    EXPECT_THROW(panicIf(true, "always"), std::logic_error);
+}
+
+TEST(Logging, FatalIfRespectsCondition)
+{
+    EXPECT_NO_THROW(fatalIf(false, "never"));
+    EXPECT_THROW(fatalIf(true, "always"), std::invalid_argument);
+}
+
+TEST(Logging, MessageContainsFormattedText)
+{
+    try {
+        panic("value was {} at {}", 42, "head");
+        FAIL() << "panic did not throw";
+    } catch (const std::logic_error &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("value was 42 at head"), std::string::npos);
+    }
+}
+
+TEST(Logging, LevelRoundTrips)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    // warn/inform must not throw at any level.
+    warn("suppressed {}", 1);
+    inform("suppressed {}", 2);
+    setLogLevel(LogLevel::Verbose);
+    warn("printed {}", 3);
+    inform("printed {}", 4);
+    setLogLevel(old);
+}
+
+} // namespace
+} // namespace strand

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for SimObject / ClockedObject cycle arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_object.hh"
+
+namespace strand
+{
+namespace
+{
+
+TEST(Cycles, ArithmeticAndComparison)
+{
+    Cycles a(10), b(3);
+    EXPECT_EQ((a + b).value(), 13u);
+    EXPECT_EQ((a - b).value(), 7u);
+    a += Cycles(5);
+    EXPECT_EQ(a.value(), 15u);
+    EXPECT_LT(b, a);
+    EXPECT_EQ(Cycles(3), b);
+}
+
+TEST(ClockedObject, TickCycleConversion)
+{
+    EventQueue eq;
+    ClockedObject obj("obj", eq, 500); // 2 GHz
+    EXPECT_EQ(obj.cyclesToTicks(Cycles(4)), 2000u);
+    EXPECT_EQ(obj.ticksToCycles(2000).value(), 4u);
+    // Rounds up partial cycles.
+    EXPECT_EQ(obj.ticksToCycles(2001).value(), 5u);
+}
+
+TEST(ClockedObject, ClockEdgeAligns)
+{
+    EventQueue eq;
+    ClockedObject obj("obj", eq, 500);
+    EXPECT_EQ(obj.clockEdge(), 0u);
+    eq.schedule(750, [] {});
+    eq.run(); // now = 750, off-edge
+    EXPECT_EQ(obj.clockEdge(), 1000u);
+    EXPECT_EQ(obj.clockEdge(Cycles(2)), 2000u);
+    EXPECT_EQ(obj.curCycle().value(), 1u);
+}
+
+TEST(ClockedObject, ZeroPeriodIsFatal)
+{
+    EventQueue eq;
+    EXPECT_THROW(ClockedObject("bad", eq, 0), std::logic_error);
+}
+
+TEST(SimObject, NamesAndQueueAccess)
+{
+    EventQueue eq;
+    SimObject parent("system", eq);
+    SimObject child("cpu", eq, &parent);
+    EXPECT_EQ(child.groupName(), "cpu");
+    EXPECT_EQ(&child.eventQueue(), &eq);
+    EXPECT_EQ(child.curTick(), 0u);
+    std::ostringstream os;
+    stats::Scalar s(&child, "x", "test");
+    s += 1;
+    parent.printStats(os);
+    EXPECT_NE(os.str().find("system.cpu.x 1"), std::string::npos);
+}
+
+TEST(Types, NsToTicks)
+{
+    EXPECT_EQ(nsToTicks(1), 1000u);
+    EXPECT_EQ(nsToTicks(346), 346000u);
+}
+
+} // namespace
+} // namespace strand

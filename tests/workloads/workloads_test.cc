@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the Table II workloads: functional correctness of the
+ * recorded data structures (invariants hold on the functional
+ * state), trace well-formedness, and end-to-end agreement between
+ * functional and persisted state after a full timing run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "runtime/instrumentor.hh"
+#include "workloads/workload.hh"
+
+namespace strand
+{
+namespace
+{
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.numThreads = 4;
+    p.opsPerThread = 30;
+    p.seed = 99;
+    return p;
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<WorkloadKind>
+{
+};
+
+TEST_P(WorkloadSuite, FunctionalStateSatisfiesInvariants)
+{
+    auto workload = makeWorkload(GetParam());
+    LogLayout layout;
+    TraceRecorder rec(4);
+    PersistentHeap heap(layout, 4);
+    workload->record(rec, heap, smallParams());
+
+    auto read = [&](Addr addr) { return rec.peek(addr); };
+    EXPECT_EQ(workload->checkInvariants(read), "");
+}
+
+TEST_P(WorkloadSuite, TraceIsWellFormed)
+{
+    auto workload = makeWorkload(GetParam());
+    LogLayout layout;
+    TraceRecorder rec(4);
+    PersistentHeap heap(layout, 4);
+    workload->record(rec, heap, smallParams());
+    RegionTrace trace = rec.takeTrace();
+
+    ASSERT_EQ(trace.threads.size(), 4u);
+    for (const ThreadTrace &thread : trace.threads) {
+        int regionDepth = 0;
+        int lockDepth = 0;
+        std::uint64_t loggedStores = 0;
+        for (const TraceEvent &ev : thread) {
+            switch (ev.kind) {
+              case TraceEvent::Kind::RegionBegin:
+                ++regionDepth;
+                EXPECT_EQ(regionDepth, 1);
+                break;
+              case TraceEvent::Kind::RegionEnd:
+                --regionDepth;
+                EXPECT_EQ(regionDepth, 0);
+                break;
+              case TraceEvent::Kind::LockAcquire:
+                ++lockDepth;
+                break;
+              case TraceEvent::Kind::LockRelease:
+                --lockDepth;
+                EXPECT_GE(lockDepth, 0);
+                break;
+              case TraceEvent::Kind::LoggedStore:
+                ++loggedStores;
+                EXPECT_EQ(regionDepth, 1);
+                EXPECT_TRUE(isPersistentAddr(ev.addr));
+                break;
+              default:
+                break;
+            }
+        }
+        EXPECT_EQ(regionDepth, 0);
+        EXPECT_EQ(lockDepth, 0);
+        EXPECT_GT(loggedStores, 0u);
+    }
+}
+
+TEST_P(WorkloadSuite, FullRunPersistsFunctionalState)
+{
+    auto workload = makeWorkload(GetParam());
+    LogLayout layout;
+    WorkloadParams wp;
+    wp.numThreads = 2;
+    wp.opsPerThread = 12;
+    wp.seed = 5;
+    TraceRecorder rec(wp.numThreads);
+    PersistentHeap heap(layout, wp.numThreads);
+    workload->record(rec, heap, wp);
+
+    InstrumentorParams ip;
+    ip.design = HwDesign::StrandWeaver;
+    ip.model = PersistencyModel::Txn;
+    Instrumentor instr(ip);
+
+    SystemConfig cfg;
+    cfg.numCores = wp.numThreads;
+    cfg.design = HwDesign::StrandWeaver;
+    System sys(cfg);
+    sys.seedImage(rec.preloadedWords());
+    RegionTrace trace = rec.takeTrace();
+    sys.loadStreams(instr.lower(trace));
+    sys.run();
+
+    // Every workload-visible persistent word must be durable with
+    // its final functional value.
+    const MemoryImage &img = sys.memory();
+    for (auto [addr, value] : rec.functionalMemory()) {
+        if (!isPersistentAddr(addr) || addr < layout.heapBase())
+            continue;
+        EXPECT_EQ(img.readPersisted(addr), value)
+            << "word " << addr << " diverged";
+    }
+
+    // And structural invariants hold on the persisted view.
+    auto read = [&](Addr addr) { return img.readPersisted(addr); };
+    EXPECT_EQ(workload->checkInvariants(read), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite,
+    ::testing::ValuesIn(allWorkloads),
+    [](const ::testing::TestParamInfo<WorkloadKind> &info) {
+        std::string name = workloadName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(Workloads, NamesAreStable)
+{
+    EXPECT_STREQ(workloadName(WorkloadKind::Queue), "queue");
+    EXPECT_STREQ(workloadName(WorkloadKind::NStoreWrHeavy),
+                 "nstore-wr");
+    EXPECT_STREQ(makeWorkload(WorkloadKind::Tpcc)->name(), "tpcc");
+}
+
+TEST(Workloads, WriteIntensityOrdering)
+{
+    // N-Store write-heavy must emit more logged stores than
+    // read-heavy for the same op count (Table II's CKC ordering).
+    auto loggedStores = [](WorkloadKind kind) {
+        auto workload = makeWorkload(kind);
+        LogLayout layout;
+        TraceRecorder rec(2);
+        PersistentHeap heap(layout, 2);
+        WorkloadParams p;
+        p.numThreads = 2;
+        p.opsPerThread = 50;
+        workload->record(rec, heap, p);
+        std::uint64_t count = 0;
+        RegionTrace trace = rec.takeTrace();
+        for (const auto &thread : trace.threads)
+            for (const auto &ev : thread)
+                if (ev.kind == TraceEvent::Kind::LoggedStore)
+                    ++count;
+        return count;
+    };
+    std::uint64_t rd = loggedStores(WorkloadKind::NStoreRdHeavy);
+    std::uint64_t bal = loggedStores(WorkloadKind::NStoreBalanced);
+    std::uint64_t wr = loggedStores(WorkloadKind::NStoreWrHeavy);
+    EXPECT_LT(rd, bal);
+    EXPECT_LT(bal, wr);
+}
+
+} // namespace
+} // namespace strand
