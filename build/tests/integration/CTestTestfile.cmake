@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/test_crash_recovery[1]_include.cmake")
+include("/root/repo/build/tests/integration/test_hw_litmus[1]_include.cmake")
+include("/root/repo/build/tests/integration/test_pmo_conformance[1]_include.cmake")
+include("/root/repo/build/tests/integration/test_design_matrix[1]_include.cmake")
