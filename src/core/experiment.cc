@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "crash/crash_harness.hh"
+
 namespace strand
 {
 
@@ -76,6 +78,24 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
                 recorded.workload->name(), hwDesignName(design),
                 persistencyModelName(model), problem);
     }
+
+    if (unsigned crashPoints = benchCrashPoints(); validate &&
+                                                   crashPoints > 0) {
+        CrashHarnessConfig crashCfg;
+        crashCfg.pointBudget = crashPoints;
+        crashCfg.experiment = config;
+        CrashCellResult cell =
+            runCrashCell(recorded, design, model, crashCfg);
+        panicIf(design != HwDesign::NonAtomic && !cell.allPassed(),
+                "crash-consistency violation in {} under {}/{}: "
+                "{}/{} crash points failed; first: {}",
+                recorded.workload->name(), hwDesignName(design),
+                persistencyModelName(model),
+                cell.pointsTested - cell.pointsPassed,
+                cell.pointsTested,
+                cell.failures.empty() ? std::string("?")
+                                      : cell.failures.front().violation);
+    }
     return metrics;
 }
 
@@ -107,6 +127,12 @@ unsigned
 benchThreads(unsigned fallback)
 {
     return envUnsigned("SW_THREADS", fallback);
+}
+
+unsigned
+benchCrashPoints(unsigned fallback)
+{
+    return envUnsigned("SW_CRASH_POINTS", fallback);
 }
 
 } // namespace strand

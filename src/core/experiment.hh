@@ -86,6 +86,15 @@ unsigned benchOpsPerThread(unsigned fallback = 220);
 /** Default thread count, overridable via env SW_THREADS. */
 unsigned benchThreads(unsigned fallback = 8);
 
+/**
+ * Crash points to inject per experiment, overridable via env
+ * SW_CRASH_POINTS. When non-zero, runExperiment follows each
+ * validated timing run with crash-point fault injection (see
+ * crash/crash_harness.hh) and panics on recovery violations for
+ * every design except NON-ATOMIC.
+ */
+unsigned benchCrashPoints(unsigned fallback = 0);
+
 } // namespace strand
 
 #endif // CORE_EXPERIMENT_HH

@@ -26,6 +26,8 @@ System::System(const SystemConfig &config)
     pmCtrl->setPersistObserver([this](const Packet &pkt, Tick when) {
         persists.push_back({pkt.data.lineAddr, when, pkt.requester,
                             pkt.origin});
+        if (persistHook)
+            persistHook(persists.back());
     });
 
     coreFinish.assign(cfg.numCores, 0);
@@ -57,8 +59,7 @@ System::seedImage(const std::unordered_map<Addr, std::uint64_t> &words)
     if (cfg.warmCaches) {
         // The per-thread circular log buffers are written on every
         // operation and are LLC-resident in steady state.
-        LogLayout layout;
-        caches->prewarmL2(pmBase, layout.heapBase());
+        caches->prewarmL2(pmBase, cfg.layout.heapBase());
     }
 }
 
@@ -77,8 +78,7 @@ Tick
 System::run()
 {
     fatalIf(!streamsLoaded, "run() without loadStreams()");
-    for (auto &core : cores)
-        core->start();
+    startCores();
     eq.run();
     panicIf(!finishedAll(),
             "event queue drained but cores have not finished "
@@ -90,10 +90,19 @@ bool
 System::runUntil(Tick limit)
 {
     fatalIf(!streamsLoaded, "runUntil() without loadStreams()");
-    for (auto &core : cores)
-        core->start();
+    startCores();
     eq.runUntil(limit);
     return finishedAll();
+}
+
+void
+System::startCores()
+{
+    if (coresStarted)
+        return;
+    coresStarted = true;
+    for (auto &core : cores)
+        core->start();
 }
 
 double

@@ -12,12 +12,14 @@
 #ifndef CORE_SYSTEM_HH
 #define CORE_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "cpu/core.hh"
 #include "persist/design.hh"
+#include "runtime/layout.hh"
 
 namespace strand
 {
@@ -37,6 +39,8 @@ struct SystemConfig
      * dominated by one-time cold misses.
      */
     bool warmCaches = true;
+    /** Log/heap geometry; governs the warm-cache prewarm range. */
+    LogLayout layout;
     MemControllerParams pm;
     MemControllerParams dram = dramControllerParams();
 };
@@ -80,10 +84,24 @@ class System : public stats::StatGroup
     Tick run();
 
     /**
-     * Run until @p limit or completion, whichever is first.
+     * Run until @p limit or completion, whichever is first. Calls
+     * are resumable: a later call with a larger limit continues the
+     * same execution, so a harness can advance a run crash point by
+     * crash point, snapshotting between segments.
      * @return true if all cores finished.
      */
     bool runUntil(Tick limit);
+
+    /**
+     * Install an observer invoked at every persist (ADR admission),
+     * in addition to the internal trace recording. The crash
+     * harness snapshots the persisted image from this hook.
+     */
+    void
+    setPersistHook(std::function<void(const PersistRecord &)> hook)
+    {
+        persistHook = std::move(hook);
+    }
 
     /** Simulate a failure: freeze PM, discard volatile state. */
     void crash() { image.crash(); }
@@ -123,6 +141,9 @@ class System : public stats::StatGroup
     }
 
   private:
+    /** Start the cores exactly once across run()/runUntil() calls. */
+    void startCores();
+
     SystemConfig cfg;
     EventQueue eq;
     MemoryImage image;
@@ -132,9 +153,11 @@ class System : public stats::StatGroup
     LockTable locks;
     std::vector<std::unique_ptr<Core>> cores;
     std::vector<PersistRecord> persists;
+    std::function<void(const PersistRecord &)> persistHook;
     std::vector<Tick> coreFinish;
     Tick lastFinish = 0;
     bool streamsLoaded = false;
+    bool coresStarted = false;
 };
 
 } // namespace strand

@@ -1,0 +1,146 @@
+#include "crash/crash_harness.hh"
+
+#include <algorithm>
+
+#include "runtime/recovery.hh"
+#include "sim/random.hh"
+
+namespace strand
+{
+
+CrashCellResult
+runCrashCell(const RecordedWorkload &recorded, HwDesign design,
+             PersistencyModel model, const CrashHarnessConfig &config,
+             CrashStats *stats)
+{
+    CrashCellResult result;
+    result.design = design;
+    result.model = model;
+    result.workload =
+        recorded.workload ? recorded.workload->name() : "?";
+
+    InstrumentorParams ip;
+    ip.design = design;
+    ip.model = model;
+    ip.logStyle = config.logStyle;
+    Instrumentor instr(ip);
+    auto streams = instr.lower(recorded.trace);
+    CrashOracle oracle(recorded.trace, instr.regionLog(),
+                       recorded.preload, ip.layout);
+
+    auto buildSystem = [&]() {
+        SystemConfig sysCfg = config.experiment.baseSystem;
+        sysCfg.numCores = static_cast<unsigned>(streams.size());
+        sysCfg.design = design;
+        sysCfg.engine = config.experiment.engine;
+        sysCfg.engine.recordCompletionTicks = true;
+        sysCfg.layout = ip.layout;
+        auto sys = std::make_unique<System>(sysCfg);
+        sys->seedImage(recorded.preload);
+        auto copies = streams;
+        sys->loadStreams(std::move(copies));
+        return sys;
+    };
+
+    if (config.pointBudget == 0)
+        return result;
+
+    // Reference run: enumerate candidate crash points. Persisted
+    // state only changes at ADR admissions, so the admission ticks
+    // cover every distinct post-crash image; engine completion ticks
+    // and random ticks probe the same states via independent paths.
+    std::vector<Tick> points;
+    Tick endTick = 0;
+    {
+        auto ref = buildSystem();
+        endTick = ref->run();
+        for (const PersistRecord &persist : ref->persistTrace())
+            points.push_back(persist.when);
+        for (CoreId i = 0; i < ref->numCores(); ++i) {
+            const std::vector<Tick> &ticks =
+                ref->core(i).persistEngine().completionTicks();
+            points.insert(points.end(), ticks.begin(), ticks.end());
+        }
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()),
+                 points.end());
+    if (points.size() > config.pointBudget) {
+        std::vector<Tick> sampled;
+        sampled.reserve(config.pointBudget);
+        for (unsigned i = 0; i < config.pointBudget; ++i)
+            sampled.push_back(
+                points[i * points.size() / config.pointBudget]);
+        points.swap(sampled);
+    }
+    // Random ticks between admissions hit the same persisted states,
+    // so a budget beyond the enumerated points buys nothing — clamp it
+    // to keep oversized SW_CRASH_POINTS values from exploding the run.
+    const std::size_t effectiveBudget =
+        std::min<std::size_t>(config.pointBudget, points.size());
+    Rng rng(config.seed);
+    if (endTick > 0)
+        for (std::size_t i = 0; i < effectiveBudget / 4 + 1; ++i)
+            points.push_back(rng.nextRange(1, endTick));
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()),
+                 points.end());
+
+    // Injection run: identical schedule; the snapshot callbacks are
+    // pure observers, so timing is not perturbed.
+    auto sys = buildSystem();
+    RecoveryManager recovery{ip.layout};
+    const unsigned programThreads = recorded.params.numThreads;
+
+    auto inject = [&](Tick when) {
+        MemoryImage snapshot = sys->memory().clonePersisted();
+        std::vector<bool> committed =
+            oracle.committedRegions(snapshot);
+        RecoveryReport report =
+            recovery.recover(snapshot, programThreads);
+
+        std::string err = oracle.checkRecovered(snapshot, committed);
+        if (err.empty() && recorded.workload) {
+            auto read = [&snapshot](Addr addr) {
+                return snapshot.readPersisted(addr);
+            };
+            err = recorded.workload->checkInvariants(read);
+        }
+
+        ++result.pointsTested;
+        result.totalRolledBack += report.entriesRolledBack;
+        result.totalReplayed += report.redoEntriesReplayed;
+        if (stats) {
+            stats->rolledBack.sample(
+                static_cast<double>(report.entriesRolledBack));
+            stats->replayed.sample(
+                static_cast<double>(report.redoEntriesReplayed));
+        }
+        if (err.empty()) {
+            ++result.pointsPassed;
+            return;
+        }
+        CrashPointResult point;
+        point.when = when;
+        point.passed = false;
+        point.entriesRolledBack = report.entriesRolledBack;
+        point.redoEntriesReplayed = report.redoEntriesReplayed;
+        if (result.failures.size() < 32)
+            point.violation = std::move(err);
+        result.failures.push_back(std::move(point));
+    };
+
+    for (Tick when : points)
+        sys->eventQueue().schedule(when,
+                                   [&inject, when] { inject(when); });
+    sys->run();
+    // The completed run is one more crash point: a failure after the
+    // last persist must recover to the final state.
+    inject(sys->finishTick());
+
+    if (stats)
+        stats->record(result);
+    return result;
+}
+
+} // namespace strand

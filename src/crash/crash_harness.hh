@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Crash-point fault-injection harness.
+ *
+ * For one (hardware design, persistency model, workload) cell the
+ * harness runs the full timing stack twice:
+ *
+ *  1. A reference run enumerates injectable crash points: every PM
+ *     admission (the persist trace), every persist-engine flush
+ *     completion, and a configurable number of random ticks drawn
+ *     from the deterministic Rng. Between admissions the persisted
+ *     image cannot change, so admission points cover every distinct
+ *     post-crash state; completion and random points exercise the
+ *     same states through an independent path.
+ *  2. An injection run re-executes the identical schedule and, at
+ *     each selected crash point, snapshots the persisted image (the
+ *     state a real power failure would leave), runs the Figure 6
+ *     recovery protocol on the snapshot, and validates the result
+ *     against the CrashOracle plus the workload's own structural
+ *     invariants. The snapshot is discarded afterwards, so the run
+ *     itself is never perturbed.
+ *
+ * The NON-ATOMIC design is expected to fail these checks (it omits
+ * the log/update persist ordering); the harness records its
+ * violations without treating them as errors, so the matrix doubles
+ * as evidence that the oracle has teeth.
+ */
+
+#ifndef CRASH_CRASH_HARNESS_HH
+#define CRASH_CRASH_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "crash/crash_oracle.hh"
+#include "sim/stats.hh"
+
+namespace strand
+{
+
+/** Harness knobs. */
+struct CrashHarnessConfig
+{
+    /**
+     * Target number of injected crash points per cell. Enumerated
+     * points (admissions + completions) are sampled evenly down to
+     * this budget; an additional budget/4 + 1 random ticks are drawn
+     * from the Rng. 0 disables injection entirely.
+     */
+    unsigned pointBudget = 32;
+    /** Seed for random crash-tick selection. */
+    std::uint64_t seed = 0xc4a54;
+    /** Undo or redo logging (redo is TXN-only). */
+    LogStyle logStyle = LogStyle::Undo;
+    /** Forwarded to the systems built for both runs. */
+    ExperimentConfig experiment;
+};
+
+/** Outcome of one injected crash point. */
+struct CrashPointResult
+{
+    Tick when = 0;
+    bool passed = false;
+    std::uint64_t entriesRolledBack = 0;
+    std::uint64_t redoEntriesReplayed = 0;
+    std::string violation; ///< empty when passed
+};
+
+/** Outcome of one (design, model, workload) cell. */
+struct CrashCellResult
+{
+    HwDesign design = HwDesign::StrandWeaver;
+    PersistencyModel model = PersistencyModel::Txn;
+    std::string workload;
+    unsigned pointsTested = 0;
+    unsigned pointsPassed = 0;
+    /** Violations observed (all points kept; messages capped). */
+    std::vector<CrashPointResult> failures;
+    std::uint64_t totalRolledBack = 0;
+    std::uint64_t totalReplayed = 0;
+
+    bool allPassed() const { return pointsTested == pointsPassed; }
+};
+
+/**
+ * Per-cell stats, attachable to a StatGroup tree so crash results
+ * print alongside the timing stats.
+ */
+class CrashStats : public stats::StatGroup
+{
+  public:
+    CrashStats(std::string name, stats::StatGroup *parent = nullptr)
+        : stats::StatGroup(std::move(name), parent),
+          pointsTested(this, "crash_points_tested",
+                       "crash points injected"),
+          pointsPassed(this, "crash_points_passed",
+                       "crash points that recovered consistently"),
+          violations(this, "crash_violations",
+                     "crash points with recovery violations"),
+          rolledBack(this, "recovery_rolled_back",
+                     "undo entries rolled back per recovery"),
+          replayed(this, "recovery_redo_replayed",
+                   "redo entries replayed per recovery")
+    {
+    }
+
+    void
+    record(const CrashCellResult &result)
+    {
+        pointsTested += result.pointsTested;
+        pointsPassed += result.pointsPassed;
+        violations += result.pointsTested - result.pointsPassed;
+    }
+
+    stats::Scalar pointsTested;
+    stats::Scalar pointsPassed;
+    stats::Scalar violations;
+    stats::Histogram rolledBack;
+    stats::Histogram replayed;
+};
+
+/**
+ * Run crash injection for one cell.
+ * @param stats Optional sink for per-point recovery stats.
+ */
+CrashCellResult runCrashCell(const RecordedWorkload &recorded,
+                             HwDesign design, PersistencyModel model,
+                             const CrashHarnessConfig &config = {},
+                             CrashStats *stats = nullptr);
+
+} // namespace strand
+
+#endif // CRASH_CRASH_HARNESS_HH

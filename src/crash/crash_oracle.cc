@@ -1,0 +1,108 @@
+#include "crash/crash_oracle.hh"
+
+#include <algorithm>
+
+#include "sim/format.hh"
+
+namespace strand
+{
+
+CrashOracle::CrashOracle(
+    const RegionTrace &trace,
+    const std::vector<RegionLogInfo> &regionLog,
+    const std::unordered_map<Addr, std::uint64_t> &preload,
+    const LogLayout &layout)
+    : regions(regionLog), layout(layout)
+{
+    std::sort(regions.begin(), regions.end(),
+              [](const RegionLogInfo &a, const RegionLogInfo &b) {
+                  return a.globalSeq < b.globalSeq;
+              });
+
+    for (std::size_t i = 0; i < regions.size(); ++i)
+        for (auto [addr, value] : regions[i].stores)
+            writes[wordAlign(addr)].push_back({i, value});
+
+    for (const ThreadTrace &thread : trace.threads)
+        for (const TraceEvent &ev : thread)
+            if (ev.kind == TraceEvent::Kind::PlainStore)
+                excluded.insert(wordAlign(ev.addr));
+
+    for (const auto &[addr, history] : writes) {
+        (void)history;
+        auto it = preload.find(addr);
+        initial[addr] = it == preload.end() ? 0 : it->second;
+    }
+}
+
+std::vector<bool>
+CrashOracle::committedRegions(const MemoryImage &snapshot) const
+{
+    std::uint64_t frontier =
+        snapshot.readPersisted(layout.frontierAddr());
+    std::vector<bool> committed(regions.size(), false);
+
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        const RegionLogInfo &region = regions[i];
+        std::uint64_t head =
+            snapshot.readPersisted(layout.headPtrAddr(region.owner));
+
+        // Outcome 1: the owner's durable head passed the region.
+        if (head > region.lastEntry) {
+            committed[i] = true;
+            continue;
+        }
+        // Outcome 2: the pruner's commit frontier passed the region.
+        if (region.globalSeq < frontier) {
+            committed[i] = true;
+            continue;
+        }
+        // Outcome 3: a durable commit marker on the terminating
+        // entry (the slot must still hold this region's entry; a
+        // stale lap's marker says nothing about this region).
+        Addr base = layout.entryAddr(region.owner, region.lastEntry);
+        bool slotIsOurs =
+            snapshot.readPersisted(base + log_field::seq) ==
+            region.lastEntry;
+        bool marker =
+            snapshot.readPersisted(base + log_field::commitMarker) != 0;
+        if (slotIsOurs && marker)
+            committed[i] = true;
+    }
+    return committed;
+}
+
+std::string
+CrashOracle::checkRecovered(const MemoryImage &recovered,
+                            const std::vector<bool> &committed) const
+{
+    for (const auto &[addr, history] : writes) {
+        if (excluded.count(addr))
+            continue;
+
+        std::uint64_t expected = initial.at(addr);
+        std::size_t winner = regions.size(); // none
+        for (const WriteRec &write : history) {
+            if (committed[write.region]) {
+                expected = write.value;
+                winner = write.region;
+            }
+        }
+
+        std::uint64_t actual = recovered.readPersisted(addr);
+        if (actual != expected) {
+            return sformat(
+                "addr {}: recovered {}, expected {} ({})",
+                addr, actual, expected,
+                winner == regions.size()
+                    ? std::string("initial value; no committed store")
+                    : sformat("last committed store, region gseq {} "
+                             "of thread {}",
+                             regions[winner].globalSeq,
+                             regions[winner].owner));
+        }
+    }
+    return {};
+}
+
+} // namespace strand

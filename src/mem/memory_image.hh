@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "mem/address_map.hh"
@@ -150,6 +151,31 @@ class MemoryImage
     crash()
     {
         arch = persisted;
+    }
+
+    /**
+     * Clone the persisted view into a fresh post-crash image: both
+     * views of the clone hold exactly what had reached the ADR
+     * domain. The crash-injection harness snapshots the running
+     * system this way at every crash point, then runs recovery on
+     * the clone while the original run continues undisturbed.
+     */
+    MemoryImage
+    clonePersisted() const
+    {
+        MemoryImage snapshot;
+        snapshot.persisted = persisted;
+        snapshot.arch = persisted;
+        return snapshot;
+    }
+
+    /** Walk every persisted word (unordered). */
+    void
+    forEachPersisted(
+        const std::function<void(Addr, std::uint64_t)> &visit) const
+    {
+        for (const auto &[addr, value] : persisted)
+            visit(addr, value);
     }
 
     std::size_t archWords() const { return arch.size(); }

@@ -43,46 +43,51 @@ makePersistEngine(HwDesign design, std::string name, EventQueue &eq,
                   CoreId core, Hierarchy &hier,
                   const EngineConfig &config, stats::StatGroup *parent)
 {
-    switch (design) {
-      case HwDesign::IntelX86: {
-        IntelEngineParams p;
-        p.queueEntries = config.pqEntries;
-        return std::make_unique<IntelEngine>(std::move(name), eq, core,
-                                             hier, p, parent);
-      }
-      case HwDesign::NonAtomic: {
-        // The upper bound runs on StrandWeaver hardware; its stream
-        // simply omits the pairwise log/update ordering.
-        StrandEngineParams p = strandWeaverParams();
-        p.pqEntries = config.pqEntries;
-        p.sbu.numBuffers = config.strandBuffers;
-        p.sbu.entriesPerBuffer = config.entriesPerBuffer;
-        return std::make_unique<StrandEngine>(std::move(name), eq, core,
-                                              hier, p, parent);
-      }
-      case HwDesign::Hops: {
-        StrandEngineParams p = hopsParams();
-        p.pqEntries = config.pqEntries;
-        return std::make_unique<StrandEngine>(std::move(name), eq, core,
-                                              hier, p, parent);
-      }
-      case HwDesign::NoPersistQueue: {
-        StrandEngineParams p = noPersistQueueParams();
-        p.sbu.numBuffers = config.strandBuffers;
-        p.sbu.entriesPerBuffer = config.entriesPerBuffer;
-        return std::make_unique<StrandEngine>(std::move(name), eq, core,
-                                              hier, p, parent);
-      }
-      case HwDesign::StrandWeaver: {
-        StrandEngineParams p = strandWeaverParams();
-        p.pqEntries = config.pqEntries;
-        p.sbu.numBuffers = config.strandBuffers;
-        p.sbu.entriesPerBuffer = config.entriesPerBuffer;
-        return std::make_unique<StrandEngine>(std::move(name), eq, core,
-                                              hier, p, parent);
-      }
-    }
-    panic("unknown hardware design");
+    auto build = [&]() -> std::unique_ptr<PersistEngine> {
+        switch (design) {
+          case HwDesign::IntelX86: {
+            IntelEngineParams p;
+            p.queueEntries = config.pqEntries;
+            return std::make_unique<IntelEngine>(std::move(name), eq,
+                                                 core, hier, p, parent);
+          }
+          case HwDesign::NonAtomic: {
+            // The upper bound runs on StrandWeaver hardware; its
+            // stream simply omits the pairwise log/update ordering.
+            StrandEngineParams p = strandWeaverParams();
+            p.pqEntries = config.pqEntries;
+            p.sbu.numBuffers = config.strandBuffers;
+            p.sbu.entriesPerBuffer = config.entriesPerBuffer;
+            return std::make_unique<StrandEngine>(std::move(name), eq,
+                                                  core, hier, p, parent);
+          }
+          case HwDesign::Hops: {
+            StrandEngineParams p = hopsParams();
+            p.pqEntries = config.pqEntries;
+            return std::make_unique<StrandEngine>(std::move(name), eq,
+                                                  core, hier, p, parent);
+          }
+          case HwDesign::NoPersistQueue: {
+            StrandEngineParams p = noPersistQueueParams();
+            p.sbu.numBuffers = config.strandBuffers;
+            p.sbu.entriesPerBuffer = config.entriesPerBuffer;
+            return std::make_unique<StrandEngine>(std::move(name), eq,
+                                                  core, hier, p, parent);
+          }
+          case HwDesign::StrandWeaver: {
+            StrandEngineParams p = strandWeaverParams();
+            p.pqEntries = config.pqEntries;
+            p.sbu.numBuffers = config.strandBuffers;
+            p.sbu.entriesPerBuffer = config.entriesPerBuffer;
+            return std::make_unique<StrandEngine>(std::move(name), eq,
+                                                  core, hier, p, parent);
+          }
+        }
+        panic("unknown hardware design");
+    };
+    auto engine = build();
+    engine->setRecordCompletions(config.recordCompletionTicks);
+    return engine;
 }
 
 } // namespace strand

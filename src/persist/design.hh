@@ -55,6 +55,8 @@ struct EngineConfig
     unsigned pqEntries = 16;
     unsigned strandBuffers = 4;
     unsigned entriesPerBuffer = 4;
+    /** Record persist-completion ticks (crash-point enumeration). */
+    bool recordCompletionTicks = false;
 };
 
 /**

@@ -124,6 +124,7 @@ IntelEngine::issueEligible()
             for (Entry &e : queue) {
                 if (e.type == OpType::Clwb && e.seq == seq) {
                     e.completed = true;
+                    noteCompletion();
                     noteProgress();
                     ++clwbsCompleted;
                     flushLatency.sample(

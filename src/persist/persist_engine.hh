@@ -21,6 +21,7 @@
 #define PERSIST_PERSIST_ENGINE_HH
 
 #include <functional>
+#include <vector>
 
 #include "cache/hierarchy.hh"
 #include "cpu/op.hh"
@@ -117,7 +118,35 @@ class PersistEngine : public SimObject
     /** Capture a drain point for write-back / snoop interlocks. */
     virtual Hierarchy::Clearance recordDrainPoint() = 0;
 
+    /**
+     * Enable recording of persist-completion ticks. The crash
+     * harness enumerates these as injectable crash points: every
+     * tick at which this engine observed a flush reach the ADR
+     * domain is a boundary where a failure may expose an ordering
+     * bug.
+     */
+    void
+    setRecordCompletions(bool enable)
+    {
+        recordCompletions = enable;
+    }
+
+    /** Ticks at which persists completed (when recording enabled). */
+    const std::vector<Tick> &
+    completionTicks() const
+    {
+        return completions;
+    }
+
   protected:
+    /** Engines call this when a CLWB/flush completes. */
+    void
+    noteCompletion()
+    {
+        if (recordCompletions)
+            completions.push_back(curTick());
+    }
+
     void
     noteProgress()
     {
@@ -129,6 +158,10 @@ class PersistEngine : public SimObject
     StoreQueueView sq;
     std::function<void()> wake;
     std::uint64_t progress = 0;
+
+  private:
+    bool recordCompletions = false;
+    std::vector<Tick> completions;
 };
 
 } // namespace strand

@@ -333,6 +333,7 @@ StrandEngine::onClwbComplete(SeqNum seq)
     for (Entry &entry : queue) {
         if (entry.type == OpType::Clwb && entry.seq == seq) {
             entry.completed = true;
+            noteCompletion();
             noteProgress();
             break;
         }

@@ -317,6 +317,7 @@ Instrumentor::lower(const RegionTrace &trace)
     std::vector<OpStream> streams(trace.threads.size());
     std::vector<ThreadState> states(trace.threads.size());
     std::vector<RegionCommitInfo> regions;
+    regionLogInfos.clear();
 
     for (CoreId tid = 0; tid < trace.threads.size(); ++tid) {
         OpStream &out = streams[tid];
@@ -412,6 +413,7 @@ Instrumentor::lower(const RegionTrace &trace)
               }
 
               case TraceEvent::Kind::LoggedStore: {
+                state.regionStores.emplace_back(ev.addr, ev.newValue);
                 if (params.logStyle == LogStyle::Redo) {
                     // Redo: record the NEW value in the log now; the
                     // in-place update waits for the commit marker.
@@ -485,6 +487,15 @@ Instrumentor::lower(const RegionTrace &trace)
                 info.globalSeq = ev.globalSeq;
                 info.entries = state.regionEntries;
                 info.lastEntry = idx;
+
+                RegionLogInfo logInfo;
+                logInfo.owner = tid;
+                logInfo.globalSeq = ev.globalSeq;
+                logInfo.firstEntry = state.regionFirstEntry;
+                logInfo.lastEntry = idx;
+                logInfo.stores = std::move(state.regionStores);
+                regionLogInfos.push_back(std::move(logInfo));
+                state.regionStores.clear();
 
                 if (params.model == PersistencyModel::Txn) {
                     // Commit inside the critical section, before the

@@ -75,6 +75,24 @@ struct InstrumentorParams
     LogLayout layout;
 };
 
+/**
+ * One region's footprint in the per-thread log, recorded during
+ * lowering. The crash harness's recovery oracle uses this to decide,
+ * from post-crash log metadata alone, whether a region's updates must
+ * (committed) or must not (rolled back) survive recovery.
+ */
+struct RegionLogInfo
+{
+    CoreId owner = 0;
+    std::uint64_t globalSeq = 0;
+    /** Monotonic index of the region's first log entry. */
+    std::uint64_t firstEntry = 0;
+    /** Monotonic index of the terminating (TxEnd/Release) entry. */
+    std::uint64_t lastEntry = 0;
+    /** Logged (addr, newValue) pairs, in program order. */
+    std::vector<std::pair<Addr, std::uint64_t>> stores;
+};
+
 /** Per-run lowering statistics (for Table II style reporting). */
 struct LoweringStats
 {
@@ -105,6 +123,14 @@ class Instrumentor
 
     const LoweringStats &stats() const { return loweringStats; }
 
+    /** Region → log-entry map of the last lower() call, in per-
+     * thread discovery order. */
+    const std::vector<RegionLogInfo> &
+    regionLog() const
+    {
+        return regionLogInfos;
+    }
+
     /** @return true if lower() appends a pruner stream. */
     bool
     usesPruner() const
@@ -131,6 +157,8 @@ class Instrumentor
         std::deque<std::uint64_t> myRegions;
         /** Redo: in-place updates deferred to region commit. */
         std::vector<std::pair<Addr, std::uint64_t>> deferredUpdates;
+        /** Logged (addr, newValue) pairs of the open region. */
+        std::vector<std::pair<Addr, std::uint64_t>> regionStores;
     };
 
     /** A completed region, as the pruner needs to commit it. */
@@ -181,6 +209,7 @@ class Instrumentor
 
     InstrumentorParams params;
     LoweringStats loweringStats;
+    std::vector<RegionLogInfo> regionLogInfos;
 };
 
 } // namespace strand

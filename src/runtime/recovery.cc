@@ -20,6 +20,7 @@ RecoveryManager::readEntry(const MemoryImage &image, CoreId tid,
     view.commitMarker =
         image.readPersisted(base + log_field::commitMarker) != 0;
     view.globalSeq = image.readPersisted(base + log_field::globalSeq);
+    view.slot = slot;
     view.tid = tid;
     return view;
 }
@@ -47,6 +48,12 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads) const
             // Stale lap content: ignore.
             if (entry.seq < head)
                 continue;
+            // A live entry's monotonic seq must map back to the slot
+            // it occupies; a mismatch means the log was corrupted (or
+            // recovery would invalidate some other lap's entry).
+            panicIf(entry.seq % layout.entriesPerThread != slot,
+                    "log entry seq {} found in slot {} of thread {}",
+                    entry.seq, slot, tid);
             if (entry.commitMarker && entry.seq + 1 > committedUpTo)
                 committedUpTo = entry.seq + 1;
             if (entry.valid)
@@ -67,11 +74,11 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads) const
                 if (it->seq < committedUpTo) {
                     if (it->type == LogType::RedoStore) {
                         image.writeDurable(it->addr, it->value);
-                        ++report.entriesRolledBack;
-                        report.rollbacks.emplace_back(it->addr,
-                                                      it->value);
+                        ++report.redoEntriesReplayed;
+                        report.replays.emplace_back(it->addr,
+                                                    it->value);
                     }
-                    Addr base = layout.entryAddr(tid, it->seq);
+                    Addr base = layout.entryAddr(tid, it->slot);
                     image.writeDurable(base + log_field::valid, 0);
                     ++report.entriesCommittedDuringRecovery;
                     it = live.erase(it);
@@ -88,7 +95,7 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads) const
         // so dropping them is the correct outcome.
         for (auto it = live.begin(); it != live.end();) {
             if (it->type == LogType::RedoStore) {
-                Addr base = layout.entryAddr(tid, it->seq);
+                Addr base = layout.entryAddr(tid, it->slot);
                 image.writeDurable(base + log_field::valid, 0);
                 it = live.erase(it);
             } else {
@@ -147,7 +154,7 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads) const
             report.rollbacks.emplace_back(entry.addr, entry.value);
         }
         // Invalidate the entry so recovery is idempotent.
-        Addr base = layout.entryAddr(entry.tid, entry.seq);
+        Addr base = layout.entryAddr(entry.tid, entry.slot);
         image.writeDurable(base + log_field::valid, 0);
     }
     return report;

@@ -36,6 +36,10 @@ struct RecoveryReport
 {
     /** Store entries rolled back, over all threads. */
     std::uint64_t entriesRolledBack = 0;
+    /** Redo entries of committed regions replayed forward. These are
+     * not rollbacks: the marker made the region durable, so recovery
+     * re-applies the new values. */
+    std::uint64_t redoEntriesReplayed = 0;
     /** Entries that a crashed commit had left valid. */
     std::uint64_t entriesCommittedDuringRecovery = 0;
     /** Threads that had any uncommitted work. */
@@ -43,6 +47,8 @@ struct RecoveryReport
 
     /** Rolled-back (addr, restoredValue) pairs, for diagnostics. */
     std::vector<std::pair<Addr, std::uint64_t>> rollbacks;
+    /** Replayed (addr, newValue) pairs, for diagnostics. */
+    std::vector<std::pair<Addr, std::uint64_t>> replays;
 };
 
 /**
@@ -64,6 +70,10 @@ class RecoveryManager
     {
         std::uint64_t seq;
         std::uint64_t globalSeq;
+        /** Physical slot the entry was read from. Invalidation must
+         * target this slot; seq alone is a monotonic count that only
+         * coincides with the slot through the layout's wrap. */
+        std::uint64_t slot;
         CoreId tid;
         LogType type;
         Addr addr;
