@@ -10,6 +10,10 @@
  * disabled, which would forfeit inter-thread strong persist
  * atomicity (Figure 2 i,j) — recovery correctness for free-ish, as
  * the paper argues: the stalls are rare.
+ *
+ * Cells are (workload x {interlocks, no-interlocks}) via a per-cell
+ * cache-config override; JSON lands in
+ * bench/out/ablation_interlocks.json.
  */
 
 #include <cstdio>
@@ -18,42 +22,37 @@
 
 using namespace strand;
 
-namespace
-{
-
-RunMetrics
-runWith(const RecordedWorkload &workload, bool interlocks)
-{
-    InstrumentorParams ip;
-    ip.design = HwDesign::StrandWeaver;
-    ip.model = PersistencyModel::Sfr;
-    Instrumentor instr(ip);
-    auto streams = instr.lower(workload.trace);
-
-    SystemConfig cfg;
-    cfg.numCores = static_cast<unsigned>(streams.size());
-    cfg.design = HwDesign::StrandWeaver;
-    cfg.caches.persistInterlocks = interlocks;
-    System sys(cfg);
-    sys.seedImage(workload.preload);
-    sys.loadStreams(std::move(streams));
-
-    RunMetrics metrics;
-    sys.run();
-    for (CoreId i = 0; i < workload.params.numThreads; ++i)
-        metrics.runTicks =
-            std::max(metrics.runTicks, sys.finishTickOf(i));
-    metrics.persistStalls = sys.hierarchy().snoopStalls.value();
-    return metrics;
-}
-
-} // namespace
-
 int
 main()
 {
     unsigned threads = benchThreads();
     unsigned ops = benchOpsPerThread(60);
+
+    SweepSpec spec;
+    spec.name = "ablation_interlocks";
+    for (WorkloadKind kind : allWorkloads) {
+        WorkloadParams params;
+        params.numThreads = threads;
+        params.opsPerThread = ops;
+        auto recorded = recordShared(kind, params);
+
+        SweepCell &with = spec.addTiming(recorded,
+                                         HwDesign::StrandWeaver,
+                                         PersistencyModel::Sfr);
+        with.variant = "interlocks";
+        SweepCell &without = spec.addTiming(recorded,
+                                            HwDesign::StrandWeaver,
+                                            PersistencyModel::Sfr);
+        without.variant = "no-interlocks";
+        without.config.baseSystem.caches.persistInterlocks = false;
+        // Without the interlocks crash consistency is forfeit by
+        // design, so skip validation (it would trip under
+        // SW_CRASH_POINTS — correctly, but that is the point being
+        // ablated).
+        without.validate = false;
+    }
+    SweepResult result = runSweep(spec);
+
     std::printf("Ablation: §IV write-back/snoop persist interlocks "
                 "(StrandWeaver, SFR), threads=%u ops/thread=%u\n",
                 threads, ops);
@@ -64,25 +63,28 @@ main()
     bench::rule(70);
 
     for (WorkloadKind kind : allWorkloads) {
-        WorkloadParams params;
-        params.numThreads = threads;
-        params.opsPerThread = ops;
-        RecordedWorkload workload = recordWorkload(kind, params);
-        RunMetrics with = runWith(workload, true);
-        RunMetrics without = runWith(workload, false);
+        std::string base = std::string(workloadName(kind)) +
+                           "/strandweaver/sfr/";
+        const CellResult *with = result.find(base + "interlocks");
+        const CellResult *without =
+            result.find(base + "no-interlocks");
+        if (!with || !without || !with->ok || !without->ok)
+            continue;
         double overhead =
-            100.0 * (static_cast<double>(with.runTicks) /
-                         static_cast<double>(without.runTicks) -
+            100.0 * (static_cast<double>(with->metrics.runTicks) /
+                         static_cast<double>(
+                             without->metrics.runTicks) -
                      1.0);
         std::printf("%-12s %14.1f %14.1f %9.2f%% %12.0f\n",
                     workloadName(kind),
-                    static_cast<double>(with.runTicks) / 1e6,
-                    static_cast<double>(without.runTicks) / 1e6,
-                    overhead, with.persistStalls);
+                    static_cast<double>(with->metrics.runTicks) / 1e6,
+                    static_cast<double>(without->metrics.runTicks) /
+                        1e6,
+                    overhead, with->metrics.snoopStalls);
     }
     bench::rule(70);
     std::printf("The interlocks are what make inter-thread strong "
                 "persist atomicity hold\n(Figure 2 i,j); their cost "
                 "is the price of correctness.\n");
-    return 0;
+    return bench::finish(result);
 }

@@ -10,6 +10,10 @@
  * (failure-atomic transactions) to test the paper's hypothesis that
  * "other logging mechanisms, such as redo logging, may also benefit
  * from the relaxed semantics under strand persistency".
+ *
+ * Cells are (workload x design x log style) with the style as a
+ * per-cell ExperimentConfig override; JSON lands in
+ * bench/out/ablation_logging.json.
  */
 
 #include <cstdio>
@@ -18,43 +22,43 @@
 
 using namespace strand;
 
-namespace
-{
-
-RunMetrics
-runWith(const RecordedWorkload &workload, HwDesign design,
-        LogStyle style)
-{
-    InstrumentorParams ip;
-    ip.design = design;
-    ip.model = PersistencyModel::Txn;
-    ip.logStyle = style;
-    Instrumentor instr(ip);
-    auto streams = instr.lower(workload.trace);
-
-    SystemConfig cfg;
-    cfg.numCores = static_cast<unsigned>(streams.size());
-    cfg.design = design;
-    System sys(cfg);
-    sys.seedImage(workload.preload);
-    sys.loadStreams(std::move(streams));
-
-    RunMetrics metrics;
-    sys.run();
-    for (CoreId i = 0; i < workload.params.numThreads; ++i)
-        metrics.runTicks =
-            std::max(metrics.runTicks, sys.finishTickOf(i));
-    metrics.clwbs = sys.totalClwbs();
-    return metrics;
-}
-
-} // namespace
-
 int
 main()
 {
     unsigned threads = benchThreads();
     unsigned ops = benchOpsPerThread(60);
+
+    constexpr WorkloadKind kinds[] = {
+        WorkloadKind::Queue, WorkloadKind::Hashmap,
+        WorkloadKind::ArraySwap, WorkloadKind::RbTree,
+        WorkloadKind::NStoreWrHeavy};
+    constexpr LogStyle styles[] = {LogStyle::Undo, LogStyle::Redo};
+
+    SweepSpec spec;
+    spec.name = "ablation_logging";
+    for (WorkloadKind kind : kinds) {
+        WorkloadParams params;
+        params.numThreads = threads;
+        params.opsPerThread = ops;
+        auto recorded = recordShared(kind, params);
+
+        for (LogStyle style : styles) {
+            const char *variant =
+                style == LogStyle::Undo ? "undo" : "redo";
+            SweepCell &intel = spec.addTiming(
+                recorded, HwDesign::IntelX86, PersistencyModel::Txn);
+            intel.config.logStyle = style;
+            intel.variant = variant;
+            SweepCell &sw = spec.addTiming(recorded,
+                                           HwDesign::StrandWeaver,
+                                           PersistencyModel::Txn,
+                                           intel.key());
+            sw.config.logStyle = style;
+            sw.variant = variant;
+        }
+    }
+    SweepResult result = runSweep(spec);
+
     std::printf("Ablation: undo vs redo logging (TXN model), "
                 "threads=%u ops/thread=%u\n",
                 threads, ops);
@@ -66,56 +70,63 @@ main()
                 "(us)", "(us)", "(us)", "speedup", "speedup");
     bench::rule(78);
 
+    auto find = [&result](WorkloadKind kind, HwDesign design,
+                          const char *variant) {
+        std::string key = std::string(workloadName(kind)) + "/" +
+                          hwDesignName(design) + "/txn/" + variant;
+        return result.find(key);
+    };
+
     std::vector<double> undoGain, redoGain;
-    for (WorkloadKind kind :
-         {WorkloadKind::Queue, WorkloadKind::Hashmap,
-          WorkloadKind::ArraySwap, WorkloadKind::RbTree,
-          WorkloadKind::NStoreWrHeavy}) {
-        WorkloadParams params;
-        params.numThreads = threads;
-        params.opsPerThread = ops;
-        RecordedWorkload workload = recordWorkload(kind, params);
-
-        RunMetrics undoIntel =
-            runWith(workload, HwDesign::IntelX86, LogStyle::Undo);
-        RunMetrics redoIntel =
-            runWith(workload, HwDesign::IntelX86, LogStyle::Redo);
-        RunMetrics undoSw = runWith(workload, HwDesign::StrandWeaver,
-                                    LogStyle::Undo);
-        RunMetrics redoSw = runWith(workload, HwDesign::StrandWeaver,
-                                    LogStyle::Redo);
-
-        double su = undoSw.speedupOver(undoIntel);
-        double sr = redoSw.speedupOver(redoIntel);
-        undoGain.push_back(su);
-        redoGain.push_back(sr);
+    for (WorkloadKind kind : kinds) {
+        const CellResult *undoIntel =
+            find(kind, HwDesign::IntelX86, "undo");
+        const CellResult *redoIntel =
+            find(kind, HwDesign::IntelX86, "redo");
+        const CellResult *undoSw =
+            find(kind, HwDesign::StrandWeaver, "undo");
+        const CellResult *redoSw =
+            find(kind, HwDesign::StrandWeaver, "redo");
+        if (!undoIntel->ok || !redoIntel->ok || !undoSw->ok ||
+            !redoSw->ok) {
+            continue;
+        }
+        undoGain.push_back(undoSw->speedup);
+        redoGain.push_back(redoSw->speedup);
         std::printf("%-12s %11.1f %11.1f %11.1f %11.1f %8.2fx "
                     "%8.2fx\n",
                     workloadName(kind),
-                    static_cast<double>(undoIntel.runTicks) / 1e6,
-                    static_cast<double>(redoIntel.runTicks) / 1e6,
-                    static_cast<double>(undoSw.runTicks) / 1e6,
-                    static_cast<double>(redoSw.runTicks) / 1e6, su,
-                    sr);
+                    static_cast<double>(undoIntel->metrics.runTicks) /
+                        1e6,
+                    static_cast<double>(redoIntel->metrics.runTicks) /
+                        1e6,
+                    static_cast<double>(undoSw->metrics.runTicks) /
+                        1e6,
+                    static_cast<double>(redoSw->metrics.runTicks) /
+                        1e6,
+                    undoSw->speedup, redoSw->speedup);
     }
     bench::rule(78);
-    double undo = bench::geomean(undoGain);
-    double redo = bench::geomean(redoGain);
-    std::printf("geomean strand speedup: undo %.2fx, redo %.2fx\n",
-                undo, redo);
-    if (redo >= 1.05) {
-        std::printf("Strand persistency accelerates redo logging "
-                    "too, as §VII hypothesizes.\n");
-    } else {
-        std::printf(
-            "A counterpoint to the §VII hypothesis in this model: "
-            "redo logging already\nneeds just one fence per "
-            "transaction (log -> marker), so the Intel baseline\n"
-            "loses most of its SFENCE stalls and strand persistency "
-            "has little left to\nrecover. Redo is the faster style "
-            "on BOTH designs here; the strands' win\nis specific "
-            "to orderings that fences over-serialize, like undo's "
-            "per-store\npairs.\n");
+    if (!undoGain.empty() && !redoGain.empty()) {
+        double undo = bench::geomean(undoGain);
+        double redo = bench::geomean(redoGain);
+        std::printf("geomean strand speedup: undo %.2fx, redo "
+                    "%.2fx\n",
+                    undo, redo);
+        if (redo >= 1.05) {
+            std::printf("Strand persistency accelerates redo logging "
+                        "too, as §VII hypothesizes.\n");
+        } else {
+            std::printf(
+                "A counterpoint to the §VII hypothesis in this "
+                "model: redo logging already\nneeds just one fence "
+                "per transaction (log -> marker), so the Intel "
+                "baseline\nloses most of its SFENCE stalls and "
+                "strand persistency has little left to\nrecover. "
+                "Redo is the faster style on BOTH designs here; the "
+                "strands' win\nis specific to orderings that fences "
+                "over-serialize, like undo's per-store\npairs.\n");
+        }
     }
-    return 0;
+    return bench::finish(result);
 }

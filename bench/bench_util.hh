@@ -2,10 +2,14 @@
  * @file
  * Shared helpers for the table/figure reproduction harnesses.
  *
- * Every bench prints the rows/series of one paper artifact. Sizes
- * default to a few-minute total budget and scale with:
+ * Every bench declares one SweepSpec (see core/sweep.hh), runs it on
+ * the SW_JOBS worker pool, prints its rows/series from the
+ * SweepResult, and writes the machine-readable JSON document via the
+ * result sink. Sizes default to a few-minute total budget and scale
+ * with:
  *   SW_OPS     operations per thread (default per bench)
  *   SW_THREADS program threads (default 8, Table I)
+ *   SW_JOBS    sweep worker threads (default: hardware concurrency)
  */
 
 #ifndef BENCH_BENCH_UTIL_HH
@@ -17,7 +21,9 @@
 #include <string>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "core/env_config.hh"
+#include "core/result_sink.hh"
+#include "core/sweep.hh"
 
 namespace strand::bench
 {
@@ -42,18 +48,36 @@ geomean(const std::vector<double> &values)
 }
 
 /** Record every Table II workload once with common parameters. */
-inline std::vector<RecordedWorkload>
+inline std::vector<std::shared_ptr<const RecordedWorkload>>
 recordAll(unsigned threads, unsigned ops, std::uint64_t seed = 1)
 {
-    std::vector<RecordedWorkload> recorded;
+    std::vector<std::shared_ptr<const RecordedWorkload>> recorded;
     for (WorkloadKind kind : allWorkloads) {
         WorkloadParams params;
         params.numThreads = threads;
         params.opsPerThread = ops;
         params.seed = seed;
-        recorded.push_back(recordWorkload(kind, params));
+        recorded.push_back(recordShared(kind, params));
     }
     return recorded;
+}
+
+/**
+ * Finish a bench run: write the JSON document, report where it went,
+ * and surface any panicked cells.
+ * @return the process exit code (0 when every cell completed).
+ */
+inline int
+finish(const SweepResult &result)
+{
+    std::printf("\nwrote %s (SW_JOBS=%u)\n",
+                writeSweepJson(result).c_str(), result.jobs);
+    if (result.allOk())
+        return 0;
+    for (const std::string &key : result.failedKeys())
+        std::printf("cell %s FAILED: %s\n", key.c_str(),
+                    result.find(key)->error.c_str());
+    return 1;
 }
 
 } // namespace strand::bench

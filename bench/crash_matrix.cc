@@ -12,15 +12,17 @@
  * expected to fail and its violations are reported as evidence the
  * oracle detects real ordering bugs.
  *
- * Sizes scale with SW_OPS / SW_THREADS / SW_CRASH_POINTS.
+ * The matrix is a SweepSpec of Crash cells executed on SW_JOBS
+ * workers; JSON (including per-point violations) lands in
+ * bench/out/crash_matrix.json. Sizes scale with SW_OPS / SW_THREADS
+ * / SW_CRASH_POINTS; SW_TORN_WORDS additionally tears the final
+ * flushed line at every crash point, admitting only that many of its
+ * 8-byte words.
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <iostream>
 
 #include "bench/bench_util.hh"
-#include "crash/crash_harness.hh"
 
 using namespace strand;
 
@@ -30,99 +32,105 @@ main()
     const unsigned threads = benchThreads(2);
     const unsigned ops = benchOpsPerThread(40);
     const unsigned points = benchCrashPoints(16);
+    const unsigned tornWords =
+        envConfig().tornWords.value_or(wordsPerLine);
 
-    const WorkloadKind kinds[] = {WorkloadKind::Queue,
-                                  WorkloadKind::Hashmap,
-                                  WorkloadKind::ArraySwap};
+    SweepSpec spec;
+    spec.name = "crash_matrix";
+    for (WorkloadKind kind : {WorkloadKind::Queue,
+                              WorkloadKind::Hashmap,
+                              WorkloadKind::ArraySwap}) {
+        WorkloadParams params;
+        params.numThreads = threads;
+        params.opsPerThread = ops;
+        auto recorded = recordShared(kind, params);
+
+        for (HwDesign design : allDesigns) {
+            // The 3 models with undo logging, plus redo under TXN.
+            for (PersistencyModel model : allModels) {
+                SweepCell &cell = spec.addCrash(recorded, design,
+                                                model, points);
+                cell.tornWords = tornWords;
+            }
+            SweepCell &redo = spec.addCrash(
+                recorded, design, PersistencyModel::Txn, points);
+            redo.config.logStyle = LogStyle::Redo;
+            redo.variant = "redo";
+            redo.tornWords = tornWords;
+        }
+    }
+    SweepResult result = runSweep(spec);
 
     std::printf("Crash-consistency matrix (%u threads, %u ops/thread, "
-                "%u-point budget per cell)\n\n",
+                "%u-point budget per cell",
                 threads, ops, points);
+    if (tornWords < wordsPerLine)
+        std::printf(", torn lines: %u/%u words admitted", tornWords,
+                    wordsPerLine);
+    std::printf(")\n\n");
     std::printf("%-10s %-16s %-7s %9s %9s %11s %10s\n", "workload",
                 "design", "model", "tested", "passed", "rolledback",
                 "replayed");
     bench::rule(78);
 
-    stats::StatGroup root("crash_matrix");
-    std::vector<std::unique_ptr<CrashStats>> cellStats;
     unsigned unexpectedFailures = 0;
     unsigned nonAtomicViolations = 0;
+    std::string lastWorkload;
+    for (const CellResult &cell : result.cells) {
+        if (!lastWorkload.empty() && cell.workload != lastWorkload)
+            std::printf("\n");
+        lastWorkload = cell.workload;
 
-    for (WorkloadKind kind : kinds) {
-        WorkloadParams params;
-        params.numThreads = threads;
-        params.opsPerThread = ops;
-        RecordedWorkload recorded = recordWorkload(kind, params);
+        const char *label = cell.variant.empty()
+                                ? persistencyModelName(cell.model)
+                                : cell.variant.c_str();
+        if (!cell.ok) {
+            std::printf("%-10s %-16s %-7s %9s %9s %11s %10s  "
+                        "<-- PANIC: %s\n",
+                        cell.workload.c_str(),
+                        hwDesignName(cell.design), label, "-", "-",
+                        "-", "-", cell.error.c_str());
+            ++unexpectedFailures;
+            continue;
+        }
 
-        for (HwDesign design : allDesigns) {
-            // The 3 models with undo logging, plus redo under TXN.
-            struct Row
-            {
-                PersistencyModel model;
-                LogStyle style;
-                const char *label;
-            };
-            std::vector<Row> rows;
-            for (PersistencyModel model : allModels)
-                rows.push_back({model, LogStyle::Undo,
-                                persistencyModelName(model)});
-            rows.push_back(
-                {PersistencyModel::Txn, LogStyle::Redo, "redo"});
-
-            for (const Row &row : rows) {
-                CrashHarnessConfig cfg;
-                cfg.pointBudget = points;
-                cfg.logStyle = row.style;
-                cellStats.push_back(std::make_unique<CrashStats>(
-                    std::string(workloadName(kind)) + "_" +
-                        hwDesignName(design) + "_" + row.label,
-                    &root));
-                CrashCellResult cell =
-                    runCrashCell(recorded, design, row.model, cfg,
-                                 cellStats.back().get());
-
-                bool expectedFail = design == HwDesign::NonAtomic;
-                std::printf("%-10s %-16s %-7s %9u %9u %11llu %10llu%s\n",
-                            workloadName(kind), hwDesignName(design),
-                            row.label, cell.pointsTested,
-                            cell.pointsPassed,
-                            static_cast<unsigned long long>(
-                                cell.totalRolledBack),
-                            static_cast<unsigned long long>(
-                                cell.totalReplayed),
-                            cell.allPassed()
-                                ? ""
-                                : (expectedFail ? "  (expected)"
-                                                : "  <-- FAIL"));
-                if (!cell.allPassed()) {
-                    if (expectedFail) {
-                        nonAtomicViolations +=
-                            cell.pointsTested - cell.pointsPassed;
-                    } else {
-                        ++unexpectedFailures;
-                        for (const CrashPointResult &f : cell.failures)
-                            std::printf("    tick %llu: %s\n",
-                                        static_cast<unsigned long long>(
-                                            f.when),
-                                        f.violation.c_str());
-                    }
-                }
+        const CrashCellResult &crash = cell.crash;
+        bool expectedFail = cell.design == HwDesign::NonAtomic;
+        std::printf("%-10s %-16s %-7s %9u %9u %11llu %10llu%s\n",
+                    cell.workload.c_str(), hwDesignName(cell.design),
+                    label, crash.pointsTested, crash.pointsPassed,
+                    static_cast<unsigned long long>(
+                        crash.totalRolledBack),
+                    static_cast<unsigned long long>(
+                        crash.totalReplayed),
+                    crash.allPassed()
+                        ? ""
+                        : (expectedFail ? "  (expected)"
+                                        : "  <-- FAIL"));
+        if (!crash.allPassed()) {
+            if (expectedFail) {
+                nonAtomicViolations +=
+                    crash.pointsTested - crash.pointsPassed;
+            } else {
+                ++unexpectedFailures;
+                for (const CrashPointResult &f : crash.failures)
+                    std::printf("    tick %llu: %s\n",
+                                static_cast<unsigned long long>(
+                                    f.when),
+                                f.violation.c_str());
             }
         }
-        std::printf("\n");
     }
 
-    if (std::getenv("SW_PRINT_STATS"))
-        root.printStats(std::cout);
-
-    std::printf("non-atomic violations detected: %u "
+    std::printf("\nnon-atomic violations detected: %u "
                 "(the oracle has teeth)\n",
                 nonAtomicViolations);
+    int rc = bench::finish(result);
     if (unexpectedFailures > 0) {
         std::printf("%u recoverable cell(s) FAILED crash injection\n",
                     unexpectedFailures);
         return 1;
     }
     std::printf("all recoverable design/model cells passed\n");
-    return 0;
+    return rc;
 }

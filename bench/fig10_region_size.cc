@@ -6,6 +6,10 @@
  * strands for StrandWeaver to overlap, so the speedup over Intel x86
  * grows with k (the paper reports 1.10x at two operations per SFR,
  * rising with region size).
+ *
+ * Each k is a synthetic recorded trace swept as an (Intel,
+ * StrandWeaver) cell pair; JSON lands in
+ * bench/out/fig10_region_size.json.
  */
 
 #include <cstdio>
@@ -20,14 +24,14 @@ namespace
 {
 
 /** Record k random disjoint updates per region, per thread. */
-RecordedWorkload
+std::shared_ptr<const RecordedWorkload>
 recordSweep(unsigned threads, unsigned regions, unsigned opsPerRegion,
             std::uint64_t seed)
 {
-    RecordedWorkload result;
-    result.kind = WorkloadKind::ArraySwap; // closest label
-    result.params.numThreads = threads;
-    result.params.opsPerThread = regions;
+    auto result = std::make_shared<RecordedWorkload>();
+    result->kind = WorkloadKind::ArraySwap; // closest label
+    result->params.numThreads = threads;
+    result->params.opsPerThread = regions;
 
     LogLayout layout;
     TraceRecorder rec(threads);
@@ -64,9 +68,9 @@ recordSweep(unsigned threads, unsigned regions, unsigned opsPerRegion,
         }
     }
 
-    result.preload = rec.preloadedWords();
-    result.trace = rec.takeTrace();
-    result.workload = makeWorkload(WorkloadKind::ArraySwap);
+    result->preload = rec.preloadedWords();
+    result->trace = rec.takeTrace();
+    result->workload = makeWorkload(WorkloadKind::ArraySwap);
     return result;
 }
 
@@ -77,6 +81,25 @@ main()
 {
     unsigned threads = benchThreads();
     unsigned regions = benchOpsPerThread(60);
+    constexpr unsigned opsPerSfr[] = {2, 4, 6, 8, 12, 16};
+
+    SweepSpec spec;
+    spec.name = "fig10_region_size";
+    for (unsigned k : opsPerSfr) {
+        auto workload = recordSweep(threads, regions, k, 7);
+        std::string label = "sfr-" + std::to_string(k) + "ops";
+        SweepCell &intel = spec.addTiming(
+            workload, HwDesign::IntelX86, PersistencyModel::Sfr);
+        intel.workloadLabel = label;
+        intel.validate = false; // synthetic trace: no invariants
+        SweepCell &sw = spec.addTiming(workload,
+                                       HwDesign::StrandWeaver,
+                                       PersistencyModel::Sfr,
+                                       intel.key());
+        sw.workloadLabel = label;
+        sw.validate = false;
+    }
+    SweepResult result = runSweep(spec);
 
     std::printf("Figure 10: StrandWeaver speedup over Intel x86 vs "
                 "operations per SFR\n");
@@ -86,22 +109,22 @@ main()
                 "sw (us)", "speedup");
     bench::rule(60);
 
-    for (unsigned k : {2u, 4u, 6u, 8u, 12u, 16u}) {
-        RecordedWorkload workload =
-            recordSweep(threads, regions, k, 7);
-        RunMetrics intel = runExperiment(
-            workload, HwDesign::IntelX86, PersistencyModel::Sfr, {},
-            /*validate=*/false);
-        RunMetrics sw = runExperiment(
-            workload, HwDesign::StrandWeaver, PersistencyModel::Sfr,
-            {}, /*validate=*/false);
+    for (unsigned k : opsPerSfr) {
+        std::string label = "sfr-" + std::to_string(k) + "ops";
+        const CellResult *intel = result.find(
+            label + "/" + hwDesignName(HwDesign::IntelX86) + "/sfr");
+        const CellResult *sw = result.find(
+            label + "/" + hwDesignName(HwDesign::StrandWeaver) +
+            "/sfr");
+        if (!intel || !sw || !intel->ok || !sw->ok)
+            continue;
         std::printf("%-14u %12.1f %12.1f %11.2fx\n", k,
-                    static_cast<double>(intel.runTicks) / 1e6,
-                    static_cast<double>(sw.runTicks) / 1e6,
-                    sw.speedupOver(intel));
+                    static_cast<double>(intel->metrics.runTicks) / 1e6,
+                    static_cast<double>(sw->metrics.runTicks) / 1e6,
+                    sw->speedup);
     }
     bench::rule(60);
     std::printf("Paper: 1.10x average at 2 ops/SFR, increasing with "
                 "the number of operations per region.\n");
-    return 0;
+    return bench::finish(result);
 }

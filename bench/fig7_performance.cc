@@ -7,6 +7,10 @@
  * and overall averages against the paper's headline numbers
  * (StrandWeaver: 1.45x avg / up to 1.97x over Intel; 1.20x avg / up
  * to 1.55x over HOPS; NO-PQ 1.29x avg; SFR > TXN > ATLAS).
+ *
+ * The 3 models x 8 workloads x 5 designs matrix is declared as one
+ * SweepSpec and executed cell-parallel on SW_JOBS workers; results
+ * also land in bench/out/fig7_performance.json.
  */
 
 #include <cstdio>
@@ -23,83 +27,90 @@ main()
     unsigned ops = benchOpsPerThread(60);
     auto recorded = bench::recordAll(threads, ops);
 
-    constexpr HwDesign designs[] = {
-        HwDesign::Hops, HwDesign::NoPersistQueue,
-        HwDesign::StrandWeaver, HwDesign::NonAtomic};
+    SweepSpec spec;
+    spec.name = "fig7_performance";
+    for (PersistencyModel model : allModels) {
+        for (const auto &workload : recorded) {
+            std::string intel =
+                spec.addTiming(workload, HwDesign::IntelX86, model)
+                    .key();
+            // The baseline normalizes itself to 1.00 for the table.
+            spec.cells.back().baseline = intel;
+            for (HwDesign design :
+                 {HwDesign::Hops, HwDesign::NoPersistQueue,
+                  HwDesign::StrandWeaver, HwDesign::NonAtomic}) {
+                spec.addTiming(workload, design, model, intel);
+            }
+        }
+    }
+    SweepResult result = runSweep(spec);
 
     std::printf("Figure 7: speedup over the Intel x86 baseline\n");
     std::printf("threads=%u ops/thread=%u (set SW_OPS / SW_THREADS to "
                 "scale)\n\n",
                 threads, ops);
 
-    std::map<HwDesign, std::vector<double>> overall;
-    std::map<PersistencyModel, std::vector<double>> swPerModel;
-    std::vector<double> swOverHops;
-
     for (PersistencyModel model : allModels) {
         std::printf("[%s]\n", persistencyModelName(model));
-        bench::rule(76);
-        std::printf("%-12s %10s %10s %10s %10s %10s\n", "workload",
-                    "intel-x86", "hops", "no-pq", "strandwvr",
-                    "non-atomic");
-        bench::rule(76);
-
-        for (const RecordedWorkload &workload : recorded) {
-            RunMetrics intel = runExperiment(
-                workload, HwDesign::IntelX86, model);
-            std::printf("%-12s %10.2f", workloadName(workload.kind),
-                        1.0);
-            double hops = 0, sw = 0;
-            for (HwDesign design : designs) {
-                RunMetrics metrics =
-                    runExperiment(workload, design, model);
-                double speedup = metrics.speedupOver(intel);
-                std::printf(" %10.2f", speedup);
-                overall[design].push_back(speedup);
-                if (design == HwDesign::Hops)
-                    hops = speedup;
-                if (design == HwDesign::StrandWeaver) {
-                    sw = speedup;
-                    swPerModel[model].push_back(speedup);
-                }
-            }
-            swOverHops.push_back(sw / hops);
-            std::printf("\n");
-        }
-        bench::rule(76);
-        std::printf("%-12s %10s", "avg", "1.00");
-        for (HwDesign design : designs) {
-            std::vector<double> modelValues;
-            std::size_t n = recorded.size();
-            auto &all = overall[design];
-            modelValues.assign(all.end() - n, all.end());
-            std::printf(" %10.2f", bench::geomean(modelValues));
-        }
-        std::printf("\n\n");
+        PivotOptions table;
+        table.include = [model](const CellResult &cell) {
+            return cell.model == model;
+        };
+        table.column = [](const CellResult &cell) {
+            return cell.design == HwDesign::StrandWeaver
+                       ? std::string("strandwvr")
+                       : std::string(hwDesignName(cell.design));
+        };
+        table.value = [](const CellResult &cell) {
+            return cell.speedup;
+        };
+        printPivot(result, table);
+        std::printf("\n");
     }
 
-    std::printf("Summary vs paper (Section VI-B):\n");
-    bench::rule(76);
-    auto &sw = overall[HwDesign::StrandWeaver];
-    double swAvg = bench::geomean(sw);
-    double swMax = *std::max_element(sw.begin(), sw.end());
-    std::printf("  StrandWeaver over Intel x86: %.2fx avg, %.2fx max "
-                "(paper: 1.45x avg, 1.97x max)\n",
-                swAvg, swMax);
-    double vsHopsAvg = bench::geomean(swOverHops);
-    double vsHopsMax =
-        *std::max_element(swOverHops.begin(), swOverHops.end());
-    std::printf("  StrandWeaver over HOPS:      %.2fx avg, %.2fx max "
-                "(paper: 1.20x avg, 1.55x max)\n",
-                vsHopsAvg, vsHopsMax);
-    std::printf("  NO-PERSIST-QUEUE over Intel: %.2fx avg "
-                "(paper: 1.29x avg)\n",
-                bench::geomean(overall[HwDesign::NoPersistQueue]));
-    std::printf("  Per-model StrandWeaver avg:  sfr %.2fx, txn %.2fx, "
-                "atlas %.2fx (paper: 1.50 / 1.45 / 1.40)\n",
-                bench::geomean(swPerModel[PersistencyModel::Sfr]),
-                bench::geomean(swPerModel[PersistencyModel::Txn]),
-                bench::geomean(swPerModel[PersistencyModel::Atlas]));
-    bench::rule(76);
-    return 0;
+    // Headline aggregates straight from the result cells.
+    std::vector<double> sw, nopq, swOverHops;
+    std::map<PersistencyModel, std::vector<double>> swPerModel;
+    for (const CellResult &cell : result.cells) {
+        if (!cell.ok)
+            continue;
+        if (cell.design == HwDesign::StrandWeaver) {
+            sw.push_back(cell.speedup);
+            swPerModel[cell.model].push_back(cell.speedup);
+            std::string hopsKey =
+                cell.workload + "/" +
+                hwDesignName(HwDesign::Hops) + "/" +
+                persistencyModelName(cell.model);
+            if (const CellResult *hops = result.find(hopsKey))
+                swOverHops.push_back(cell.speedup / hops->speedup);
+        }
+        if (cell.design == HwDesign::NoPersistQueue)
+            nopq.push_back(cell.speedup);
+    }
+
+    if (!sw.empty() && !swOverHops.empty() && !nopq.empty()) {
+        std::printf("Summary vs paper (Section VI-B):\n");
+        bench::rule(76);
+        std::printf(
+            "  StrandWeaver over Intel x86: %.2fx avg, %.2fx max "
+            "(paper: 1.45x avg, 1.97x max)\n",
+            bench::geomean(sw), *std::max_element(sw.begin(),
+                                                  sw.end()));
+        std::printf(
+            "  StrandWeaver over HOPS:      %.2fx avg, %.2fx max "
+            "(paper: 1.20x avg, 1.55x max)\n",
+            bench::geomean(swOverHops),
+            *std::max_element(swOverHops.begin(), swOverHops.end()));
+        std::printf("  NO-PERSIST-QUEUE over Intel: %.2fx avg "
+                    "(paper: 1.29x avg)\n",
+                    bench::geomean(nopq));
+        std::printf(
+            "  Per-model StrandWeaver avg:  sfr %.2fx, txn %.2fx, "
+            "atlas %.2fx (paper: 1.50 / 1.45 / 1.40)\n",
+            bench::geomean(swPerModel[PersistencyModel::Sfr]),
+            bench::geomean(swPerModel[PersistencyModel::Txn]),
+            bench::geomean(swPerModel[PersistencyModel::Atlas]));
+        bench::rule(76);
+    }
+    return bench::finish(result);
 }

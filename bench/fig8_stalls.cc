@@ -5,6 +5,9 @@
  * stall cycles of every design normalized to Intel x86, plus the
  * aggregate reduction the paper reports (StrandWeaver: 62.4% fewer
  * stalls than Intel; the NO-PQ intermediate design: 52.3% fewer).
+ *
+ * One SweepSpec over 8 workloads x 5 designs, cell-parallel on
+ * SW_JOBS workers; JSON lands in bench/out/fig8_stalls.json.
  */
 
 #include <cstdio>
@@ -21,39 +24,47 @@ main()
     unsigned ops = benchOpsPerThread(60);
     auto recorded = bench::recordAll(threads, ops);
 
-    constexpr HwDesign designs[] = {
-        HwDesign::IntelX86, HwDesign::Hops, HwDesign::NoPersistQueue,
-        HwDesign::StrandWeaver, HwDesign::NonAtomic};
+    SweepSpec spec;
+    spec.name = "fig8_stalls";
+    for (const auto &workload : recorded) {
+        std::string intel = spec.addTiming(workload,
+                                           HwDesign::IntelX86,
+                                           PersistencyModel::Sfr)
+                                .key();
+        spec.cells.back().baseline = intel;
+        for (HwDesign design :
+             {HwDesign::Hops, HwDesign::NoPersistQueue,
+              HwDesign::StrandWeaver, HwDesign::NonAtomic}) {
+            spec.addTiming(workload, design, PersistencyModel::Sfr,
+                           intel);
+        }
+    }
+    SweepResult result = runSweep(spec);
 
     std::printf("Figure 8: persist-ordering stall cycles, normalized "
                 "to Intel x86 (SFR model)\n");
     std::printf("threads=%u ops/thread=%u\n", threads, ops);
-    bench::rule(76);
-    std::printf("%-12s %10s %10s %10s %10s %10s\n", "workload",
-                "intel-x86", "hops", "no-pq", "strandwvr",
-                "non-atomic");
-    bench::rule(76);
+
+    PivotOptions table;
+    table.column = [](const CellResult &cell) {
+        return cell.design == HwDesign::StrandWeaver
+                   ? std::string("strandwvr")
+                   : std::string(hwDesignName(cell.design));
+    };
+    table.value = [&result](const CellResult &cell) {
+        const CellResult *base = result.find(cell.baseline);
+        if (!base || !base->ok || base->metrics.persistStalls <= 0)
+            return std::nan("");
+        return cell.metrics.persistStalls /
+               base->metrics.persistStalls;
+    };
+    table.geomeanRow = false;
+    printPivot(result, table);
 
     std::map<HwDesign, double> totalStalls;
-    for (const RecordedWorkload &workload : recorded) {
-        std::map<HwDesign, double> stalls;
-        for (HwDesign design : designs) {
-            RunMetrics metrics = runExperiment(
-                workload, design, PersistencyModel::Sfr);
-            stalls[design] = metrics.persistStalls;
-            totalStalls[design] += metrics.persistStalls;
-        }
-        double base = stalls[HwDesign::IntelX86];
-        std::printf("%-12s", workloadName(workload.kind));
-        for (HwDesign design : designs) {
-            if (base > 0)
-                std::printf(" %10.2f", stalls[design] / base);
-            else
-                std::printf(" %10s", "-");
-        }
-        std::printf("\n");
-    }
-    bench::rule(76);
+    for (const CellResult &cell : result.cells)
+        if (cell.ok)
+            totalStalls[cell.design] += cell.metrics.persistStalls;
 
     double base = totalStalls[HwDesign::IntelX86];
     if (base > 0) {
@@ -70,5 +81,5 @@ main()
                     "Intel x86 (paper: 52.3%%)\n",
                     nopqReduction);
     }
-    return 0;
+    return bench::finish(result);
 }

@@ -5,6 +5,10 @@
  * SFR implementation. The paper's finding: fewer than four entries
  * per buffer wastes strand concurrency; (4,4) captures nearly all of
  * it and (8,8) adds nothing, which is why StrandWeaver ships 4x4.
+ *
+ * Each (workload, geometry) pair is one StrandWeaver sweep cell with
+ * a per-cell EngineConfig override, normalized to the workload's
+ * Intel cell; JSON lands in bench/out/fig9_sensitivity.json.
  */
 
 #include <cstdio>
@@ -28,39 +32,39 @@ main()
     constexpr Config configs[] = {{1, 2}, {2, 2}, {2, 4},
                                   {4, 4}, {8, 8}};
 
+    SweepSpec spec;
+    spec.name = "fig9_sensitivity";
+    for (const auto &workload : recorded) {
+        std::string intel = spec.addTiming(workload,
+                                           HwDesign::IntelX86,
+                                           PersistencyModel::Sfr)
+                                .key();
+        for (const Config &config : configs) {
+            SweepCell &cell = spec.addTiming(
+                workload, HwDesign::StrandWeaver,
+                PersistencyModel::Sfr, intel);
+            cell.config.engine.strandBuffers = config.buffers;
+            cell.config.engine.entriesPerBuffer = config.entries;
+            cell.variant = "(" + std::to_string(config.buffers) +
+                           "," + std::to_string(config.entries) + ")";
+        }
+    }
+    SweepResult result = runSweep(spec);
+
     std::printf("Figure 9: StrandWeaver speedup over Intel x86 vs "
                 "(buffers, entries/buffer), SFR model\n");
     std::printf("threads=%u ops/thread=%u\n", threads, ops);
-    bench::rule(76);
-    std::printf("%-12s", "workload");
-    for (const Config &config : configs)
-        std::printf("     (%u,%u)", config.buffers, config.entries);
-    std::printf("\n");
-    bench::rule(76);
 
-    std::vector<std::vector<double>> perConfig(std::size(configs));
-    for (const RecordedWorkload &workload : recorded) {
-        RunMetrics intel = runExperiment(workload, HwDesign::IntelX86,
-                                         PersistencyModel::Sfr);
-        std::printf("%-12s", workloadName(workload.kind));
-        for (std::size_t i = 0; i < std::size(configs); ++i) {
-            ExperimentConfig cfg;
-            cfg.engine.strandBuffers = configs[i].buffers;
-            cfg.engine.entriesPerBuffer = configs[i].entries;
-            RunMetrics metrics =
-                runExperiment(workload, HwDesign::StrandWeaver,
-                              PersistencyModel::Sfr, cfg);
-            double speedup = metrics.speedupOver(intel);
-            perConfig[i].push_back(speedup);
-            std::printf("   %7.2f", speedup);
-        }
-        std::printf("\n");
-    }
-    bench::rule(76);
-    std::printf("%-12s", "avg");
-    for (const auto &values : perConfig)
-        std::printf("   %7.2f", bench::geomean(values));
-    std::printf("\n\nPaper: (2,4) already reaches 1.36x; (4,4) adds "
+    PivotOptions table;
+    // Baseline cells carry no variant; only the geometry cells show.
+    table.include = [](const CellResult &cell) {
+        return !cell.variant.empty();
+    };
+    table.column = [](const CellResult &cell) { return cell.variant; };
+    table.value = [](const CellResult &cell) { return cell.speedup; };
+    printPivot(result, table);
+
+    std::printf("\nPaper: (2,4) already reaches 1.36x; (4,4) adds "
                 "~7.7%%; (8,8) adds nothing beyond (4,4).\n");
-    return 0;
+    return bench::finish(result);
 }

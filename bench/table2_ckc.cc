@@ -6,6 +6,9 @@
  * density; the *ordering* across workloads is the property the
  * evaluation keys on (N-Store write-heavy most intense, queue and
  * TPCC least).
+ *
+ * One NON-ATOMIC/SFR sweep cell per workload, cell-parallel on
+ * SW_JOBS workers; JSON lands in bench/out/table2_ckc.json.
  */
 
 #include <cstdio>
@@ -48,6 +51,14 @@ main()
 {
     unsigned threads = benchThreads();
     unsigned ops = benchOpsPerThread(120);
+    auto recorded = bench::recordAll(threads, ops);
+
+    SweepSpec spec;
+    spec.name = "table2_ckc";
+    for (const auto &workload : recorded)
+        spec.addTiming(workload, HwDesign::NonAtomic,
+                       PersistencyModel::Sfr);
+    SweepResult result = runSweep(spec);
 
     std::printf("Table II: write intensity (CKC = CLWBs per 1000 "
                 "cycles, NON-ATOMIC design)\n");
@@ -72,16 +83,12 @@ main()
 
     unsigned idx = 0;
     for (WorkloadKind kind : allWorkloads) {
-        WorkloadParams params;
-        params.numThreads = threads;
-        params.opsPerThread = ops;
-        RecordedWorkload recorded = recordWorkload(kind, params);
-        RunMetrics metrics = runExperiment(
-            recorded, HwDesign::NonAtomic, PersistencyModel::Sfr);
+        const CellResult &cell = result.cells.at(idx);
         std::printf("%-12s %-34s %10.2f %10.2f\n", workloadName(kind),
-                    descriptions[idx], paperCkc(kind), metrics.ckc);
+                    descriptions[idx], paperCkc(kind),
+                    cell.ok ? cell.metrics.ckc : 0.0);
         ++idx;
     }
     bench::rule(74);
-    return 0;
+    return bench::finish(result);
 }

@@ -1,0 +1,75 @@
+#include "core/env_config.hh"
+
+#include <cstdlib>
+#include <thread>
+
+#include "mem/address_map.hh"
+#include "sim/logging.hh"
+
+namespace strand
+{
+
+namespace
+{
+
+/**
+ * Parse @p name as an unsigned integer in [minValue, maxValue].
+ * Unset or empty means "not configured"; anything else must parse
+ * completely or the run dies with a message naming the variable.
+ */
+std::optional<unsigned>
+parseUnsigned(const std::function<const char *(const char *)> &get,
+              const char *name, unsigned minValue,
+              unsigned maxValue = ~0u)
+{
+    const char *value = get(name);
+    if (!value || !*value)
+        return std::nullopt;
+    char *end = nullptr;
+    long long parsed = std::strtoll(value, &end, 10);
+    fatalIf(end == value || *end != '\0',
+            "{}='{}' is not an integer", name, value);
+    fatalIf(parsed < 0, "{}={} must not be negative", name, parsed);
+    fatalIf(parsed < static_cast<long long>(minValue) ||
+                parsed > static_cast<long long>(maxValue),
+            "{}={} out of range [{}, {}]", name, parsed, minValue,
+            maxValue);
+    return static_cast<unsigned>(parsed);
+}
+
+} // namespace
+
+EnvConfig
+parseEnvConfig(const std::function<const char *(const char *)> &get)
+{
+    EnvConfig config;
+    config.ops = parseUnsigned(get, "SW_OPS", 1);
+    config.threads = parseUnsigned(get, "SW_THREADS", 1);
+    config.crashPoints = parseUnsigned(get, "SW_CRASH_POINTS", 0);
+    config.jobs = parseUnsigned(get, "SW_JOBS", 1);
+    // Admitting all words of a line is not torn at all; cap at 7.
+    config.tornWords =
+        parseUnsigned(get, "SW_TORN_WORDS", 0, wordsPerLine - 1);
+    if (const char *value = get("SW_OUT_DIR"); value && *value)
+        config.outDir = value;
+    return config;
+}
+
+const EnvConfig &
+envConfig()
+{
+    static const EnvConfig config = parseEnvConfig(
+        [](const char *name) { return std::getenv(name); });
+    return config;
+}
+
+unsigned
+envJobs()
+{
+    if (envConfig().jobs)
+        return *envConfig().jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace strand

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Centralized, validated parsing of the SW_* environment knobs.
+ *
+ * Every bench and test knob lives here — nothing else in the tree
+ * calls std::getenv — so the full knob surface is visible in one
+ * place and malformed values fail loudly at startup instead of
+ * silently falling back to defaults:
+ *
+ *   SW_OPS          operations per thread (>= 1)
+ *   SW_THREADS      program threads (>= 1)
+ *   SW_CRASH_POINTS crash points injected per validated experiment
+ *                   (0 disables injection)
+ *   SW_JOBS         sweep worker threads (>= 1; default: hardware
+ *                   concurrency; 1 reproduces serial execution)
+ *   SW_TORN_WORDS   torn-cacheline injection: admit only this many
+ *                   8-byte words of the final flushed line at each
+ *                   crash point (0..7; unset disables tearing)
+ *   SW_OUT_DIR      directory for JSON result files (default
+ *                   bench/out)
+ *
+ * The environment is parsed once per process; sweep worker threads
+ * may read the parsed config concurrently.
+ */
+
+#ifndef CORE_ENV_CONFIG_HH
+#define CORE_ENV_CONFIG_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace strand
+{
+
+/** Parsed SW_* knobs; unset optionals mean "use the caller's default". */
+struct EnvConfig
+{
+    std::optional<unsigned> ops;
+    std::optional<unsigned> threads;
+    std::optional<unsigned> crashPoints;
+    std::optional<unsigned> jobs;
+    std::optional<unsigned> tornWords;
+    std::string outDir = "bench/out";
+};
+
+/**
+ * Parse the SW_* knobs through @p get (a getenv-shaped lookup).
+ * Calls fatal() on malformed, negative, or out-of-range values.
+ * Exposed separately from envConfig() so tests can exercise the
+ * validation without mutating the process environment.
+ */
+EnvConfig parseEnvConfig(
+    const std::function<const char *(const char *)> &get);
+
+/** The process environment, parsed and validated once. */
+const EnvConfig &envConfig();
+
+/**
+ * Worker threads for sweep execution: SW_JOBS if set, otherwise the
+ * host's hardware concurrency (at least 1).
+ */
+unsigned envJobs();
+
+} // namespace strand
+
+#endif // CORE_ENV_CONFIG_HH

@@ -1,7 +1,6 @@
 #include "core/experiment.hh"
 
-#include <cstdlib>
-
+#include "core/env_config.hh"
 #include "crash/crash_harness.hh"
 
 namespace strand
@@ -35,6 +34,7 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
     InstrumentorParams ip;
     ip.design = design;
     ip.model = model;
+    ip.logStyle = config.logStyle;
     Instrumentor instr(ip);
     auto streams = instr.lower(recorded.trace);
 
@@ -62,6 +62,7 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
     metrics.persistStalls = sys.totalPersistStalls();
     for (CoreId i = 0; i < sys.numCores(); ++i)
         metrics.allStalls += sys.core(i).stallCycles.sum();
+    metrics.snoopStalls = sys.hierarchy().snoopStalls.value();
     metrics.ckc = metrics.totalCycles > 0
                       ? 1000.0 * metrics.clwbs / metrics.totalCycles
                       : 0.0;
@@ -83,6 +84,7 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
                                                    crashPoints > 0) {
         CrashHarnessConfig crashCfg;
         crashCfg.pointBudget = crashPoints;
+        crashCfg.logStyle = config.logStyle;
         crashCfg.experiment = config;
         CrashCellResult cell =
             runCrashCell(recorded, design, model, crashCfg);
@@ -99,40 +101,22 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
     return metrics;
 }
 
-namespace
-{
-
-unsigned
-envUnsigned(const char *name, unsigned fallback)
-{
-    const char *value = std::getenv(name);
-    if (!value || !*value)
-        return fallback;
-    char *end = nullptr;
-    unsigned long parsed = std::strtoul(value, &end, 10);
-    if (end == value || parsed == 0)
-        return fallback;
-    return static_cast<unsigned>(parsed);
-}
-
-} // namespace
-
 unsigned
 benchOpsPerThread(unsigned fallback)
 {
-    return envUnsigned("SW_OPS", fallback);
+    return envConfig().ops.value_or(fallback);
 }
 
 unsigned
 benchThreads(unsigned fallback)
 {
-    return envUnsigned("SW_THREADS", fallback);
+    return envConfig().threads.value_or(fallback);
 }
 
 unsigned
 benchCrashPoints(unsigned fallback)
 {
-    return envUnsigned("SW_CRASH_POINTS", fallback);
+    return envConfig().crashPoints.value_or(fallback);
 }
 
 } // namespace strand

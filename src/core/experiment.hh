@@ -45,6 +45,8 @@ struct RunMetrics
     double persistStalls = 0;
     /** All dispatch stall cycles. */
     double allStalls = 0;
+    /** Stalls from the §IV write-back/snoop persist interlocks. */
+    double snoopStalls = 0;
     /** CLWBs per 1000 cycles (Table II metric). */
     double ckc = 0;
     LoweringStats lowering;
@@ -65,6 +67,8 @@ struct ExperimentConfig
 {
     EngineConfig engine;
     SystemConfig baseSystem; ///< numCores overridden per workload
+    /** Write-ahead logging style the lowering emits (redo: TXN only). */
+    LogStyle logStyle = LogStyle::Undo;
 };
 
 /** Record @p kind once with @p params. */
@@ -80,7 +84,10 @@ RunMetrics runExperiment(const RecordedWorkload &recorded,
                          const ExperimentConfig &config = {},
                          bool validate = true);
 
-/** Default op count per thread, overridable via env SW_OPS. */
+/**
+ * Default op count per thread, overridable via env SW_OPS (validated
+ * by the env_config module: malformed values die loudly).
+ */
 unsigned benchOpsPerThread(unsigned fallback = 220);
 
 /** Default thread count, overridable via env SW_THREADS. */

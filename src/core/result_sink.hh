@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Result sink for sweep runs: the stable JSON schema CI and the
+ * BENCH_*.json trajectory tooling diff across revisions, plus the
+ * generic pivot-table renderer the figure benches print with.
+ *
+ * JSON schema (version 1), one document per bench at
+ * <SW_OUT_DIR>/<bench>.json (default bench/out/):
+ *
+ *   { "bench": "<name>", "schema": 1, "cells": [ ... ] }
+ *
+ * Each cell carries its coordinates (workload, design, model,
+ * log_style, variant), its baseline key and resolved speedup, an
+ * ok/error pair, and either "metrics" (timing cells: run_ticks,
+ * total_cycles, clwbs, persist_stalls, all_stalls, snoop_stalls,
+ * ckc, lowering counters) or "crash" (crash cells: points_tested,
+ * points_passed, rolled_back, replayed, torn_words, failures).
+ * Cells appear in spec order and all numbers are rendered
+ * deterministically, so the document is byte-identical across
+ * SW_JOBS values.
+ */
+
+#ifndef CORE_RESULT_SINK_HH
+#define CORE_RESULT_SINK_HH
+
+#include <functional>
+#include <string>
+
+#include "core/sweep.hh"
+
+namespace strand
+{
+
+/** Render @p result as the schema-1 JSON document. */
+std::string sweepJson(const SweepResult &result);
+
+/**
+ * Write sweepJson() to <SW_OUT_DIR>/<name>.json, creating the
+ * directory as needed.
+ * @return the path written.
+ */
+std::string writeSweepJson(const SweepResult &result);
+
+/** One table: rows are workloads, columns come from a cell keyer. */
+struct PivotOptions
+{
+    /** Include only matching cells (all cells when empty). */
+    std::function<bool(const CellResult &)> include;
+    /** Column label of a cell (e.g. its design name). Required. */
+    std::function<std::string(const CellResult &)> column;
+    /**
+     * Value printed at (workload, column). Required. Return NaN to
+     * print "-". Defaults hooks below cover the common speedup case.
+     */
+    std::function<double(const CellResult &)> value;
+    unsigned workloadWidth = 12;
+    unsigned columnWidth = 10;
+    /** printf format for one value (width must match columnWidth). */
+    const char *valueFormat = "%10.2f";
+    /** Append a per-column geometric-mean row labeled @p meanLabel. */
+    bool geomeanRow = true;
+    const char *meanLabel = "avg";
+};
+
+/**
+ * Print @p result as a workload-by-column table to stdout, rows and
+ * columns in first-appearance (spec) order.
+ * @return the table width, so callers can match separator rules.
+ */
+unsigned printPivot(const SweepResult &result,
+                    const PivotOptions &options);
+
+} // namespace strand
+
+#endif // CORE_RESULT_SINK_HH

@@ -1,0 +1,205 @@
+#include "core/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "core/env_config.hh"
+
+namespace strand
+{
+
+std::string
+SweepCell::workload() const
+{
+    if (!workloadLabel.empty())
+        return workloadLabel;
+    if (recorded)
+        return workloadName(recorded->kind);
+    return "?";
+}
+
+std::string
+SweepCell::key() const
+{
+    std::string result = workload();
+    result += '/';
+    result += hwDesignName(design);
+    result += '/';
+    result += persistencyModelName(model);
+    if (!variant.empty()) {
+        result += '/';
+        result += variant;
+    }
+    return result;
+}
+
+SweepCell &
+SweepSpec::addTiming(std::shared_ptr<const RecordedWorkload> rec,
+                     HwDesign design, PersistencyModel model,
+                     std::string baseline)
+{
+    SweepCell cell;
+    cell.kind = CellKind::Timing;
+    cell.recorded = std::move(rec);
+    cell.design = design;
+    cell.model = model;
+    cell.baseline = std::move(baseline);
+    return add(std::move(cell));
+}
+
+SweepCell &
+SweepSpec::addCrash(std::shared_ptr<const RecordedWorkload> rec,
+                    HwDesign design, PersistencyModel model,
+                    unsigned crashPoints)
+{
+    SweepCell cell;
+    cell.kind = CellKind::Crash;
+    cell.recorded = std::move(rec);
+    cell.design = design;
+    cell.model = model;
+    cell.crashPoints = crashPoints;
+    return add(std::move(cell));
+}
+
+const CellResult *
+SweepResult::find(const std::string &key) const
+{
+    for (const CellResult &cell : cells)
+        if (cell.key == key)
+            return &cell;
+    return nullptr;
+}
+
+bool
+SweepResult::allOk() const
+{
+    for (const CellResult &cell : cells)
+        if (!cell.ok)
+            return false;
+    return true;
+}
+
+std::vector<std::string>
+SweepResult::failedKeys() const
+{
+    std::vector<std::string> keys;
+    for (const CellResult &cell : cells)
+        if (!cell.ok)
+            keys.push_back(cell.key);
+    return keys;
+}
+
+namespace
+{
+
+/** Execute one cell; throws propagate to the caller's handler. */
+void
+executeCell(const SweepCell &cell, CellResult &result)
+{
+    panicIf(!cell.recorded, "sweep cell {} has no recorded workload",
+            result.key);
+    if (cell.kind == CellKind::Timing) {
+        result.metrics =
+            runExperiment(*cell.recorded, cell.design, cell.model,
+                          cell.config, cell.validate);
+    } else {
+        CrashHarnessConfig crashCfg;
+        crashCfg.pointBudget = cell.crashPoints;
+        crashCfg.logStyle = cell.config.logStyle;
+        crashCfg.tornWords = cell.tornWords;
+        crashCfg.experiment = cell.config;
+        result.crash = runCrashCell(*cell.recorded, cell.design,
+                                    cell.model, crashCfg);
+    }
+    result.ok = true;
+}
+
+} // namespace
+
+SweepResult
+runSweep(const SweepSpec &spec)
+{
+    SweepResult result;
+    result.name = spec.name;
+    unsigned jobs = spec.jobs ? spec.jobs : envJobs();
+    if (!spec.cells.empty())
+        jobs = std::min<unsigned>(
+            jobs, static_cast<unsigned>(spec.cells.size()));
+    result.jobs = std::max(jobs, 1u);
+
+    // Pre-fill coordinates in spec order so results are positionally
+    // stable however the workers interleave, and so even a panicking
+    // cell reports its coordinates.
+    result.cells.resize(spec.cells.size());
+    for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+        const SweepCell &cell = spec.cells[i];
+        CellResult &out = result.cells[i];
+        out.kind = cell.kind;
+        out.workload = cell.workload();
+        out.design = cell.design;
+        out.model = cell.model;
+        out.logStyle = cell.config.logStyle;
+        out.variant = cell.variant;
+        out.key = cell.key();
+        out.baseline = cell.baseline;
+        out.tornWords = cell.tornWords;
+    }
+
+    auto runOne = [&](std::size_t i) {
+        setLogCellLabel(result.cells[i].key);
+        try {
+            executeCell(spec.cells[i], result.cells[i]);
+        } catch (const std::exception &e) {
+            result.cells[i].ok = false;
+            result.cells[i].error = e.what();
+        }
+        setLogCellLabel("");
+    };
+
+    if (result.jobs == 1) {
+        // Legacy behavior: every cell on the calling thread, in spec
+        // order, with no pool machinery at all.
+        for (std::size_t i = 0; i < spec.cells.size(); ++i)
+            runOne(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (std::size_t i = next.fetch_add(1);
+                 i < spec.cells.size(); i = next.fetch_add(1)) {
+                runOne(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(result.jobs);
+        for (unsigned t = 0; t < result.jobs; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    // Baselines are ordinary cells, so speedups resolve after the
+    // pool drains — no scheduling dependencies between cells.
+    for (CellResult &cell : result.cells) {
+        if (cell.baseline.empty() || !cell.ok)
+            continue;
+        const CellResult *base = result.find(cell.baseline);
+        if (!base || !base->ok) {
+            cell.ok = false;
+            cell.error = "baseline cell " + cell.baseline +
+                         (base ? " failed" : " not found");
+            continue;
+        }
+        cell.speedup = cell.metrics.speedupOver(base->metrics);
+    }
+    return result;
+}
+
+std::shared_ptr<const RecordedWorkload>
+recordShared(WorkloadKind kind, const WorkloadParams &params)
+{
+    return std::make_shared<const RecordedWorkload>(
+        recordWorkload(kind, params));
+}
+
+} // namespace strand

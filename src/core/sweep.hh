@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Sweep orchestration: declarative experiment matrices executed on a
+ * worker-thread pool.
+ *
+ * Every figure/table bench reproduces one paper artifact by running a
+ * matrix of (workload x hardware design x persistency model) cells.
+ * A SweepSpec enumerates those cells declaratively — workload,
+ * design, model, per-cell ExperimentConfig overrides, an optional
+ * baseline cell for speedup columns — and runSweep() executes them.
+ *
+ * Cells are embarrassingly parallel: each one builds a fully
+ * self-contained simulation (its own EventQueue, System, Rng, and
+ * stats tree) and only *reads* the shared RecordedWorkload, so the
+ * scheduler simply hands cell indices to SW_JOBS worker threads
+ * (default: hardware concurrency; 1 reproduces the legacy serial
+ * order bit for bit on the main thread). Results land in spec order
+ * regardless of execution order, so table and JSON output are
+ * byte-identical across SW_JOBS values.
+ *
+ * A cell that panics does not wedge the pool: the panic is caught,
+ * tagged with the cell's label, and recorded on its CellResult; the
+ * remaining cells still run.
+ */
+
+#ifndef CORE_SWEEP_HH
+#define CORE_SWEEP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "crash/crash_harness.hh"
+
+namespace strand
+{
+
+/** What a sweep cell runs. */
+enum class CellKind
+{
+    Timing, ///< runExperiment: the timing stack, RunMetrics out.
+    Crash,  ///< runCrashCell: crash-point fault injection.
+};
+
+/** One cell of an experiment matrix. */
+struct SweepCell
+{
+    CellKind kind = CellKind::Timing;
+    /** Shared read-only across cells; recorded once per workload. */
+    std::shared_ptr<const RecordedWorkload> recorded;
+    HwDesign design = HwDesign::StrandWeaver;
+    PersistencyModel model = PersistencyModel::Sfr;
+    /** Per-cell overrides (engine geometry, caches, log style...). */
+    ExperimentConfig config;
+    /** Timing cells: panic on post-run invariant violations. */
+    bool validate = true;
+    /** Crash cells: injected crash-point budget. */
+    unsigned crashPoints = 16;
+    /** Crash cells: torn-line injection (see CrashHarnessConfig). */
+    unsigned tornWords = wordsPerLine;
+    /**
+     * Extra coordinate distinguishing cells that share (workload,
+     * design, model) — e.g. "4x4" strand-buffer geometry, "redo",
+     * "no-interlocks". Empty for plain cells.
+     */
+    std::string variant;
+    /**
+     * key() of the cell this one is normalized to for speedup
+     * columns; empty means no baseline. A cell may name itself
+     * (speedup 1.0), which benches use for baseline columns.
+     */
+    std::string baseline;
+    /** Label override for synthetic traces; defaults to the
+     * recorded workload's registered name. */
+    std::string workloadLabel;
+
+    /** The workload coordinate as printed and keyed. */
+    std::string workload() const;
+
+    /** Unique cell coordinates: workload/design/model[/variant]. */
+    std::string key() const;
+};
+
+/** Outcome of one cell, coordinates included. */
+struct CellResult
+{
+    CellKind kind = CellKind::Timing;
+    std::string workload;
+    HwDesign design = HwDesign::StrandWeaver;
+    PersistencyModel model = PersistencyModel::Sfr;
+    LogStyle logStyle = LogStyle::Undo;
+    std::string variant;
+    std::string key;
+    std::string baseline;
+    /** False when the cell panicked; error holds the message. */
+    bool ok = false;
+    std::string error;
+    /** Timing cells. */
+    RunMetrics metrics;
+    /** runTicks of baseline over this cell; 0 without a baseline. */
+    double speedup = 0.0;
+    /** Crash cells. */
+    CrashCellResult crash;
+    /** Crash cells: torn-word setting (>= wordsPerLine: whole lines). */
+    unsigned tornWords = wordsPerLine;
+};
+
+/** A declarative experiment matrix. */
+struct SweepSpec
+{
+    /** Bench name; the JSON sink writes <outDir>/<name>.json. */
+    std::string name;
+    std::vector<SweepCell> cells;
+    /** Worker threads; 0 defers to SW_JOBS / hardware concurrency. */
+    unsigned jobs = 0;
+
+    /** Append a cell; returns it for further tweaking. */
+    SweepCell &
+    add(SweepCell cell)
+    {
+        cells.push_back(std::move(cell));
+        return cells.back();
+    }
+
+    /** Append a Timing cell with the common coordinates. */
+    SweepCell &addTiming(std::shared_ptr<const RecordedWorkload> rec,
+                         HwDesign design, PersistencyModel model,
+                         std::string baseline = "");
+
+    /** Append a Crash cell with the common coordinates. */
+    SweepCell &addCrash(std::shared_ptr<const RecordedWorkload> rec,
+                        HwDesign design, PersistencyModel model,
+                        unsigned crashPoints);
+};
+
+/** All cell outcomes, in spec order. */
+struct SweepResult
+{
+    std::string name;
+    /** Worker threads actually used (not part of the JSON output). */
+    unsigned jobs = 1;
+    std::vector<CellResult> cells;
+
+    /** @return the cell with coordinates @p key, or nullptr. */
+    const CellResult *find(const std::string &key) const;
+
+    /** @return true when every cell completed without panicking. */
+    bool allOk() const;
+
+    /** Keys of cells that panicked. */
+    std::vector<std::string> failedKeys() const;
+};
+
+/**
+ * Execute every cell of @p spec and resolve baseline speedups.
+ * Deterministic: the result (and any JSON rendered from it) is
+ * byte-identical for every jobs count.
+ */
+SweepResult runSweep(const SweepSpec &spec);
+
+/** Record a workload for cell sharing (shared_ptr-wrapped). */
+std::shared_ptr<const RecordedWorkload>
+recordShared(WorkloadKind kind, const WorkloadParams &params);
+
+} // namespace strand
+
+#endif // CORE_SWEEP_HH

@@ -93,7 +93,25 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
     const unsigned programThreads = recorded.params.numThreads;
 
     auto inject = [&](Tick when) {
-        MemoryImage snapshot = sys->memory().clonePersisted();
+        MemoryImage snapshot;
+        if (config.tornWords >= wordsPerLine) {
+            snapshot = sys->memory().clonePersisted();
+        } else {
+            // Tear the final admission: keep the first tornWords of
+            // its written words, revert the rest to their prior
+            // persisted state.
+            std::uint8_t written = sys->memory().lastAdmissionMask();
+            std::uint8_t admit = 0;
+            unsigned kept = 0;
+            for (unsigned i = 0;
+                 i < wordsPerLine && kept < config.tornWords; ++i) {
+                if (written & (1u << i)) {
+                    admit |= static_cast<std::uint8_t>(1u << i);
+                    ++kept;
+                }
+            }
+            snapshot = sys->memory().clonePersistedTorn(admit);
+        }
         std::vector<bool> committed =
             oracle.committedRegions(snapshot);
         RecoveryReport report =

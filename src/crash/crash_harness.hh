@@ -53,6 +53,14 @@ struct CrashHarnessConfig
     std::uint64_t seed = 0xc4a54;
     /** Undo or redo logging (redo is TXN-only). */
     LogStyle logStyle = LogStyle::Undo;
+    /**
+     * Torn-cacheline injection: at each crash point, admit only the
+     * first tornWords written 8-byte words of the final flushed line
+     * (PM write granularity sits below ADR line atomicity). Values
+     * >= wordsPerLine leave the admission whole. Wired to
+     * SW_TORN_WORDS by the benches.
+     */
+    unsigned tornWords = wordsPerLine;
     /** Forwarded to the systems built for both runs. */
     ExperimentConfig experiment;
 };

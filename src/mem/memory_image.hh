@@ -101,16 +101,29 @@ class MemoryImage
 
     /**
      * Apply a snapshot to the persisted view. Called by the PM
-     * controller at ADR admission, the point of persistence.
+     * controller at ADR admission, the point of persistence. The
+     * admission's pre-image is remembered so torn-cacheline fault
+     * injection can re-crash with only part of this line durable
+     * (see clonePersistedTorn()).
      */
     void
     persistLine(const LineData &data)
     {
         panicIf(!isPersistentAddr(data.lineAddr) && data.validMask != 0,
                 "persist to non-PM address {}", data.lineAddr);
+        lastAdmission.lineAddr = data.lineAddr;
+        lastAdmission.writtenMask = data.validMask;
+        lastAdmission.prevValidMask = 0;
         for (unsigned i = 0; i < wordsPerLine; ++i) {
-            if (data.valid(i))
-                persisted[data.lineAddr + i * wordBytes] = data.words[i];
+            if (!data.valid(i))
+                continue;
+            Addr wa = data.lineAddr + i * wordBytes;
+            if (auto it = persisted.find(wa); it != persisted.end()) {
+                lastAdmission.prevWords[i] = it->second;
+                lastAdmission.prevValidMask |=
+                    static_cast<std::uint8_t>(1u << i);
+            }
+            persisted[wa] = data.words[i];
         }
     }
 
@@ -169,6 +182,44 @@ class MemoryImage
         return snapshot;
     }
 
+    /**
+     * Like clonePersisted(), but model a *torn* final admission: PM
+     * devices write below ADR line granularity, so a failure racing
+     * the last admitted line can leave only a subset of its 8-byte
+     * words durable. Words of the most recent persistLine() call
+     * whose bit is clear in @p admitMask are reverted to their
+     * pre-admission persisted value (or dropped, if the word had
+     * never persisted). With no admission yet, or a full mask, the
+     * clone equals clonePersisted().
+     */
+    MemoryImage
+    clonePersistedTorn(std::uint8_t admitMask) const
+    {
+        MemoryImage snapshot = clonePersisted();
+        for (unsigned i = 0; i < wordsPerLine; ++i) {
+            if (!(lastAdmission.writtenMask & (1u << i)) ||
+                (admitMask & (1u << i))) {
+                continue;
+            }
+            Addr wa = lastAdmission.lineAddr + i * wordBytes;
+            if (lastAdmission.prevValidMask & (1u << i)) {
+                snapshot.persisted[wa] = lastAdmission.prevWords[i];
+                snapshot.arch[wa] = lastAdmission.prevWords[i];
+            } else {
+                snapshot.persisted.erase(wa);
+                snapshot.arch.erase(wa);
+            }
+        }
+        return snapshot;
+    }
+
+    /** Valid-word mask of the most recent ADR admission (0 if none). */
+    std::uint8_t
+    lastAdmissionMask() const
+    {
+        return lastAdmission.writtenMask;
+    }
+
     /** Walk every persisted word (unordered). */
     void
     forEachPersisted(
@@ -182,8 +233,20 @@ class MemoryImage
     std::size_t persistedWords() const { return persisted.size(); }
 
   private:
+    /** Pre-image of the most recent admission, for torn injection. */
+    struct AdmissionUndo
+    {
+        Addr lineAddr = 0;
+        /** Words the admission wrote. */
+        std::uint8_t writtenMask = 0;
+        /** Of those, words that had a prior persisted value. */
+        std::uint8_t prevValidMask = 0;
+        std::array<std::uint64_t, wordsPerLine> prevWords{};
+    };
+
     std::unordered_map<Addr, std::uint64_t> arch;
     std::unordered_map<Addr, std::uint64_t> persisted;
+    AdmissionUndo lastAdmission;
 };
 
 } // namespace strand

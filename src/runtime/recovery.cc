@@ -49,11 +49,17 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads) const
             if (entry.seq < head)
                 continue;
             // A live entry's monotonic seq must map back to the slot
-            // it occupies; a mismatch means the log was corrupted (or
-            // recovery would invalidate some other lap's entry).
-            panicIf(entry.seq % layout.entriesPerThread != slot,
-                    "log entry seq {} found in slot {} of thread {}",
-                    entry.seq, slot, tid);
+            // it occupies; the writer guarantees that, so a mismatch
+            // means the entry line itself tore at the crash — it was
+            // only partially admitted to the ADR domain. The entry
+            // never fully persisted, so drop it: on recoverable
+            // designs the update it guards cannot be durable yet,
+            // and on NON-ATOMIC the orphaned update is exactly what
+            // the oracle must catch.
+            if (entry.seq % layout.entriesPerThread != slot) {
+                ++report.tornEntriesSkipped;
+                continue;
+            }
             if (entry.commitMarker && entry.seq + 1 > committedUpTo)
                 committedUpTo = entry.seq + 1;
             if (entry.valid)

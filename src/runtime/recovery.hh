@@ -44,6 +44,16 @@ struct RecoveryReport
     std::uint64_t entriesCommittedDuringRecovery = 0;
     /** Threads that had any uncommitted work. */
     unsigned threadsWithUncommittedWork = 0;
+    /**
+     * Entries dropped because their seq did not map back to the slot
+     * holding them: the entry line itself tore at the crash (partial
+     * ADR admission; see MemoryImage::clonePersistedTorn). The writer
+     * always stores slot-consistent seqs, so a mismatch proves the
+     * entry never fully persisted — and on designs that order entry
+     * persist before the guarded update, that update is not durable
+     * either, making the drop safe.
+     */
+    std::uint64_t tornEntriesSkipped = 0;
 
     /** Rolled-back (addr, restoredValue) pairs, for diagnostics. */
     std::vector<std::pair<Addr, std::uint64_t>> rollbacks;

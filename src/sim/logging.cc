@@ -1,5 +1,7 @@
 #include "sim/logging.hh"
 
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
 
 namespace strand
@@ -8,20 +10,51 @@ namespace strand
 namespace
 {
 
-LogLevel globalLevel = LogLevel::Normal;
+std::atomic<LogLevel> globalLevel{LogLevel::Normal};
+
+/** Serializes multi-part stderr writes from concurrent sweep cells. */
+std::mutex &
+stderrMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+thread_local std::string cellLabel;
+
+void
+emit(const char *channel, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(stderrMutex());
+    if (!cellLabel.empty())
+        std::cerr << '[' << cellLabel << "] ";
+    std::cerr << channel << ": " << msg << '\n';
+}
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+void
+setLogCellLabel(std::string label)
+{
+    cellLabel = std::move(label);
+}
+
+const std::string &
+logCellLabel()
+{
+    return cellLabel;
 }
 
 namespace detail
@@ -32,6 +65,8 @@ panicImpl(std::string_view where, const std::string &msg)
 {
     // Throw rather than abort so that library users and tests can
     // observe invariant violations; unhandled, it still terminates.
+    // The sweep scheduler catches these per cell, tags them with the
+    // cell label, and keeps draining the remaining cells.
     throw std::logic_error(std::string(where) + ": " + msg);
 }
 
@@ -44,15 +79,15 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (globalLevel != LogLevel::Quiet)
-        std::cerr << "warn: " << msg << '\n';
+    if (logLevel() != LogLevel::Quiet)
+        emit("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (globalLevel == LogLevel::Verbose)
-        std::cerr << "info: " << msg << '\n';
+    if (logLevel() == LogLevel::Verbose)
+        emit("info", msg);
 }
 
 } // namespace detail

@@ -34,9 +34,22 @@ enum class LogLevel
     Verbose ///< Print warnings and informational messages.
 };
 
-/** Global log level; benches set Quiet to keep output clean. */
+/**
+ * Global log level; benches set Quiet to keep output clean. Reads
+ * and writes are atomic, so sweep worker threads may consult the
+ * level while another thread adjusts it.
+ */
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
+
+/**
+ * Tag this thread's warn()/inform() output with a sweep-cell label
+ * (e.g. "queue/strandweaver/sfr") so interleaved stderr from
+ * parallel cells stays attributable. Empty clears the tag. The label
+ * is thread-local; each sweep worker sets it per cell.
+ */
+void setLogCellLabel(std::string label);
+const std::string &logCellLabel();
 
 namespace detail
 {

@@ -1,0 +1,92 @@
+/**
+ * Validation tests for the centralized SW_* environment knob parser.
+ * parseEnvConfig() takes a getenv-shaped lookup, so the process
+ * environment never has to be mutated here — which is also why these
+ * tests can assert the full validation surface even though the
+ * process-wide envConfig() snapshot is parse-once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/env_config.hh"
+#include "mem/address_map.hh"
+
+namespace strand
+{
+namespace
+{
+
+EnvConfig
+parse(const std::map<std::string, std::string> &env)
+{
+    return parseEnvConfig([&env](const char *name) -> const char * {
+        auto it = env.find(name);
+        return it == env.end() ? nullptr : it->second.c_str();
+    });
+}
+
+TEST(EnvConfig, UnsetKnobsLeaveDefaults)
+{
+    EnvConfig config = parse({});
+    EXPECT_FALSE(config.ops.has_value());
+    EXPECT_FALSE(config.threads.has_value());
+    EXPECT_FALSE(config.crashPoints.has_value());
+    EXPECT_FALSE(config.jobs.has_value());
+    EXPECT_FALSE(config.tornWords.has_value());
+    EXPECT_EQ(config.outDir, "bench/out");
+}
+
+TEST(EnvConfig, EmptyValuesCountAsUnset)
+{
+    EnvConfig config = parse({{"SW_OPS", ""}, {"SW_OUT_DIR", ""}});
+    EXPECT_FALSE(config.ops.has_value());
+    EXPECT_EQ(config.outDir, "bench/out");
+}
+
+TEST(EnvConfig, ParsesEveryKnob)
+{
+    EnvConfig config = parse({{"SW_OPS", "120"},
+                              {"SW_THREADS", "4"},
+                              {"SW_CRASH_POINTS", "0"},
+                              {"SW_JOBS", "8"},
+                              {"SW_TORN_WORDS", "3"},
+                              {"SW_OUT_DIR", "/tmp/out"}});
+    EXPECT_EQ(config.ops, 120u);
+    EXPECT_EQ(config.threads, 4u);
+    EXPECT_EQ(config.crashPoints, 0u); // 0 is valid: disables injection
+    EXPECT_EQ(config.jobs, 8u);
+    EXPECT_EQ(config.tornWords, 3u);
+    EXPECT_EQ(config.outDir, "/tmp/out");
+}
+
+TEST(EnvConfig, MalformedValuesDieLoudly)
+{
+    // fatal() throws std::invalid_argument (see sim/logging.hh); a
+    // typo'd knob must never silently fall back to a default.
+    EXPECT_THROW(parse({{"SW_OPS", "abc"}}), std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_OPS", "12x"}}), std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_THREADS", "-3"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_CRASH_POINTS", "1e3"}}),
+                 std::invalid_argument);
+}
+
+TEST(EnvConfig, OutOfRangeValuesDieLoudly)
+{
+    // Minimums: SW_OPS/SW_THREADS/SW_JOBS >= 1.
+    EXPECT_THROW(parse({{"SW_OPS", "0"}}), std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_THREADS", "0"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_JOBS", "0"}}), std::invalid_argument);
+    // Admitting all words of a line is not torn at all.
+    EXPECT_THROW(parse({{"SW_TORN_WORDS",
+                         std::to_string(wordsPerLine)}}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace strand

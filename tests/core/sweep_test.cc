@@ -1,0 +1,306 @@
+/**
+ * Sweep orchestration tests: spec-order determinism across worker
+ * counts, baseline-speedup wiring, the schema-1 JSON golden, and the
+ * failure-isolation contract (a panicking cell reports its label
+ * without wedging the pool).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/result_sink.hh"
+#include "core/sweep.hh"
+
+namespace strand
+{
+namespace
+{
+
+std::shared_ptr<const RecordedWorkload>
+smallWorkload(WorkloadKind kind = WorkloadKind::Queue)
+{
+    WorkloadParams params;
+    params.numThreads = 1;
+    params.opsPerThread = 10;
+    return recordShared(kind, params);
+}
+
+/** A 4-cell design column under TXN with an Intel baseline. */
+SweepSpec
+smallSpec(const std::shared_ptr<const RecordedWorkload> &recorded)
+{
+    SweepSpec spec;
+    spec.name = "sweep_test";
+    SweepCell &intel = spec.addTiming(recorded, HwDesign::IntelX86,
+                                      PersistencyModel::Txn);
+    // Copy the key: later add*() calls may reallocate spec.cells.
+    const std::string base = intel.key();
+    intel.baseline = base;
+    for (HwDesign design :
+         {HwDesign::Hops, HwDesign::StrandWeaver,
+          HwDesign::NonAtomic}) {
+        spec.addTiming(recorded, design, PersistencyModel::Txn, base);
+    }
+    return spec;
+}
+
+TEST(Sweep, SerialAndParallelRunsAreByteIdentical)
+{
+    // The acceptance bar of the whole layer: the JSON document (and
+    // everything else derived from the result) must not depend on
+    // the worker count.
+    auto recorded = smallWorkload();
+    SweepSpec spec = smallSpec(recorded);
+
+    spec.jobs = 1;
+    SweepResult serial = runSweep(spec);
+    ASSERT_TRUE(serial.allOk()) << serial.failedKeys().front();
+    EXPECT_EQ(serial.jobs, 1u);
+
+    spec.jobs = 4;
+    SweepResult parallel = runSweep(spec);
+    ASSERT_TRUE(parallel.allOk());
+    EXPECT_EQ(parallel.jobs, 4u);
+
+    EXPECT_EQ(sweepJson(serial), sweepJson(parallel));
+}
+
+TEST(Sweep, JobsClampToCellCount)
+{
+    auto recorded = smallWorkload();
+    SweepSpec spec;
+    spec.name = "clamp";
+    spec.addTiming(recorded, HwDesign::IntelX86,
+                   PersistencyModel::Txn);
+    spec.jobs = 16;
+    SweepResult result = runSweep(spec);
+    EXPECT_EQ(result.jobs, 1u);
+}
+
+TEST(Sweep, BaselineSpeedupsResolveAfterThePool)
+{
+    auto recorded = smallWorkload();
+    SweepSpec spec = smallSpec(recorded);
+    spec.jobs = 2;
+    SweepResult result = runSweep(spec);
+    ASSERT_TRUE(result.allOk());
+
+    // The baseline cell names itself: exactly 1.0 by construction.
+    const CellResult *intel = result.find("queue/intel-x86/txn");
+    ASSERT_NE(intel, nullptr);
+    EXPECT_DOUBLE_EQ(intel->speedup, 1.0);
+
+    // Other cells normalize to the baseline's runTicks.
+    const CellResult *sw = result.find("queue/strandweaver/txn");
+    ASSERT_NE(sw, nullptr);
+    ASSERT_GT(sw->metrics.runTicks, 0u);
+    EXPECT_DOUBLE_EQ(
+        sw->speedup,
+        static_cast<double>(intel->metrics.runTicks) /
+            static_cast<double>(sw->metrics.runTicks));
+}
+
+TEST(Sweep, CrashCellsRunThroughTheSamePool)
+{
+    auto recorded = smallWorkload();
+    SweepSpec spec;
+    spec.name = "crash";
+    spec.addCrash(recorded, HwDesign::StrandWeaver,
+                  PersistencyModel::Txn, 6);
+    SweepCell &torn = spec.addCrash(recorded, HwDesign::StrandWeaver,
+                                    PersistencyModel::Txn, 6);
+    torn.variant = "torn";
+    torn.tornWords = 1;
+    spec.jobs = 2;
+    SweepResult result = runSweep(spec);
+    ASSERT_TRUE(result.allOk()) << result.failedKeys().front();
+    for (const CellResult &cell : result.cells) {
+        EXPECT_EQ(cell.kind, CellKind::Crash);
+        EXPECT_GT(cell.crash.pointsTested, 0u);
+        EXPECT_TRUE(cell.crash.allPassed());
+    }
+    EXPECT_EQ(result.cells.at(1).tornWords, 1u);
+}
+
+TEST(Sweep, PanickingCellReportsItsLabelWithoutWedgingThePool)
+{
+    auto recorded = smallWorkload();
+    SweepSpec spec;
+    spec.name = "panic";
+    spec.addTiming(recorded, HwDesign::IntelX86,
+                   PersistencyModel::Txn);
+    // A cell without a recorded workload panics inside the worker.
+    SweepCell ghost;
+    ghost.workloadLabel = "ghost";
+    spec.add(std::move(ghost));
+    spec.addTiming(recorded, HwDesign::StrandWeaver,
+                   PersistencyModel::Txn);
+    // And a cell whose baseline is the panicking cell fails too,
+    // with a distinct error.
+    spec.addTiming(recorded, HwDesign::Hops, PersistencyModel::Txn,
+                   "ghost/strandweaver/sfr");
+    spec.jobs = 2;
+
+    SweepResult result = runSweep(spec);
+    EXPECT_FALSE(result.allOk());
+
+    const CellResult &bad = result.cells.at(1);
+    EXPECT_FALSE(bad.ok);
+    // The panic message carries the cell's coordinates.
+    EXPECT_NE(bad.error.find(bad.key), std::string::npos)
+        << bad.error;
+
+    // Healthy cells still completed.
+    EXPECT_TRUE(result.cells.at(0).ok);
+    EXPECT_TRUE(result.cells.at(2).ok);
+
+    const CellResult &dependent = result.cells.at(3);
+    EXPECT_FALSE(dependent.ok);
+    EXPECT_NE(dependent.error.find("failed"), std::string::npos)
+        << dependent.error;
+
+    EXPECT_EQ(result.failedKeys(),
+              (std::vector<std::string>{bad.key, dependent.key}));
+}
+
+TEST(Sweep, MissingBaselineMarksTheCellFailed)
+{
+    auto recorded = smallWorkload();
+    SweepSpec spec;
+    spec.name = "missing";
+    spec.addTiming(recorded, HwDesign::StrandWeaver,
+                   PersistencyModel::Txn, "no/such/cell");
+    SweepResult result = runSweep(spec);
+    ASSERT_EQ(result.cells.size(), 1u);
+    EXPECT_FALSE(result.cells.front().ok);
+    EXPECT_NE(result.cells.front().error.find("not found"),
+              std::string::npos);
+}
+
+TEST(ResultSink, SchemaOneGolden)
+{
+    // Hand-built result, exact bytes: any change to the document
+    // layout or the number rendering must be deliberate (bump the
+    // schema field when it is).
+    SweepResult result;
+    result.name = "golden";
+    result.jobs = 8; // not part of the document
+
+    CellResult timing;
+    timing.kind = CellKind::Timing;
+    timing.workload = "queue";
+    timing.design = HwDesign::IntelX86;
+    timing.model = PersistencyModel::Txn;
+    timing.logStyle = LogStyle::Undo;
+    timing.key = "queue/intel-x86/txn";
+    timing.baseline = "queue/intel-x86/txn";
+    timing.ok = true;
+    timing.speedup = 1.0;
+    timing.metrics.runTicks = 1234;
+    timing.metrics.totalCycles = 5000;
+    timing.metrics.clwbs = 42;
+    timing.metrics.persistStalls = 7;
+    timing.metrics.allStalls = 9;
+    timing.metrics.snoopStalls = 0;
+    timing.metrics.ckc = 8.5;
+    timing.metrics.lowering.clwbs = 42;
+    timing.metrics.lowering.stores = 100;
+    timing.metrics.lowering.loads = 50;
+    timing.metrics.lowering.barriers = 12;
+    timing.metrics.lowering.drains = 3;
+    timing.metrics.lowering.logEntries = 40;
+    timing.metrics.lowering.commits = 10;
+    result.cells.push_back(timing);
+
+    CellResult crash;
+    crash.kind = CellKind::Crash;
+    crash.workload = "hashmap";
+    crash.design = HwDesign::NonAtomic;
+    crash.model = PersistencyModel::Sfr;
+    crash.key = "hashmap/non-atomic/sfr";
+    crash.ok = true;
+    crash.tornWords = 1;
+    crash.crash.pointsTested = 5;
+    crash.crash.pointsPassed = 4;
+    crash.crash.totalRolledBack = 2;
+    crash.crash.totalReplayed = 0;
+    CrashPointResult failure;
+    failure.when = 77;
+    failure.violation = "lost \"x\"";
+    crash.crash.failures.push_back(failure);
+    result.cells.push_back(crash);
+
+    const std::string expected = R"({
+  "bench": "golden",
+  "schema": 1,
+  "cells": [
+    {
+      "kind": "timing",
+      "workload": "queue",
+      "design": "intel-x86",
+      "model": "txn",
+      "log_style": "undo",
+      "variant": "",
+      "baseline": "queue/intel-x86/txn",
+      "ok": true,
+      "error": "",
+      "speedup": 1,
+      "metrics": {
+        "run_ticks": 1234,
+        "total_cycles": 5000,
+        "clwbs": 42,
+        "persist_stalls": 7,
+        "all_stalls": 9,
+        "snoop_stalls": 0,
+        "ckc": 8.5,
+        "lowering": {
+          "clwbs": 42,
+          "stores": 100,
+          "loads": 50,
+          "barriers": 12,
+          "drains": 3,
+          "log_entries": 40,
+          "commits": 10
+        }
+      }
+    },
+    {
+      "kind": "crash",
+      "workload": "hashmap",
+      "design": "non-atomic",
+      "model": "sfr",
+      "log_style": "undo",
+      "variant": "",
+      "baseline": "",
+      "ok": true,
+      "error": "",
+      "crash": {
+        "torn_words": 1,
+        "points_tested": 5,
+        "points_passed": 4,
+        "rolled_back": 2,
+        "replayed": 0,
+        "failures": [
+          {
+            "tick": 77,
+            "violation": "lost \"x\""
+          }
+        ]
+      }
+    }
+  ]
+}
+)";
+    EXPECT_EQ(sweepJson(result), expected);
+}
+
+TEST(ResultSink, EmptySweepStillRendersADocument)
+{
+    SweepResult result;
+    result.name = "empty";
+    EXPECT_EQ(sweepJson(result),
+              "{\n  \"bench\": \"empty\",\n  \"schema\": 1,\n"
+              "  \"cells\": []\n}\n");
+}
+
+} // namespace
+} // namespace strand

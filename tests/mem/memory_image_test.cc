@@ -115,6 +115,47 @@ TEST(MemoryImage, LineDataSetAndValidMask)
     EXPECT_THROW(data.set(8, 1), std::logic_error);
 }
 
+TEST(MemoryImage, ClonePersistedTornRevertsUnadmittedWords)
+{
+    MemoryImage img;
+    // Word 0 persists once before the torn admission; word 1 never
+    // persisted before it.
+    img.writeArch(pmLine + 0, 1);
+    img.persistLine(img.snapshotLine(pmLine));
+    img.writeArch(pmLine + 0, 2);
+    img.writeArch(pmLine + 8, 3);
+    img.persistLine(img.snapshotLine(pmLine)); // the torn admission
+    ASSERT_EQ(img.lastAdmissionMask(), 0b11u);
+
+    // Admit only word 1: word 0 reverts to its pre-admission value.
+    MemoryImage tornHigh = img.clonePersistedTorn(0b10);
+    EXPECT_EQ(tornHigh.readPersisted(pmLine + 0), 1u);
+    EXPECT_EQ(tornHigh.readPersisted(pmLine + 8), 3u);
+
+    // Admit only word 0: word 1 had no pre-image, so it vanishes
+    // from both the persisted and the post-crash architectural view.
+    MemoryImage tornLow = img.clonePersistedTorn(0b01);
+    EXPECT_EQ(tornLow.readPersisted(pmLine + 0), 2u);
+    EXPECT_FALSE(tornLow.persistedContains(pmLine + 8));
+    EXPECT_FALSE(tornLow.archContains(pmLine + 8));
+
+    // A full mask admits everything; the source image is untouched.
+    MemoryImage full = img.clonePersistedTorn(0xff);
+    EXPECT_EQ(full.readPersisted(pmLine + 0), 2u);
+    EXPECT_EQ(full.readPersisted(pmLine + 8), 3u);
+    EXPECT_EQ(img.readPersisted(pmLine + 0), 2u);
+    EXPECT_EQ(img.readPersisted(pmLine + 8), 3u);
+}
+
+TEST(MemoryImage, ClonePersistedTornWithoutAdmissionIsPlainClone)
+{
+    MemoryImage img;
+    img.writeDurable(pmLine, 7);
+    MemoryImage torn = img.clonePersistedTorn(0);
+    EXPECT_EQ(torn.readPersisted(pmLine), 7u);
+    EXPECT_EQ(torn.readArch(pmLine), 7u);
+}
+
 TEST(MemoryImage, OverlappingPersistsLastWriterWins)
 {
     MemoryImage img;

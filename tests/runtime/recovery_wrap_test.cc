@@ -115,11 +115,15 @@ TEST_F(WrapFixture, ManyLapsKeepSeqSlotMappingConsistent)
     EXPECT_EQ(validBit(0, 34), 0u);
 }
 
-TEST_F(WrapFixture, SeqSlotMismatchIsCorruption)
+TEST_F(WrapFixture, SeqSlotMismatchIsSkippedAsTorn)
 {
-    // An entry whose recorded seq cannot map to the slot it occupies
-    // means the log (or recovery's indexing) is corrupted; recovery
-    // must refuse rather than invalidate some other lap's entry.
+    // The writer always stores slot-consistent seqs, so an entry
+    // whose seq cannot map to the slot it occupies is a torn
+    // admission (the entry line was only partially durable at the
+    // crash; see MemoryImage::clonePersistedTorn). Recovery must
+    // drop it — never roll it back or invalidate some other lap's
+    // entry — and report the skip.
+    img.writeDurable(dataA, 55);
     Addr base = layout.entryAddr(0, 2); // slot 2
     img.writeDurable(base + log_field::type,
                      static_cast<std::uint64_t>(LogType::Store));
@@ -129,7 +133,13 @@ TEST_F(WrapFixture, SeqSlotMismatchIsCorruption)
     img.writeDurable(base + log_field::valid, 1);
 
     RecoveryManager mgr{layout};
-    EXPECT_THROW(mgr.recover(img, 1), std::logic_error);
+    RecoveryReport report = mgr.recover(img, 1);
+    EXPECT_EQ(report.tornEntriesSkipped, 1u);
+    EXPECT_EQ(report.entriesRolledBack, 0u);
+    // The torn entry's stale old-value was not applied.
+    EXPECT_EQ(img.readPersisted(dataA), 55u);
+    // And no other slot's valid bit was touched.
+    EXPECT_EQ(validBit(0, 2), 1u);
 }
 
 TEST(RecoveryWrapLowering, MultiLapRunsRecoverAtSampledCrashPoints)
