@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Adversarial persistency fuzzing campaign.
+ *
+ * Every cell runs SW_FUZZ_TRIALS seeded trials of one (workload,
+ * design, model): each trial randomizes the workload op mix, drives
+ * the persist engines and the write-back drain through an adversarial
+ * schedule of legal delays, and validates Figure 6 recovery at every
+ * PM admission (with per-trial torn-word injection). Failing trials
+ * are shrunk by ddmin to a minimal decision log and written as
+ * replayable reproducer files under <outDir>/repro/.
+ *
+ * Expectations mirror crash_matrix: every recoverable design must
+ * pass every trial; NON-ATOMIC must *fail* (its violations prove the
+ * fuzzer finds real ordering bugs); and the HOPS cells run twice —
+ * the plain CLWB-based emulation, whose known whole-line modeling gap
+ * the fuzzer reproduces, and the opt-in epoch-interlock variant,
+ * which must pass (see EXPERIMENTS.md "Fuzz campaigns").
+ *
+ * Sizes scale with SW_FUZZ_TRIALS / SW_FUZZ_SEED / SW_THREADS /
+ * SW_OPS; cells run on SW_JOBS workers with byte-identical output at
+ * any job count. `fuzz_campaign --replay <file>` re-executes one
+ * reproducer instead of the matrix.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.hh"
+#include "fuzz/repro.hh"
+
+using namespace strand;
+
+namespace
+{
+
+int
+replayMode(const char *path)
+{
+    std::printf("replaying %s\n", path);
+    FuzzReplayOutcome outcome = replayReproFile(path);
+    std::printf("points checked: %u, failed: %u\n",
+                outcome.pointsChecked, outcome.pointsFailed);
+    if (!outcome.failed) {
+        std::printf("reproducer PASSED (violation not reproduced)\n");
+        return 1;
+    }
+    std::printf("violation at tick %llu: %s\n",
+                static_cast<unsigned long long>(outcome.crashTick),
+                outcome.violation.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 3 && std::strcmp(argv[1], "--replay") == 0)
+        return replayMode(argv[2]);
+    if (argc != 1) {
+        std::fprintf(stderr,
+                     "usage: %s [--replay <file.repro>]\n", argv[0]);
+        return 2;
+    }
+
+    const unsigned threads = benchThreads(2);
+    const unsigned ops = benchOpsPerThread(10);
+    const unsigned trials = benchFuzzTrials(6);
+    const std::uint64_t seed = benchFuzzSeed();
+    const std::string reproDir = envConfig().outDir + "/repro";
+
+    SweepSpec spec;
+    spec.name = "fuzz_campaign";
+    for (WorkloadKind kind : {WorkloadKind::Queue,
+                              WorkloadKind::Hashmap,
+                              WorkloadKind::RbTree,
+                              WorkloadKind::NStoreBalanced}) {
+        for (HwDesign design : allDesigns) {
+            for (PersistencyModel model : allModels) {
+                FuzzCellConfig campaign;
+                campaign.base.kind = kind;
+                campaign.base.design = design;
+                campaign.base.model = model;
+                campaign.base.numThreads = threads;
+                campaign.base.opsPerThread = ops;
+                campaign.trials = trials;
+                campaign.seed = seed;
+                campaign.reproDir = reproDir;
+                spec.addFuzz(campaign);
+
+                if (design == HwDesign::Hops) {
+                    // The opt-in modeling-gap fix must hold up under
+                    // the same schedules the plain emulation fails.
+                    campaign.base.experiment.engine
+                        .hopsEpochInterlock = true;
+                    SweepCell &cell = spec.addFuzz(campaign);
+                    cell.variant = "interlock";
+                }
+            }
+        }
+    }
+    SweepResult result = runSweep(spec);
+
+    std::printf("Fuzz campaign (%u threads, %u ops/thread, %u trials "
+                "per cell, seed 0x%llx)\n\n",
+                threads, ops, trials,
+                static_cast<unsigned long long>(seed));
+    std::printf("%-10s %-16s %-10s %7s %7s %9s %7s\n", "workload",
+                "design", "model", "trials", "failing", "points",
+                "holds");
+    bench::rule(74);
+
+    unsigned unexpectedFailures = 0;
+    unsigned unexpectedPasses = 0;
+    unsigned nonAtomicViolations = 0;
+    unsigned hopsGapTrials = 0;
+    std::string lastWorkload;
+    for (const CellResult &cell : result.cells) {
+        if (!lastWorkload.empty() && cell.workload != lastWorkload)
+            std::printf("\n");
+        lastWorkload = cell.workload;
+
+        std::string label = persistencyModelName(cell.model);
+        if (!cell.variant.empty())
+            label += "+" + cell.variant;
+        if (!cell.ok) {
+            std::printf("%-10s %-16s %-10s %7s %7s %9s %7s  "
+                        "<-- PANIC: %s\n",
+                        cell.workload.c_str(),
+                        hwDesignName(cell.design), label.c_str(), "-",
+                        "-", "-", "-", cell.error.c_str());
+            ++unexpectedFailures;
+            continue;
+        }
+
+        const FuzzCellResult &fuzz = cell.fuzz;
+        // NON-ATOMIC must fail (oracle evidence); plain HOPS carries
+        // a known whole-line modeling gap on update-in-place
+        // workloads, reported but tolerated. Everything else —
+        // including hops+interlock — must pass every trial.
+        const bool expectFail = cell.design == HwDesign::NonAtomic;
+        const bool tolerateFail = cell.design == HwDesign::Hops &&
+                                  cell.variant.empty();
+        const char *note = "";
+        if (!fuzz.allPassed()) {
+            if (expectFail) {
+                note = "  (expected)";
+                nonAtomicViolations += fuzz.failingTrials;
+            } else if (tolerateFail) {
+                note = "  (known modeling gap)";
+                hopsGapTrials += fuzz.failingTrials;
+            } else {
+                note = "  <-- FAIL";
+                ++unexpectedFailures;
+            }
+        } else if (expectFail) {
+            // A fuzzer that cannot find NON-ATOMIC's missing ordering
+            // has lost its teeth; fail loudly.
+            note = "  <-- expected violations, found none";
+            ++unexpectedPasses;
+        }
+        std::printf("%-10s %-16s %-10s %7u %7u %9llu %7llu%s\n",
+                    cell.workload.c_str(), hwDesignName(cell.design),
+                    label.c_str(), fuzz.trials, fuzz.failingTrials,
+                    static_cast<unsigned long long>(
+                        fuzz.pointsChecked),
+                    static_cast<unsigned long long>(fuzz.holds),
+                    note);
+        for (const FuzzFailure &f : fuzz.failures) {
+            if (expectFail || tolerateFail)
+                continue;
+            std::printf("    seed %llx, tick %llu, %zu->%zu "
+                        "decisions: %s\n",
+                        static_cast<unsigned long long>(f.trialSeed),
+                        static_cast<unsigned long long>(f.crashTick),
+                        f.rawDecisions, f.shrunkDecisions,
+                        f.violation.c_str());
+            if (!f.reproPath.empty())
+                std::printf("    repro: %s\n", f.reproPath.c_str());
+        }
+    }
+
+    std::printf("\nnon-atomic violating trials: %u "
+                "(the fuzzer has teeth)\n",
+                nonAtomicViolations);
+    if (hopsGapTrials > 0)
+        std::printf("hops (plain) modeling-gap trials: %u "
+                    "(pass under hops/interlock)\n",
+                    hopsGapTrials);
+    int rc = bench::finish(result);
+    if (unexpectedFailures > 0 || unexpectedPasses > 0) {
+        std::printf("%u unexpected failure(s), %u missing expected "
+                    "failure(s)\n",
+                    unexpectedFailures, unexpectedPasses);
+        return 1;
+    }
+    std::printf("fuzz expectations met for every cell\n");
+    return rc;
+}

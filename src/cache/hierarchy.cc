@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fuzz/adversary.hh"
+
 namespace strand
 {
 
@@ -451,17 +453,38 @@ Hierarchy::pushWriteback(CoreId core, Addr lineAddr)
 void
 Hierarchy::drainWritebacks()
 {
-    for (auto &l1 : cores) {
-        l1.writebacks.drain([this](Addr lineAddr, const LineData &data) {
-            if (CacheLineInfo *l2line = l2.findLine(lineAddr)) {
-                l2line->state = CoherenceState::Modified;
-                l2.touch(*l2line);
-            } else {
-                // The L2 evicted the line while the write-back sat in
-                // the buffer; forward the data to memory directly.
-                pendingL2Evicts.push_back({lineAddr, data, {}});
+    auto drainFn = [this](Addr lineAddr, const LineData &data) {
+        if (CacheLineInfo *l2line = l2.findLine(lineAddr)) {
+            l2line->state = CoherenceState::Modified;
+            l2.touch(*l2line);
+        } else {
+            // The L2 evicted the line while the write-back sat in
+            // the buffer; forward the data to memory directly.
+            pendingL2Evicts.push_back({lineAddr, data, {}});
+        }
+    };
+    for (unsigned i = 0; i < cores.size(); ++i) {
+        L1 &l1 = cores[i];
+        if (!params.adversary) {
+            l1.writebacks.drain(drainFn);
+            continue;
+        }
+        // Fuzzing: an eligible (clearance-met) write-back may still
+        // be held by the adversary; the retry is a kick, which
+        // re-enters this drain once the hold expires.
+        auto hold = [this, &l1, i] {
+            if (curTick() < l1.wbHeldUntil)
+                return true;
+            Tick delay = params.adversary->consider(
+                eq, FuzzSite::Writeback, i,
+                [this] { scheduleKick(); });
+            if (delay > 0) {
+                l1.wbHeldUntil = curTick() + delay;
+                return true;
             }
-        });
+            return false;
+        };
+        l1.writebacks.drain(drainFn, hold);
     }
     drainL2Evicts();
 }

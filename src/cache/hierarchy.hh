@@ -40,6 +40,8 @@
 namespace strand
 {
 
+class DrainAdversary;
+
 /** Cache hierarchy parameters (Table I defaults). */
 struct HierarchyParams
 {
@@ -66,6 +68,13 @@ struct HierarchyParams
      * is no longer guaranteed.
      */
     bool persistInterlocks = true;
+    /**
+     * Fuzzing hook (non-owning): when set, the write-back drain path
+     * consults the adversary before draining an eligible entry, so a
+     * fuzz trial can delay write-backs within what the interlocks
+     * already permit. Null leaves the drain path untouched.
+     */
+    DrainAdversary *adversary = nullptr;
 };
 
 /**
@@ -196,6 +205,8 @@ class Hierarchy : public SimObject
         CacheArray array;
         WritebackBuffer writebacks;
         DrainPointRecorder recorder;
+        /** Adversarial hold on the write-back drain (fuzzing). */
+        Tick wbHeldUntil = 0;
         /** Outstanding misses keyed by line address. */
         struct Mshr
         {

@@ -64,15 +64,21 @@ class WritebackBuffer
      * blocks younger ones (conservative, deadlock-free: CLWBs never
      * wait on write-backs).
      *
+     * @param hold Optional extra gate, evaluated per drainable head
+     * (after its clearance passes); returning true stops the drain.
+     * The fuzzer's adversarial delays enter through here.
      * @return the number of entries drained.
      */
     unsigned
-    drain(const DrainFn &drainFn)
+    drain(const DrainFn &drainFn,
+          const std::function<bool()> &hold = {})
     {
         unsigned drained = 0;
         while (!entries.empty()) {
             Entry &head = entries.front();
             if (head.clearance && !head.clearance())
+                break;
+            if (hold && hold())
                 break;
             drainFn(head.lineAddr, head.data);
             entries.pop_front();

@@ -37,6 +37,26 @@ parseUnsigned(const std::function<const char *(const char *)> &get,
     return static_cast<unsigned>(parsed);
 }
 
+/**
+ * Parse @p name as a 64-bit seed. Base auto-detection accepts plain
+ * decimal and 0x-prefixed hex; anything else dies loudly.
+ */
+std::optional<std::uint64_t>
+parseSeed(const std::function<const char *(const char *)> &get,
+          const char *name)
+{
+    const char *value = get(name);
+    if (!value || !*value)
+        return std::nullopt;
+    fatalIf(value[0] == '-', "{}='{}' must not be negative", name,
+            value);
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value, &end, 0);
+    fatalIf(end == value || *end != '\0',
+            "{}='{}' is not an integer seed", name, value);
+    return static_cast<std::uint64_t>(parsed);
+}
+
 } // namespace
 
 EnvConfig
@@ -50,6 +70,9 @@ parseEnvConfig(const std::function<const char *(const char *)> &get)
     // Admitting all words of a line is not torn at all; cap at 7.
     config.tornWords =
         parseUnsigned(get, "SW_TORN_WORDS", 0, wordsPerLine - 1);
+    config.crashSeed = parseSeed(get, "SW_CRASH_SEED");
+    config.fuzzTrials = parseUnsigned(get, "SW_FUZZ_TRIALS", 0);
+    config.fuzzSeed = parseSeed(get, "SW_FUZZ_SEED");
     if (const char *value = get("SW_OUT_DIR"); value && *value)
         config.outDir = value;
     return config;

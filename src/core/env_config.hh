@@ -16,6 +16,11 @@
  *   SW_TORN_WORDS   torn-cacheline injection: admit only this many
  *                   8-byte words of the final flushed line at each
  *                   crash point (0..7; unset disables tearing)
+ *   SW_CRASH_SEED   seed for random crash-tick selection (any u64;
+ *                   0x-prefixed hex accepted)
+ *   SW_FUZZ_TRIALS  fuzz trials per campaign cell (0 disables cells)
+ *   SW_FUZZ_SEED    campaign seed for fuzz trials (any u64;
+ *                   0x-prefixed hex accepted)
  *   SW_OUT_DIR      directory for JSON result files (default
  *                   bench/out)
  *
@@ -26,6 +31,7 @@
 #ifndef CORE_ENV_CONFIG_HH
 #define CORE_ENV_CONFIG_HH
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -41,6 +47,9 @@ struct EnvConfig
     std::optional<unsigned> crashPoints;
     std::optional<unsigned> jobs;
     std::optional<unsigned> tornWords;
+    std::optional<std::uint64_t> crashSeed;
+    std::optional<unsigned> fuzzTrials;
+    std::optional<std::uint64_t> fuzzSeed;
     std::string outDir = "bench/out";
 };
 

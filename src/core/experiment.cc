@@ -84,6 +84,7 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
                                                    crashPoints > 0) {
         CrashHarnessConfig crashCfg;
         crashCfg.pointBudget = crashPoints;
+        crashCfg.seed = benchCrashSeed(crashCfg.seed);
         crashCfg.logStyle = config.logStyle;
         crashCfg.experiment = config;
         CrashCellResult cell =
@@ -117,6 +118,24 @@ unsigned
 benchCrashPoints(unsigned fallback)
 {
     return envConfig().crashPoints.value_or(fallback);
+}
+
+std::uint64_t
+benchCrashSeed(std::uint64_t fallback)
+{
+    return envConfig().crashSeed.value_or(fallback);
+}
+
+unsigned
+benchFuzzTrials(unsigned fallback)
+{
+    return envConfig().fuzzTrials.value_or(fallback);
+}
+
+std::uint64_t
+benchFuzzSeed(std::uint64_t fallback)
+{
+    return envConfig().fuzzSeed.value_or(fallback);
 }
 
 } // namespace strand

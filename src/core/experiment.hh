@@ -102,6 +102,22 @@ unsigned benchThreads(unsigned fallback = 8);
  */
 unsigned benchCrashPoints(unsigned fallback = 0);
 
+/**
+ * Seed for random crash-tick selection, overridable via env
+ * SW_CRASH_SEED (decimal or 0x-hex). Used everywhere a
+ * CrashHarnessConfig is built, so one knob reseeds every harness.
+ */
+std::uint64_t benchCrashSeed(std::uint64_t fallback = 0xc4a54);
+
+/**
+ * Fuzz trials per campaign cell, overridable via env SW_FUZZ_TRIALS
+ * (0 skips fuzz cells entirely).
+ */
+unsigned benchFuzzTrials(unsigned fallback = 8);
+
+/** Fuzz campaign seed, overridable via env SW_FUZZ_SEED. */
+std::uint64_t benchFuzzSeed(std::uint64_t fallback = 0xf022);
+
 } // namespace strand
 
 #endif // CORE_EXPERIMENT_HH

@@ -230,6 +230,50 @@ writeCrash(JsonWriter &json, const CellResult &cell)
     json.close('}');
 }
 
+void
+writeFuzz(JsonWriter &json, const CellResult &cell)
+{
+    const FuzzCellResult &fuzz = cell.fuzz;
+    json.item("fuzz");
+    json.open('{');
+    json.fieldRaw("trials", jsonNumber(std::uint64_t(fuzz.trials)));
+    json.fieldRaw("failing_trials",
+                  jsonNumber(std::uint64_t(fuzz.failingTrials)));
+    json.fieldRaw("points_checked", jsonNumber(fuzz.pointsChecked));
+    json.fieldRaw("queries", jsonNumber(fuzz.queries));
+    json.fieldRaw("holds", jsonNumber(fuzz.holds));
+    json.item("failures");
+    if (fuzz.failures.empty()) {
+        json.out += "[]";
+    } else {
+        json.open('[');
+        for (const FuzzFailure &failure : fuzz.failures) {
+            json.item();
+            json.open('{');
+            json.fieldRaw("trial_seed", jsonNumber(failure.trialSeed));
+            json.fieldRaw("crash_tick",
+                          jsonNumber(std::uint64_t(failure.crashTick)));
+            json.fieldRaw("torn_words",
+                          failure.tornWords >= wordsPerLine
+                              ? std::string("null")
+                              : jsonNumber(
+                                    std::uint64_t(failure.tornWords)));
+            json.fieldRaw("raw_decisions",
+                          jsonNumber(
+                              std::uint64_t(failure.rawDecisions)));
+            json.fieldRaw("shrunk_decisions",
+                          jsonNumber(
+                              std::uint64_t(failure.shrunkDecisions)));
+            json.field("replay_diverged", failure.replayDiverged);
+            json.field("violation", failure.violation);
+            json.field("repro", failure.reproPath);
+            json.close('}');
+        }
+        json.close(']');
+    }
+    json.close('}');
+}
+
 } // namespace
 
 std::string
@@ -249,7 +293,9 @@ sweepJson(const SweepResult &result)
             json.open('{');
             json.field("kind", cell.kind == CellKind::Timing
                                    ? "timing"
-                                   : "crash");
+                                   : cell.kind == CellKind::Crash
+                                         ? "crash"
+                                         : "fuzz");
             json.field("workload", cell.workload);
             json.field("design",
                        std::string(hwDesignName(cell.design)));
@@ -265,8 +311,10 @@ sweepJson(const SweepResult &result)
             if (cell.kind == CellKind::Timing) {
                 json.fieldRaw("speedup", jsonNumber(cell.speedup));
                 writeMetrics(json, cell.metrics);
-            } else {
+            } else if (cell.kind == CellKind::Crash) {
                 writeCrash(json, cell);
+            } else {
+                writeFuzz(json, cell);
             }
             json.close('}');
         }

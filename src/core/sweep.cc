@@ -62,6 +62,20 @@ SweepSpec::addCrash(std::shared_ptr<const RecordedWorkload> rec,
     return add(std::move(cell));
 }
 
+SweepCell &
+SweepSpec::addFuzz(const FuzzCellConfig &campaign)
+{
+    SweepCell cell;
+    cell.kind = CellKind::Fuzz;
+    cell.design = campaign.base.design;
+    cell.model = campaign.base.model;
+    cell.config.logStyle = campaign.base.logStyle;
+    cell.config.engine = campaign.base.experiment.engine;
+    cell.workloadLabel = workloadName(campaign.base.kind);
+    cell.fuzz = campaign;
+    return add(std::move(cell));
+}
+
 const CellResult *
 SweepResult::find(const std::string &key) const
 {
@@ -93,10 +107,32 @@ SweepResult::failedKeys() const
 namespace
 {
 
+/** FNV-1a over the cell key, for remixing per-cell fuzz seeds. */
+std::uint64_t
+hashKey(const std::string &key)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : key) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
 /** Execute one cell; throws propagate to the caller's handler. */
 void
 executeCell(const SweepCell &cell, CellResult &result)
 {
+    if (cell.kind == CellKind::Fuzz) {
+        // Remix the campaign seed with the cell coordinates so cells
+        // sharing one campaign seed still explore independent
+        // schedules — deterministically, whatever SW_JOBS is.
+        FuzzCellConfig campaign = cell.fuzz;
+        campaign.seed = mixSeed(campaign.seed, hashKey(result.key));
+        result.fuzz = runFuzzCell(campaign);
+        result.ok = true;
+        return;
+    }
     panicIf(!cell.recorded, "sweep cell {} has no recorded workload",
             result.key);
     if (cell.kind == CellKind::Timing) {
@@ -106,6 +142,7 @@ executeCell(const SweepCell &cell, CellResult &result)
     } else {
         CrashHarnessConfig crashCfg;
         crashCfg.pointBudget = cell.crashPoints;
+        crashCfg.seed = benchCrashSeed(crashCfg.seed);
         crashCfg.logStyle = cell.config.logStyle;
         crashCfg.tornWords = cell.tornWords;
         crashCfg.experiment = cell.config;

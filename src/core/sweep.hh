@@ -32,6 +32,7 @@
 
 #include "core/experiment.hh"
 #include "crash/crash_harness.hh"
+#include "fuzz/campaign.hh"
 
 namespace strand
 {
@@ -41,6 +42,7 @@ enum class CellKind
 {
     Timing, ///< runExperiment: the timing stack, RunMetrics out.
     Crash,  ///< runCrashCell: crash-point fault injection.
+    Fuzz,   ///< runFuzzCell: seeded adversarial-schedule fuzzing.
 };
 
 /** One cell of an experiment matrix. */
@@ -59,6 +61,15 @@ struct SweepCell
     unsigned crashPoints = 16;
     /** Crash cells: torn-line injection (see CrashHarnessConfig). */
     unsigned tornWords = wordsPerLine;
+    /**
+     * Fuzz cells: the campaign configuration. The workload comes
+     * from fuzz.base.kind (fuzz trials record their own workload per
+     * trial seed, so `recorded` stays null); the effective campaign
+     * seed is fuzz.seed remixed with the cell key, keeping sibling
+     * cells' schedules independent while the whole sweep remains a
+     * pure function of one seed.
+     */
+    FuzzCellConfig fuzz;
     /**
      * Extra coordinate distinguishing cells that share (workload,
      * design, model) — e.g. "4x4" strand-buffer geometry, "redo",
@@ -104,6 +115,8 @@ struct CellResult
     CrashCellResult crash;
     /** Crash cells: torn-word setting (>= wordsPerLine: whole lines). */
     unsigned tornWords = wordsPerLine;
+    /** Fuzz cells. */
+    FuzzCellResult fuzz;
 };
 
 /** A declarative experiment matrix. */
@@ -132,6 +145,9 @@ struct SweepSpec
     SweepCell &addCrash(std::shared_ptr<const RecordedWorkload> rec,
                         HwDesign design, PersistencyModel model,
                         unsigned crashPoints);
+
+    /** Append a Fuzz cell; @p campaign.base carries the coordinates. */
+    SweepCell &addFuzz(const FuzzCellConfig &campaign);
 };
 
 /** All cell outcomes, in spec order. */

@@ -10,6 +10,9 @@ System::System(const SystemConfig &config)
 {
     fatalIf(cfg.numCores == 0, "system needs at least one core");
 
+    cfg.engine.adversary = cfg.adversary;
+    cfg.caches.adversary = cfg.adversary;
+
     pmCtrl = std::make_unique<MemController>("pm", eq, image, cfg.pm,
                                              true, this);
     dramCtrl = std::make_unique<MemController>("dram", eq, image,

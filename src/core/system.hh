@@ -43,6 +43,12 @@ struct SystemConfig
     LogLayout layout;
     MemControllerParams pm;
     MemControllerParams dram = dramControllerParams();
+    /**
+     * Fuzzing hook (non-owning; must outlive the System). Copied
+     * into the engine and cache configs at construction so every
+     * legal-reordering site consults the same adversary.
+     */
+    DrainAdversary *adversary = nullptr;
 };
 
 /** One persist event observed at the PM controller. */

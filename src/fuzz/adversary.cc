@@ -1,0 +1,56 @@
+#include "fuzz/adversary.hh"
+
+namespace strand
+{
+
+DrainAdversary
+DrainAdversary::recording(const AdversaryParams &params)
+{
+    DrainAdversary adv;
+    adv.record = true;
+    adv.params = params;
+    adv.rng = Rng(params.seed);
+    return adv;
+}
+
+DrainAdversary
+DrainAdversary::replaying(DecisionLog log)
+{
+    DrainAdversary adv;
+    adv.record = false;
+    for (const FuzzDecision &d : log) {
+        adv.plan[{static_cast<unsigned>(d.site), d.core, d.query}] =
+            d.delay;
+    }
+    adv.decisions = std::move(log);
+    return adv;
+}
+
+Tick
+DrainAdversary::consider(EventQueue &eq, FuzzSite site, CoreId core,
+                         std::function<void()> retry)
+{
+    ++totalQueries;
+    std::uint64_t query =
+        counters[{static_cast<unsigned>(site), core}]++;
+
+    Tick delay = 0;
+    if (record) {
+        if (decisions.size() < params.maxDecisions &&
+            rng.chance(params.deferChance)) {
+            delay = rng.nextRange(params.minDelay, params.maxDelay);
+            decisions.push_back({site, core, query, delay});
+        }
+    } else {
+        auto it = plan.find(
+            {static_cast<unsigned>(site), core, query});
+        if (it != plan.end())
+            delay = it->second;
+    }
+
+    if (delay > 0)
+        eq.scheduleIn(delay, std::move(retry));
+    return delay;
+}
+
+} // namespace strand

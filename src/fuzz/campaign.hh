@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fuzz campaigns: many seeded trials of one (workload, design, model)
+ * cell, with automatic shrinking and reproducer emission for every
+ * failure class found.
+ *
+ * Per-trial seeds derive from the campaign seed and the trial index
+ * alone, so a campaign is deterministic regardless of how cells are
+ * scheduled across worker threads (SW_JOBS).
+ */
+
+#ifndef FUZZ_CAMPAIGN_HH
+#define FUZZ_CAMPAIGN_HH
+
+#include "fuzz/fuzz_trial.hh"
+#include "fuzz/shrink.hh"
+
+namespace strand
+{
+
+/** One cell's campaign configuration. */
+struct FuzzCellConfig
+{
+    /** Trial template; its seed field is overwritten per trial. */
+    FuzzTrialSpec base;
+    unsigned trials = 8;
+    /** Campaign seed; trial i runs with mixSeed(seed, i + 1). */
+    std::uint64_t seed = 0xf022;
+    /** Shrink each failing trial's log (ddmin) before reporting. */
+    bool shrink = true;
+    /** Replay budget per shrink. */
+    unsigned shrinkBudget = 192;
+    /** Directory for reproducer files; empty writes none. */
+    std::string reproDir;
+    /** Keep at most this many failures' details. */
+    unsigned maxFailures = 8;
+};
+
+/** One failing trial, after shrinking. */
+struct FuzzFailure
+{
+    std::uint64_t trialSeed = 0;
+    Tick crashTick = 0;
+    unsigned tornWords = 8;
+    std::string violation;
+    std::size_t rawDecisions = 0;
+    std::size_t shrunkDecisions = 0;
+    DecisionLog shrunk;
+    /** Reproducer path (empty when not written). */
+    std::string reproPath;
+    bool replayDiverged = false;
+};
+
+/** Aggregate over one cell's trials. */
+struct FuzzCellResult
+{
+    unsigned trials = 0;
+    unsigned failingTrials = 0;
+    /** Recovery checks performed over all trials. */
+    std::uint64_t pointsChecked = 0;
+    /** Adversary queries answered over all recording runs. */
+    std::uint64_t queries = 0;
+    /** Adversary holds recorded over all recording runs. */
+    std::uint64_t holds = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool allPassed() const { return failingTrials == 0; }
+};
+
+/** Run @p config.trials seeded trials of one cell. */
+FuzzCellResult runFuzzCell(const FuzzCellConfig &config);
+
+} // namespace strand
+
+#endif // FUZZ_CAMPAIGN_HH

@@ -1,0 +1,89 @@
+#include "fuzz/decision.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace strand
+{
+
+const char *
+fuzzSiteName(FuzzSite site)
+{
+    switch (site) {
+      case FuzzSite::IntelIssue:
+        return "intel-issue";
+      case FuzzSite::StrandIssue:
+        return "strand-issue";
+      case FuzzSite::SbuIssue:
+        return "sbu-issue";
+      case FuzzSite::Writeback:
+        return "writeback";
+    }
+    return "?";
+}
+
+std::optional<FuzzSite>
+fuzzSiteFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < numFuzzSites; ++i) {
+        FuzzSite site = static_cast<FuzzSite>(i);
+        if (name == fuzzSiteName(site))
+            return site;
+    }
+    return std::nullopt;
+}
+
+std::string
+serializeDecisions(const DecisionLog &log)
+{
+    std::string out;
+    for (const FuzzDecision &d : log) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s %u %llu %llu\n",
+                      fuzzSiteName(d.site), d.core,
+                      static_cast<unsigned long long>(d.query),
+                      static_cast<unsigned long long>(d.delay));
+        out += buf;
+    }
+    return out;
+}
+
+std::optional<DecisionLog>
+parseDecisions(const std::string &text, std::string *error)
+{
+    DecisionLog log;
+    std::istringstream in(text);
+    std::string line;
+    unsigned lineNo = 0;
+    auto fail = [&](const std::string &why) -> std::optional<DecisionLog> {
+        if (error)
+            *error = "decision line " + std::to_string(lineNo) + ": " +
+                     why;
+        return std::nullopt;
+    };
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string siteName;
+        unsigned long long core = 0, query = 0, delay = 0;
+        if (!(fields >> siteName >> core >> query >> delay))
+            return fail("expected '<site> <core> <query> <delay>'");
+        std::string extra;
+        if (fields >> extra)
+            return fail("trailing token '" + extra + "'");
+        auto site = fuzzSiteFromName(siteName);
+        if (!site)
+            return fail("unknown site '" + siteName + "'");
+        FuzzDecision d;
+        d.site = *site;
+        d.core = static_cast<CoreId>(core);
+        d.query = query;
+        d.delay = delay;
+        log.push_back(d);
+    }
+    return log;
+}
+
+} // namespace strand

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Decision logs for the adversarial persistency fuzzer.
+ *
+ * A fuzz trial perturbs the persist schedule at a small set of hook
+ * sites (persist-engine issue points and the write-back drain path).
+ * Each perturbation is one FuzzDecision: "the query-th time site S on
+ * core C was about to act, hold the action for delay ticks". Allowing
+ * an action is the default and is *not* logged, so a decision log is
+ * a sparse list of perturbations and — crucially for shrinking — any
+ * subset of a log is itself a valid, legal schedule: removing an
+ * entry merely lets that action proceed immediately.
+ *
+ * Logs serialize to a stable one-decision-per-line text form used by
+ * the bench/out/repro/ reproducer files.
+ */
+
+#ifndef FUZZ_DECISION_HH
+#define FUZZ_DECISION_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/** The schedule points the adversary may perturb. */
+enum class FuzzSite : std::uint8_t
+{
+    IntelIssue,  ///< IntelEngine: CLWB issue within an epoch.
+    StrandIssue, ///< StrandEngine: persist-queue head issue to the SBU.
+    SbuIssue,    ///< StrandBufferUnit: CLWB flush issue from a buffer.
+    Writeback,   ///< Hierarchy: draining an eligible L1 write-back.
+};
+
+inline constexpr unsigned numFuzzSites = 4;
+
+const char *fuzzSiteName(FuzzSite site);
+
+/** @return the site named @p name, or nullopt. */
+std::optional<FuzzSite> fuzzSiteFromName(const std::string &name);
+
+/** One recorded perturbation of the persist schedule. */
+struct FuzzDecision
+{
+    FuzzSite site = FuzzSite::SbuIssue;
+    CoreId core = 0;
+    /** Per-(site, core) query counter value the decision applies to. */
+    std::uint64_t query = 0;
+    /** Ticks the action is held before its retry fires. */
+    Tick delay = 0;
+
+    bool operator==(const FuzzDecision &) const = default;
+};
+
+using DecisionLog = std::vector<FuzzDecision>;
+
+/** Render @p log one decision per line: "<site> <core> <query> <delay>". */
+std::string serializeDecisions(const DecisionLog &log);
+
+/**
+ * Parse serializeDecisions() output. @return nullopt (with a message
+ * in @p error when given) on any malformed line.
+ */
+std::optional<DecisionLog> parseDecisions(const std::string &text,
+                                          std::string *error = nullptr);
+
+} // namespace strand
+
+#endif // FUZZ_DECISION_HH

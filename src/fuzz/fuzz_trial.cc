@@ -1,0 +1,224 @@
+#include "fuzz/fuzz_trial.hh"
+
+#include "crash/crash_oracle.hh"
+#include "runtime/instrumentor.hh"
+#include "runtime/recovery.hh"
+#include "sim/random.hh"
+
+namespace strand
+{
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    // SplitMix64 of (seed + stream * golden gamma): the standard way
+    // to fan one master seed out into independent streams.
+    std::uint64_t z = seed + stream * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+FuzzTrialContext
+makeTrialContext(const FuzzTrialSpec &spec)
+{
+    FuzzTrialContext ctx;
+    ctx.spec = spec;
+    ctx.workloadSeed = mixSeed(spec.seed, 1);
+    ctx.adversarySeed = mixSeed(spec.seed, 2);
+    ctx.tornSeed = mixSeed(spec.seed, 3);
+
+    WorkloadParams params;
+    params.numThreads = spec.numThreads;
+    params.opsPerThread = spec.opsPerThread;
+    params.seed = ctx.workloadSeed;
+    ctx.recorded = recordWorkload(spec.kind, params);
+    return ctx;
+}
+
+namespace
+{
+
+std::uint64_t
+hashPersistTrace(const std::vector<PersistRecord> &trace)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    auto mix = [&hash](std::uint64_t value) {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (value >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    for (const PersistRecord &rec : trace) {
+        mix(rec.lineAddr);
+        mix(rec.when);
+        mix(rec.requester);
+        mix(static_cast<std::uint64_t>(rec.origin));
+    }
+    return hash;
+}
+
+/** Streams, oracle, and a system factory for one (ctx, adversary). */
+struct TrialRig
+{
+    InstrumentorParams ip;
+    std::vector<OpStream> streams;
+    CrashOracle oracle;
+
+    TrialRig(const FuzzTrialContext &ctx)
+        : ip(), streams(), oracle([&]() -> CrashOracle {
+              ip.design = ctx.spec.design;
+              ip.model = ctx.spec.model;
+              ip.logStyle = ctx.spec.logStyle;
+              Instrumentor instr(ip);
+              streams = instr.lower(ctx.recorded.trace);
+              return CrashOracle(ctx.recorded.trace,
+                                 instr.regionLog(),
+                                 ctx.recorded.preload, ip.layout);
+          }())
+    {
+    }
+
+    std::unique_ptr<System>
+    buildSystem(const FuzzTrialContext &ctx, DrainAdversary *adv)
+    {
+        SystemConfig sysCfg = ctx.spec.experiment.baseSystem;
+        sysCfg.numCores = static_cast<unsigned>(streams.size());
+        sysCfg.design = ctx.spec.design;
+        sysCfg.engine = ctx.spec.experiment.engine;
+        sysCfg.layout = ip.layout;
+        sysCfg.adversary = adv;
+        auto sys = std::make_unique<System>(sysCfg);
+        sys->seedImage(ctx.recorded.preload);
+        auto copies = streams;
+        sys->loadStreams(std::move(copies));
+        return sys;
+    }
+};
+
+} // namespace
+
+FuzzReplayOutcome
+replayDecisions(const FuzzTrialContext &ctx, const DecisionLog &log,
+                unsigned tornWords)
+{
+    FuzzReplayOutcome outcome;
+    TrialRig rig(ctx);
+
+    DrainAdversary adv = DrainAdversary::replaying(log);
+    auto sys = rig.buildSystem(ctx, &adv);
+    RecoveryManager recovery{rig.ip.layout};
+    const unsigned programThreads = ctx.recorded.params.numThreads;
+
+    auto inject = [&](Tick when, bool tearLast) {
+        MemoryImage snapshot;
+        if (!tearLast || tornWords >= wordsPerLine) {
+            snapshot = sys->memory().clonePersisted();
+        } else {
+            // Tear the admission that just happened: keep only the
+            // first tornWords of its written words.
+            std::uint8_t written = sys->memory().lastAdmissionMask();
+            std::uint8_t admit = 0;
+            unsigned kept = 0;
+            for (unsigned i = 0;
+                 i < wordsPerLine && kept < tornWords; ++i) {
+                if (written & (1u << i)) {
+                    admit |= static_cast<std::uint8_t>(1u << i);
+                    ++kept;
+                }
+            }
+            snapshot = sys->memory().clonePersistedTorn(admit);
+        }
+        std::vector<bool> committed =
+            rig.oracle.committedRegions(snapshot);
+        recovery.recover(snapshot, programThreads);
+
+        std::string err = rig.oracle.checkRecovered(snapshot, committed);
+        if (err.empty() && ctx.recorded.workload) {
+            auto read = [&snapshot](Addr addr) {
+                return snapshot.readPersisted(addr);
+            };
+            err = ctx.recorded.workload->checkInvariants(read);
+        }
+        ++outcome.pointsChecked;
+        if (err.empty())
+            return;
+        ++outcome.pointsFailed;
+        if (!outcome.failed) {
+            outcome.failed = true;
+            outcome.crashTick = when;
+            outcome.violation = std::move(err);
+        }
+    };
+
+    // Persisted state changes only at ADR admissions, so checking in
+    // the admission hook covers every distinct post-crash image this
+    // schedule can produce.
+    sys->setPersistHook([&inject](const PersistRecord &rec) {
+        inject(rec.when, true);
+    });
+    outcome.endTick = sys->run();
+    // A crash after the last persist must recover to the final state.
+    inject(outcome.endTick, false);
+
+    outcome.traceHash = hashPersistTrace(sys->persistTrace());
+    return outcome;
+}
+
+FuzzTrialResult
+runFuzzTrial(const FuzzTrialSpec &spec)
+{
+    FuzzTrialContext ctx = makeTrialContext(spec);
+
+    FuzzTrialResult result;
+    result.workloadSeed = ctx.workloadSeed;
+    result.adversarySeed = ctx.adversarySeed;
+
+    // Recording run: execute under a fresh adversarial schedule, no
+    // injection, capture the decision log and the persist trace.
+    std::uint64_t recordHash = 0;
+    {
+        AdversaryParams ap = spec.adversary;
+        ap.seed = ctx.adversarySeed;
+        DrainAdversary adv = DrainAdversary::recording(ap);
+        TrialRig rig(ctx);
+        auto sys = rig.buildSystem(ctx, &adv);
+        sys->run();
+        recordHash = hashPersistTrace(sys->persistTrace());
+        result.decisions = adv.log();
+        result.queries = adv.queriesSeen();
+    }
+
+    // Torn-word mask for every injection of this trial: half the
+    // trials keep admissions whole, the rest tear the final line
+    // after 1..7 words.
+    Rng torn(ctx.tornSeed);
+    result.tornWords =
+        torn.chance(0.5) ? wordsPerLine
+                         : static_cast<unsigned>(
+                               torn.nextRange(1, wordsPerLine - 1));
+
+    FuzzReplayOutcome outcome =
+        replayDecisions(ctx, result.decisions, result.tornWords);
+    result.failed = outcome.failed;
+    result.violation = outcome.violation;
+    result.crashTick = outcome.crashTick;
+    result.pointsChecked = outcome.pointsChecked;
+    result.pointsFailed = outcome.pointsFailed;
+    result.traceHash = outcome.traceHash;
+
+    if (outcome.traceHash != recordHash) {
+        // The replayed schedule did not reproduce the recorded run —
+        // an infrastructure bug, reported as its own failure class so
+        // campaigns surface it instead of silently mis-shrinking.
+        result.replayDiverged = true;
+        result.failed = true;
+        if (result.violation.empty())
+            result.violation = "replay divergence: persist trace of "
+                               "the replay run does not match the "
+                               "recording run";
+    }
+    return result;
+}
+
+} // namespace strand

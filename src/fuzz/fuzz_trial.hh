@@ -1,0 +1,119 @@
+/**
+ * @file
+ * One fuzz trial: a workload run under an adversarial drain schedule
+ * with crash-recovery checking at every PM admission.
+ *
+ * A trial derives three sub-seeds from its trial seed (workload op
+ * mix, adversary schedule, torn-word selection), then runs twice:
+ *
+ *  1. A recording run executes the cell under a recording
+ *     DrainAdversary, producing the decision log and a hash of the
+ *     persist trace.
+ *  2. A replay run applies that exact log through a replaying
+ *     adversary and, at every ADR admission (plus the completed
+ *     run), snapshots the persisted image — torn at the trial's
+ *     word mask — recovers it with the Figure 6 protocol and
+ *     validates it against the CrashOracle and the workload's
+ *     structural invariants. The persist-trace hash of the replay
+ *     must equal the recording run's: any divergence is itself
+ *     reported as a trial failure (it would mean the trial is not
+ *     replayable from (seed, log), breaking shrinking).
+ *
+ * replayDecisions() is the shrinker's predicate: because the
+ * adversary treats queries without a log entry as "proceed", any
+ * sub-log is a legal schedule and can be replayed unchanged.
+ */
+
+#ifndef FUZZ_FUZZ_TRIAL_HH
+#define FUZZ_FUZZ_TRIAL_HH
+
+#include "core/experiment.hh"
+#include "fuzz/adversary.hh"
+
+namespace strand
+{
+
+/** Everything defining one fuzz trial. */
+struct FuzzTrialSpec
+{
+    WorkloadKind kind = WorkloadKind::Queue;
+    HwDesign design = HwDesign::StrandWeaver;
+    PersistencyModel model = PersistencyModel::Txn;
+    LogStyle logStyle = LogStyle::Undo;
+    unsigned numThreads = 2;
+    unsigned opsPerThread = 12;
+    /** Engine/system knobs (hopsEpochInterlock travels in here). */
+    ExperimentConfig experiment;
+    /** Recording-mode knobs; the seed is overwritten per trial. */
+    AdversaryParams adversary;
+    /** Master seed; workload/adversary/torn seeds derive from it. */
+    std::uint64_t seed = 1;
+};
+
+/** A trial spec with its derived seeds and recorded workload. */
+struct FuzzTrialContext
+{
+    FuzzTrialSpec spec;
+    std::uint64_t workloadSeed = 0;
+    std::uint64_t adversarySeed = 0;
+    std::uint64_t tornSeed = 0;
+    RecordedWorkload recorded;
+};
+
+/** Outcome of replaying one decision log with injection. */
+struct FuzzReplayOutcome
+{
+    bool failed = false;
+    /** First violation message (empty when passed). */
+    std::string violation;
+    /** Tick of the first failing injection. */
+    Tick crashTick = 0;
+    unsigned pointsChecked = 0;
+    unsigned pointsFailed = 0;
+    /** FNV-1a hash of the persist trace (replay-divergence check). */
+    std::uint64_t traceHash = 0;
+    Tick endTick = 0;
+};
+
+/** Outcome of a full trial. */
+struct FuzzTrialResult
+{
+    bool failed = false;
+    std::string violation;
+    Tick crashTick = 0;
+    /** Words admitted of each injection's final line (8 = whole). */
+    unsigned tornWords = 8;
+    unsigned pointsChecked = 0;
+    unsigned pointsFailed = 0;
+    /** The recorded adversarial schedule (replay input). */
+    DecisionLog decisions;
+    /** consider() queries the recording run answered. */
+    std::uint64_t queries = 0;
+    std::uint64_t workloadSeed = 0;
+    std::uint64_t adversarySeed = 0;
+    std::uint64_t traceHash = 0;
+    /** True when record and replay persist traces diverged. */
+    bool replayDiverged = false;
+};
+
+/** SplitMix64 — derives independent sub-seeds from a master seed. */
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t stream);
+
+/** Record the workload and derive sub-seeds (once per trial). */
+FuzzTrialContext makeTrialContext(const FuzzTrialSpec &spec);
+
+/**
+ * Replay @p log against @p ctx, injecting a (possibly torn)
+ * crash-recovery check at every PM admission and after completion.
+ * Deterministic in (ctx, log, tornWords).
+ */
+FuzzReplayOutcome replayDecisions(const FuzzTrialContext &ctx,
+                                  const DecisionLog &log,
+                                  unsigned tornWords);
+
+/** Run one complete trial (record, then replay with injection). */
+FuzzTrialResult runFuzzTrial(const FuzzTrialSpec &spec);
+
+} // namespace strand
+
+#endif // FUZZ_FUZZ_TRIAL_HH

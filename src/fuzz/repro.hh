@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproducer files for failing fuzz trials.
+ *
+ * A reproducer captures everything needed to re-execute one failing
+ * (usually shrunk) schedule byte-for-byte: the cell coordinates, the
+ * trial seed (from which the workload op mix derives), the torn-word
+ * mask, and the decision log. The format is a line-oriented text
+ * file — `key value` header lines, then one decision per line after
+ * a `decisions` marker — so a reproducer can be read, diffed, and
+ * hand-edited. `bench/fuzz_campaign --replay <file>` re-runs one.
+ */
+
+#ifndef FUZZ_REPRO_HH
+#define FUZZ_REPRO_HH
+
+#include <optional>
+#include <string>
+
+#include "fuzz/fuzz_trial.hh"
+
+namespace strand
+{
+
+/** A self-contained failing-schedule description. */
+struct FuzzRepro
+{
+    FuzzTrialSpec spec;
+    unsigned tornWords = 8;
+    DecisionLog decisions;
+    /** The violation observed when the reproducer was written. */
+    std::string violation;
+};
+
+/** Serialize to the reproducer text format. */
+std::string serializeRepro(const FuzzRepro &repro);
+
+/**
+ * Parse a reproducer. @return nullopt (and set @p error) on any
+ * malformed or unknown field.
+ */
+std::optional<FuzzRepro> parseRepro(const std::string &text,
+                                    std::string *error = nullptr);
+
+/**
+ * Write @p repro under @p dir (created if missing) with a name
+ * derived from the cell coordinates and trial seed.
+ * @return the path written, or empty on I/O failure.
+ */
+std::string writeRepro(const FuzzRepro &repro, const std::string &dir);
+
+/** Load the file and replay it. Dies loudly if unreadable. */
+FuzzReplayOutcome replayReproFile(const std::string &path);
+
+} // namespace strand
+
+#endif // FUZZ_REPRO_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Delta-debugging (ddmin) reduction of failing adversarial schedules.
+ *
+ * The decision log is a sparse list of perturbations whose absence is
+ * always legal (an unmatched query simply proceeds), so every subset
+ * of a failing log is a replayable schedule. ddmin exploits that:
+ * partition the log, try each chunk and each complement, and keep any
+ * candidate that still fails, doubling granularity until no chunk can
+ * be removed. A final greedy pass drops single entries. The result is
+ * a minimal (1-minimal) schedule that still produces a recovery
+ * violation — typically a handful of holds pointing straight at the
+ * interleaving that matters.
+ */
+
+#ifndef FUZZ_SHRINK_HH
+#define FUZZ_SHRINK_HH
+
+#include <functional>
+
+#include "fuzz/fuzz_trial.hh"
+
+namespace strand
+{
+
+/** Outcome of a shrink run. */
+struct ShrinkResult
+{
+    /** The reduced log (still failing), or the input if none fail. */
+    DecisionLog log;
+    /** Replays spent. */
+    unsigned replays = 0;
+    /** True when the reduced log still reproduces the failure. */
+    bool stillFails = false;
+};
+
+/**
+ * ddmin over an arbitrary failure predicate. Exposed for tests; the
+ * predicate must be deterministic.
+ * @param maxReplays Budget on predicate evaluations.
+ */
+ShrinkResult
+shrinkLog(const DecisionLog &log,
+          const std::function<bool(const DecisionLog &)> &fails,
+          unsigned maxReplays = 256);
+
+/**
+ * Shrink a failing trial's log by replaying candidates against the
+ * trial context with the trial's torn-word mask.
+ */
+ShrinkResult shrinkDecisions(const FuzzTrialContext &ctx,
+                             const DecisionLog &log,
+                             unsigned tornWords,
+                             unsigned maxReplays = 256);
+
+} // namespace strand
+
+#endif // FUZZ_SHRINK_HH

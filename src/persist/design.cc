@@ -48,6 +48,8 @@ makePersistEngine(HwDesign design, std::string name, EventQueue &eq,
           case HwDesign::IntelX86: {
             IntelEngineParams p;
             p.queueEntries = config.pqEntries;
+            p.adversary = config.adversary;
+            p.plantedEpochBug = config.plantedEpochBug;
             return std::make_unique<IntelEngine>(std::move(name), eq,
                                                  core, hier, p, parent);
           }
@@ -58,12 +60,17 @@ makePersistEngine(HwDesign design, std::string name, EventQueue &eq,
             p.pqEntries = config.pqEntries;
             p.sbu.numBuffers = config.strandBuffers;
             p.sbu.entriesPerBuffer = config.entriesPerBuffer;
+            p.adversary = config.adversary;
+            p.sbu.adversary = config.adversary;
             return std::make_unique<StrandEngine>(std::move(name), eq,
                                                   core, hier, p, parent);
           }
           case HwDesign::Hops: {
             StrandEngineParams p = hopsParams();
             p.pqEntries = config.pqEntries;
+            p.epochInterlock = config.hopsEpochInterlock;
+            p.adversary = config.adversary;
+            p.sbu.adversary = config.adversary;
             return std::make_unique<StrandEngine>(std::move(name), eq,
                                                   core, hier, p, parent);
           }
@@ -71,6 +78,8 @@ makePersistEngine(HwDesign design, std::string name, EventQueue &eq,
             StrandEngineParams p = noPersistQueueParams();
             p.sbu.numBuffers = config.strandBuffers;
             p.sbu.entriesPerBuffer = config.entriesPerBuffer;
+            p.adversary = config.adversary;
+            p.sbu.adversary = config.adversary;
             return std::make_unique<StrandEngine>(std::move(name), eq,
                                                   core, hier, p, parent);
           }
@@ -79,6 +88,8 @@ makePersistEngine(HwDesign design, std::string name, EventQueue &eq,
             p.pqEntries = config.pqEntries;
             p.sbu.numBuffers = config.strandBuffers;
             p.sbu.entriesPerBuffer = config.entriesPerBuffer;
+            p.adversary = config.adversary;
+            p.sbu.adversary = config.adversary;
             return std::make_unique<StrandEngine>(std::move(name), eq,
                                                   core, hier, p, parent);
           }

@@ -16,6 +16,8 @@
 namespace strand
 {
 
+class DrainAdversary;
+
 /** The five hardware designs compared in §VI. */
 enum class HwDesign
 {
@@ -57,6 +59,18 @@ struct EngineConfig
     unsigned entriesPerBuffer = 4;
     /** Record persist-completion ticks (crash-point enumeration). */
     bool recordCompletionTicks = false;
+    /**
+     * Opt-in HOPS epoch interlock (closes the modeling gap the fuzzer
+     * exposes): write-back drain points additionally cover CLWBs
+     * still waiting in the persist queue, and stores may not drain
+     * into a line an in-flight older CLWB has not read yet even
+     * across a delegated ofence. See EXPERIMENTS.md "Fuzz campaigns".
+     */
+    bool hopsEpochInterlock = false;
+    /** Test-only planted ordering bug (see IntelEngineParams). */
+    bool plantedEpochBug = false;
+    /** Fuzzing hook (non-owning); null leaves schedules untouched. */
+    DrainAdversary *adversary = nullptr;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "persist/intel_engine.hh"
 
+#include "fuzz/adversary.hh"
+
 namespace strand
 {
 
@@ -89,6 +91,13 @@ IntelEngine::issueEligible()
                 for (const Entry &other : queue) {
                     if (other.seq >= entry.seq)
                         break;
+                    if (params.plantedEpochBug && !other.issued &&
+                        curTick() < other.heldUntil) {
+                        // Planted bug (see IntelEngineParams): a held
+                        // flush is miscounted as done, breaching the
+                        // epoch exactly when the adversary says so.
+                        continue;
+                    }
                     if (other.type == OpType::Clwb && !other.completed) {
                         clwbsDone = false;
                         break;
@@ -115,6 +124,20 @@ IntelEngine::issueEligible()
             // flushes fresh data; younger independent CLWBs in the
             // same epoch may still proceed.
             continue;
+        }
+        if (params.adversary) {
+            // Fuzzing: CLWBs within an epoch may flush in any order,
+            // so the adversary is free to hold this one while
+            // younger epoch-mates proceed.
+            if (curTick() < entry.heldUntil)
+                continue;
+            Tick delay = params.adversary->consider(
+                eq, FuzzSite::IntelIssue, core,
+                [this] { evaluate(); });
+            if (delay > 0) {
+                entry.heldUntil = curTick() + delay;
+                continue;
+            }
         }
         entry.issued = true;
         entry.issuedAt = curTick();

@@ -23,11 +23,24 @@
 namespace strand
 {
 
+class DrainAdversary;
+
 /** Parameters for the Intel-style engine. */
 struct IntelEngineParams
 {
     /** Outstanding CLWB/SFENCE entries tracked by the core. */
     unsigned queueEntries = 16;
+    /** Fuzzing hook (non-owning); null leaves issue order untouched. */
+    DrainAdversary *adversary = nullptr;
+    /**
+     * Test-only fault injection: an SFENCE counts adversarially held
+     * CLWBs as already complete, so holding a log-entry flush lets
+     * younger stores (and their flushes) persist ahead of it — an
+     * ordering bug that exists ONLY under particular adversarial
+     * schedules. tests/fuzz/ uses it to prove the fuzzer catches
+     * schedule-dependent bugs and that ddmin keeps the causal holds.
+     */
+    bool plantedEpochBug = false;
 };
 
 /**
@@ -66,6 +79,8 @@ class IntelEngine : public PersistEngine
         bool issued = false;
         bool completed = false;
         Tick issuedAt = 0;
+        /** Adversarial hold on this entry's issue (fuzzing). */
+        Tick heldUntil = 0;
     };
 
     void issueEligible();

@@ -1,5 +1,7 @@
 #include "persist/strand_buffer_unit.hh"
 
+#include "fuzz/adversary.hh"
+
 namespace strand
 {
 
@@ -123,6 +125,20 @@ StrandBufferUnit::issueFrom(Buffer &buffer)
             continue;
         if (entry.ready && !entry.ready())
             continue; // not flushable yet; later entries may proceed
+        if (params.adversary) {
+            // Fuzzing: entries in a barrier-free prefix (and in other
+            // strands) carry no mutual ordering, so holding this one
+            // while its neighbours flush is a legal schedule.
+            if (curTick() < entry.heldUntil)
+                continue;
+            Tick delay = params.adversary->consider(
+                eq, FuzzSite::SbuIssue, core,
+                [this] { evaluate(); });
+            if (delay > 0) {
+                entry.heldUntil = curTick() + delay;
+                continue;
+            }
+        }
         entry.hasIssued = true;
         entry.issuedAt = curTick();
         ++clwbsIssued;

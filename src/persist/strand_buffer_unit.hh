@@ -33,11 +33,15 @@
 namespace strand
 {
 
+class DrainAdversary;
+
 /** Configuration of the strand buffer unit. */
 struct StrandBufferUnitParams
 {
     unsigned numBuffers = 4;
     unsigned entriesPerBuffer = 4;
+    /** Fuzzing hook (non-owning); null leaves issue order untouched. */
+    DrainAdversary *adversary = nullptr;
 };
 
 /**
@@ -143,6 +147,8 @@ class StrandBufferUnit : public SimObject
         std::function<bool()> ready;
         /** Monotonic position used by drain-point predicates. */
         std::uint64_t position = 0;
+        /** Adversarial hold on this entry's issue (fuzzing). */
+        Tick heldUntil = 0;
     };
 
     struct Buffer

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "fuzz/adversary.hh"
+
 namespace strand
 {
 
@@ -47,7 +49,7 @@ StrandEngine::StrandEngine(std::string name, EventQueue &eq, CoreId core,
                   "JoinStrand / dfence ops dispatched"),
       pqOccupancyHist(this, "pqOccupancy",
                       "persist queue occupancy at dispatch"),
-      params(params),
+      core(core), params(params),
       sbu("sbu", eq, core, hier, params.sbu, this)
 {
     sbu.setCompletionCallback(
@@ -135,6 +137,14 @@ StrandEngine::storeMayIssue(SeqNum seq) const
             barrierBetween[i] = seen;
             if (queue[i].type == OpType::PersistBarrier)
                 seen = true;
+            else if (params.epochInterlock &&
+                     queue[i].type == OpType::Ofence)
+                // The delegated ofence normally orders nothing on the
+                // CPU side; under the epoch interlock it gates stores
+                // from overwriting lines of pre-ofence CLWBs that
+                // have not read the cache yet, exactly as a persist
+                // barrier does.
+                seen = true;
             else if (queue[i].type == OpType::NewStrand)
                 seen = false;
         }
@@ -159,8 +169,8 @@ StrandEngine::storeMayIssue(SeqNum seq) const
             // line an in-flight older CLWB has not read yet, or the
             // flush would capture post-barrier data (§IV orders
             // prior CLWB issue before subsequent stores).
-            if (params.pbGatesStores && barrierSince &&
-                !entry.flushStarted) {
+            if ((params.pbGatesStores || params.epochInterlock) &&
+                barrierSince && !entry.flushStarted) {
                 return false;
             }
             break;
@@ -258,6 +268,20 @@ StrandEngine::issueHead()
             continue;
         if (!headMayIssue(entry))
             return;
+        if (params.adversary) {
+            // Fuzzing: the persist queue drains strictly in order, so
+            // a hold here delays everything younger — a legal (if
+            // slow) schedule that stresses drain-point interlocks.
+            if (curTick() < entry.heldUntil)
+                return;
+            Tick delay = params.adversary->consider(
+                eq, FuzzSite::StrandIssue, core,
+                [this] { evaluate(); });
+            if (delay > 0) {
+                entry.heldUntil = curTick() + delay;
+                return;
+            }
+        }
         if (issueBudget == 0)
             return;
         --issueBudget;
@@ -370,7 +394,31 @@ StrandEngine::sharesStoreQueue() const
 Hierarchy::Clearance
 StrandEngine::recordDrainPoint()
 {
-    return sbu.recordDrainPoint();
+    Hierarchy::Clearance sbuClear = sbu.recordDrainPoint();
+    if (!params.epochInterlock || queue.empty())
+        return sbuClear;
+    // Epoch interlock: with the delegated ofence, the departing dirty
+    // line may already hold data from stores younger than CLWBs still
+    // waiting in the persist queue — covering only the strand buffers
+    // would let that data reach PM before its guarding log entry.
+    // Also hold the write-back until every CLWB dispatched so far has
+    // persisted.
+    SeqNum tail = queue.back().seq;
+    auto pqClear = [this, tail] {
+        for (const Entry &entry : queue) {
+            if (entry.seq > tail)
+                break;
+            if (entry.type == OpType::Clwb && !entry.completed)
+                return false;
+        }
+        return true;
+    };
+    if (!sbuClear)
+        return pqClear;
+    return [sbuClear = std::move(sbuClear),
+            pqClear = std::move(pqClear)] {
+        return sbuClear() && pqClear();
+    };
 }
 
 } // namespace strand

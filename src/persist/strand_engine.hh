@@ -47,6 +47,15 @@ struct StrandEngineParams
      * with stores (NO-PERSIST-QUEUE design).
      */
     bool sharedStoreQueue = false;
+    /**
+     * Opt-in HOPS epoch interlock (see EngineConfig): write-back
+     * drain points cover persist-queue CLWBs in addition to the
+     * strand buffers, and ofences gate stores from draining into a
+     * line whose in-flight older CLWB has not read it yet.
+     */
+    bool epochInterlock = false;
+    /** Fuzzing hook (non-owning); null leaves issue order untouched. */
+    DrainAdversary *adversary = nullptr;
 };
 
 /** @return the StrandWeaver configuration (Table: 16-entry PQ, 4x4). */
@@ -103,6 +112,8 @@ class StrandEngine : public PersistEngine
         /** CLWB has performed its cache read (flush started). */
         bool flushStarted = false;
         bool completed = false;
+        /** Adversarial hold on this entry's issue (fuzzing). */
+        Tick heldUntil = 0;
     };
 
     /** True when the head entry's issue preconditions hold. */
@@ -116,6 +127,7 @@ class StrandEngine : public PersistEngine
     /** @return true if a JoinStrand-like entry is complete. */
     bool joinComplete(const Entry &entry) const;
 
+    CoreId core;
     StrandEngineParams params;
     StrandBufferUnit sbu;
     std::deque<Entry> queue;

@@ -47,12 +47,23 @@ constexpr Addr value = 16;
 constexpr Addr size = 24;
 constexpr Addr valid = 32;
 constexpr Addr commitMarker = 40;
-/** Monotonic entry index; distinguishes live entries from stale
- * content of previous laps around the circular buffer. */
-constexpr Addr seq = 48;
 /** Global creation order (scalar clock, consistent with
  * happens-before): cross-thread rollback order after a crash. */
-constexpr Addr globalSeq = 56;
+constexpr Addr globalSeq = 48;
+/**
+ * Monotonic entry index; distinguishes live entries from stale
+ * content of previous laps around the circular buffer.
+ *
+ * seq occupies the line's TOP word on purpose: torn-line injection
+ * admits a low-index prefix of the written words, so any tear of an
+ * entry line drops seq first and recovery's seq<->slot check rejects
+ * the whole entry as unpublished. With globalSeq above seq (as the
+ * layout once had it), a 7-word tear kept a valid-looking entry whose
+ * globalSeq read as stale zero — and a torn region-end entry then
+ * fell below the SFR/ATLAS commit frontier, masking uncommitted
+ * updates from rollback.
+ */
+constexpr Addr seq = 56;
 } // namespace log_field
 
 /** Geometry of the per-thread logs and the heap. */

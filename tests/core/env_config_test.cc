@@ -37,6 +37,9 @@ TEST(EnvConfig, UnsetKnobsLeaveDefaults)
     EXPECT_FALSE(config.crashPoints.has_value());
     EXPECT_FALSE(config.jobs.has_value());
     EXPECT_FALSE(config.tornWords.has_value());
+    EXPECT_FALSE(config.crashSeed.has_value());
+    EXPECT_FALSE(config.fuzzTrials.has_value());
+    EXPECT_FALSE(config.fuzzSeed.has_value());
     EXPECT_EQ(config.outDir, "bench/out");
 }
 
@@ -61,6 +64,32 @@ TEST(EnvConfig, ParsesEveryKnob)
     EXPECT_EQ(config.jobs, 8u);
     EXPECT_EQ(config.tornWords, 3u);
     EXPECT_EQ(config.outDir, "/tmp/out");
+}
+
+TEST(EnvConfig, SeedKnobsAcceptDecimalAndHex)
+{
+    EnvConfig config = parse({{"SW_CRASH_SEED", "12345"},
+                              {"SW_FUZZ_SEED", "0xf022"},
+                              {"SW_FUZZ_TRIALS", "0"}});
+    EXPECT_EQ(config.crashSeed, 12345u);
+    EXPECT_EQ(config.fuzzSeed, 0xf022u);
+    EXPECT_EQ(config.fuzzTrials, 0u); // 0 trials: campaign disabled
+
+    // Seeds use the full 64-bit range.
+    config = parse({{"SW_CRASH_SEED", "0xffffffffffffffff"}});
+    EXPECT_EQ(config.crashSeed, ~std::uint64_t{0});
+}
+
+TEST(EnvConfig, MalformedSeedKnobsDieLoudly)
+{
+    EXPECT_THROW(parse({{"SW_CRASH_SEED", "abc"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_FUZZ_SEED", "0x12zz"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_CRASH_SEED", "-1"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_FUZZ_TRIALS", "many"}}),
+                 std::invalid_argument);
 }
 
 TEST(EnvConfig, MalformedValuesDieLoudly)

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "crash/crash_harness.hh"
+#include "runtime/layout.hh"
 
 namespace strand
 {
@@ -152,6 +153,34 @@ TEST(CrashHarness, TornPrefixesStayRecoverable)
         EXPECT_GT(cell.pointsTested, 0u);
         EXPECT_TRUE(cell.allPassed())
             << "tornWords=" << tornWords << ": "
+            << (cell.failures.empty()
+                    ? "?"
+                    : cell.failures.front().violation);
+    }
+}
+
+TEST(CrashHarness, SevenWordTearsKeepFrontierModelsRecoverable)
+{
+    // Regression for a latent layout bug the fuzzer surfaced: with
+    // globalSeq above seq, a 7-word tear of a region-end log entry
+    // kept a valid-looking seq while globalSeq read as stale zero,
+    // fell below the SFR/ATLAS commit frontier, and masked the
+    // region's uncommitted updates from rollback. seq now occupies
+    // the line's top word, so any tear of an entry line fails the
+    // seq<->slot check and the entry is dropped as unpublished.
+    static_assert(log_field::seq == 56,
+                  "seq must stay the top word of the entry line — "
+                  "prefix tears must drop it first");
+    RecordedWorkload recorded = record(WorkloadKind::Queue);
+    for (PersistencyModel model :
+         {PersistencyModel::Sfr, PersistencyModel::Atlas}) {
+        CrashHarnessConfig cfg = smallConfig(24);
+        cfg.tornWords = 7;
+        CrashCellResult cell = runCrashCell(
+            recorded, HwDesign::StrandWeaver, model, cfg);
+        EXPECT_GT(cell.pointsTested, 0u);
+        EXPECT_TRUE(cell.allPassed())
+            << persistencyModelName(model) << ": "
             << (cell.failures.empty()
                     ? "?"
                     : cell.failures.front().violation);
