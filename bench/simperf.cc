@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Simulator-throughput microbench: how fast the *host* executes the
+ * simulation, independent of what the simulation computes. Three
+ * fixed-seed sections cover the kernel hot paths this repo leans on:
+ *
+ *   event_churn     64 self-rescheduling one-shot chains plus a
+ *                   cancel-heavy wake pattern — the shape of
+ *                   Core::tick interleaved with wake() churn.
+ *   recurring_churn the same chains on the EventQueue::Recurring
+ *                   fast path (one pooled record re-armed in place).
+ *   image_clone     MemoryImage::clonePersisted / clonePersistedTorn,
+ *                   the crash- and fuzz-harness inner loop.
+ *   fig7_cell       one fig7-shaped timing cell end to end, the
+ *                   integrated number the sweeps are made of.
+ *
+ * Everything is seeded and sized by constants, so the *work* is
+ * identical run to run; only the wall-clock varies. Results land in
+ * <SW_OUT_DIR>/BENCH_simperf.json for trajectory tooling; compare
+ * against bench/baseline/simperf_seed.json (the pre-pooling kernel)
+ * for speedups.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/env_config.hh"
+#include "mem/memory_image.hh"
+#include "sim/event_queue.hh"
+
+using namespace strand;
+
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** One measured section, as printed and as written to JSON. */
+struct Section
+{
+    std::string name;
+    std::uint64_t units = 0; ///< events / clones / runs
+    double wallMs = 0;
+    double unitsPerSec = 0;
+};
+
+constexpr unsigned churnChains = 64;
+constexpr std::uint64_t churnFires = 4'000'000;
+
+/**
+ * The one-shot churn pattern: every fire cancels the chain's pending
+ * wake, schedules a fresh one, and reschedules itself — exercising
+ * allocation, cancellation, and carcass compaction at once.
+ */
+Section
+runEventChurn()
+{
+    EventQueue eq;
+    std::uint64_t fires = 0;
+    std::vector<EventQueue::Handle> wakes(churnChains);
+    std::vector<std::function<void()>> tickFns(churnChains);
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < churnChains; ++c) {
+        tickFns[c] = [&eq, &fires, &wakes, &tickFns, c] {
+            ++fires;
+            eq.deschedule(wakes[c]);
+            wakes[c] =
+                eq.scheduleIn(700, [] {}, EventPriority::Default);
+            if (fires < churnFires)
+                eq.scheduleIn(500, tickFns[c],
+                              EventPriority::CpuTick);
+        };
+        eq.schedule(c, tickFns[c], EventPriority::CpuTick);
+    }
+    eq.run();
+    Section s{"event_churn", eq.serviced(), msSince(t0), 0};
+    s.unitsPerSec = 1e3 * static_cast<double>(s.units) / s.wallMs;
+    std::printf("event_churn:     events=%llu wall_ms=%.1f "
+                "events_per_sec=%.3g (arena %zu records, "
+                "%llu compactions)\n",
+                static_cast<unsigned long long>(s.units), s.wallMs,
+                s.unitsPerSec, eq.arenaRecords(),
+                static_cast<unsigned long long>(eq.compactions()));
+    return s;
+}
+
+/** The same chains on the Recurring fast path: zero allocation and
+ * zero cancellation in steady state. */
+Section
+runRecurringChurn()
+{
+    EventQueue eq;
+    std::uint64_t fires = 0;
+    std::vector<EventQueue::Recurring> ticks(churnChains);
+    std::vector<EventQueue::Recurring> wakes(churnChains);
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < churnChains; ++c) {
+        wakes[c].init(eq, [] {}, EventPriority::Default);
+        ticks[c].init(eq, [&eq, &fires, &ticks, &wakes, c] {
+            ++fires;
+            if (wakes[c].scheduled())
+                wakes[c].deschedule();
+            wakes[c].scheduleIn(700);
+            if (fires < churnFires)
+                ticks[c].reschedule(500);
+        }, EventPriority::CpuTick);
+        ticks[c].schedule(c);
+    }
+    eq.run();
+    Section s{"recurring_churn", eq.serviced(), msSince(t0), 0};
+    s.unitsPerSec = 1e3 * static_cast<double>(s.units) / s.wallMs;
+    std::printf("recurring_churn: events=%llu wall_ms=%.1f "
+                "events_per_sec=%.3g (arena %zu records)\n",
+                static_cast<unsigned long long>(s.units), s.wallMs,
+                s.unitsPerSec, eq.arenaRecords());
+    return s;
+}
+
+Section
+runImageClone()
+{
+    MemoryImage img;
+    constexpr unsigned lines = 1024;
+    for (unsigned l = 0; l < lines; ++l) {
+        Addr la = pmBase + static_cast<Addr>(l) * lineBytes;
+        for (unsigned w = 0; w < wordsPerLine; ++w)
+            img.writeArch(la + w * wordBytes, l * 8 + w + 1);
+        img.persistLine(img.snapshotLine(la));
+    }
+    constexpr unsigned iters = 2000;
+    std::uint64_t sink = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < iters; ++i) {
+        MemoryImage a = img.clonePersisted();
+        MemoryImage b = img.clonePersistedTorn(0x3);
+        sink += a.persistedWords() + b.persistedWords();
+    }
+    Section s{"image_clone", 2 * iters, msSince(t0), 0};
+    s.unitsPerSec = 1e3 * static_cast<double>(s.units) / s.wallMs;
+    std::printf("image_clone:     clones=%llu words=%zu wall_ms=%.1f "
+                "clones_per_sec=%.3g (sink %llu)\n",
+                static_cast<unsigned long long>(s.units),
+                img.persistedWords(), s.wallMs, s.unitsPerSec,
+                static_cast<unsigned long long>(sink));
+    return s;
+}
+
+Section
+runFig7Cell()
+{
+    WorkloadParams params;
+    params.numThreads = 4;
+    params.opsPerThread = 80;
+    params.seed = 1;
+    RecordedWorkload rec = recordWorkload(WorkloadKind::Queue, params);
+    constexpr unsigned runs = 3;
+    auto t0 = std::chrono::steady_clock::now();
+    RunMetrics m;
+    for (unsigned i = 0; i < runs; ++i)
+        m = runExperiment(rec, HwDesign::StrandWeaver,
+                          PersistencyModel::Sfr);
+    Section s{"fig7_cell", runs, msSince(t0), 0};
+    s.unitsPerSec = 1e3 * static_cast<double>(s.units) / s.wallMs;
+    std::printf("fig7_cell:       runs=%u run_ticks=%llu wall_ms=%.1f "
+                "host_events=%llu events_per_sec=%.3g\n",
+                runs, static_cast<unsigned long long>(m.runTicks),
+                s.wallMs,
+                static_cast<unsigned long long>(runs * m.hostEvents),
+                1e3 * static_cast<double>(runs * m.hostEvents) /
+                    s.wallMs);
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Simulator throughput microbench (fixed seeds; only "
+                "wall-clock varies)\n\n");
+    std::vector<Section> sections;
+    sections.push_back(runEventChurn());
+    sections.push_back(runRecurringChurn());
+    sections.push_back(runImageClone());
+    sections.push_back(runFig7Cell());
+
+    namespace fs = std::filesystem;
+    fs::path dir(envConfig().outDir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    fatalIf(static_cast<bool>(ec),
+            "cannot create result directory {}: {}", dir.string(),
+            ec.message());
+    fs::path path = dir / "BENCH_simperf.json";
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open {} for writing", path.string());
+    out << "{\n  \"bench\": \"simperf\",\n  \"schema\": 1,\n"
+        << "  \"sections\": {\n";
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        const Section &s = sections[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    \"%s\": {\"units\": %llu, "
+                      "\"wall_ms\": %.3f, \"units_per_sec\": %.6g}%s\n",
+                      s.name.c_str(),
+                      static_cast<unsigned long long>(s.units),
+                      s.wallMs, s.unitsPerSec,
+                      i + 1 < sections.size() ? "," : "");
+        out << buf;
+    }
+    out << "  }\n}\n";
+    out.close();
+    fatalIf(!out, "failed writing {}", path.string());
+    std::printf("\nwrote %s\n", path.string().c_str());
+    return 0;
+}

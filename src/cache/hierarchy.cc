@@ -37,6 +37,8 @@ Hierarchy::Hierarchy(std::string name, EventQueue &eq, MemoryImage &image,
     }
     pmCtrl.addRetryCallback([this] { scheduleKick(); });
     dramCtrl.addRetryCallback([this] { scheduleKick(); });
+    kickEvent.init(eq, [this] { kick(); }, EventPriority::Default);
+    retryKick = [this] { scheduleKick(); };
 }
 
 MemController &
@@ -64,13 +66,9 @@ Hierarchy::park(std::function<bool()> attempt)
 void
 Hierarchy::scheduleKick()
 {
-    if (kickScheduled)
+    if (kickEvent.scheduled())
         return;
-    kickScheduled = true;
-    eq.schedule(curTick(), [this] {
-        kickScheduled = false;
-        kick();
-    }, EventPriority::Default);
+    kickEvent.schedule(curTick());
 }
 
 void
@@ -476,8 +474,7 @@ Hierarchy::drainWritebacks()
             if (curTick() < l1.wbHeldUntil)
                 return true;
             Tick delay = params.adversary->consider(
-                eq, FuzzSite::Writeback, i,
-                [this] { scheduleKick(); });
+                eq, FuzzSite::Writeback, i, retryKick);
             if (delay > 0) {
                 l1.wbHeldUntil = curTick() + delay;
                 return true;

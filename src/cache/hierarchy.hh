@@ -287,7 +287,10 @@ class Hierarchy : public SimObject
 
     std::deque<Parked> parked;
     std::function<void()> wakeCallback;
-    bool kickScheduled = false;
+    /** Retry/drain pump; armed at most once per tick. */
+    EventQueue::Recurring kickEvent;
+    /** Prebuilt adversary-hold retry; built once, borrowed per query. */
+    EventQueue::Callback retryKick;
     unsigned activeTransactions = 0;
     std::uint64_t nextPacketId = 1;
 };

@@ -67,6 +67,9 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
                       ? 1000.0 * metrics.clwbs / metrics.totalCycles
                       : 0.0;
     metrics.lowering = instr.stats();
+    metrics.hostEvents = sys.eventsServiced();
+    metrics.simOps =
+        static_cast<std::uint64_t>(sys.totalCommitted());
 
     if (validate && design != HwDesign::NonAtomic) {
         const MemoryImage &img = sys.memory();
@@ -89,6 +92,8 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
         crashCfg.experiment = config;
         CrashCellResult cell =
             runCrashCell(recorded, design, model, crashCfg);
+        metrics.hostEvents += cell.hostEvents;
+        metrics.simOps += cell.simOps;
         panicIf(design != HwDesign::NonAtomic && !cell.allPassed(),
                 "crash-consistency violation in {} under {}/{}: "
                 "{}/{} crash points failed; first: {}",

@@ -51,6 +51,18 @@ struct RunMetrics
     double ckc = 0;
     LoweringStats lowering;
 
+    /**
+     * @name Host-throughput observability
+     * Deterministic simulation-side denominators for the schema-2
+     * `host` block: kernel events serviced and simulated ops
+     * committed by the run. NOT part of the `metrics` JSON block,
+     * which stays byte-identical to schema 1.
+     * @{
+     */
+    std::uint64_t hostEvents = 0;
+    std::uint64_t simOps = 0;
+    /** @} */
+
     /** Speedup of this run relative to @p baseline. */
     double
     speedupOver(const RunMetrics &baseline) const

@@ -274,15 +274,64 @@ writeFuzz(JsonWriter &json, const CellResult &cell)
     json.close('}');
 }
 
+/**
+ * The top-level `host` block: wall-clock and throughput for the run
+ * that produced this document. wall_ms sums the per-cell wall times
+ * (aggregate worker compute, not elapsed time), so the rates are
+ * per-worker throughput and comparable across SW_JOBS values. This is
+ * the only nondeterministic part of the document — determinism checks
+ * diff `.cells` (or render with includeHost=false) and stay clean.
+ */
+void
+writeHost(JsonWriter &json, const SweepResult &result)
+{
+    double wallMs = 0;
+    std::uint64_t events = 0;
+    std::uint64_t simOps = 0;
+    for (const CellResult &cell : result.cells) {
+        wallMs += cell.host.wallMs;
+        events += cell.host.events;
+        simOps += cell.host.simOps;
+    }
+    auto rate = [wallMs](std::uint64_t count) {
+        return wallMs > 0 ? static_cast<double>(count) * 1e3 / wallMs
+                          : 0.0;
+    };
+    json.item("host");
+    json.open('{');
+    json.fieldRaw("wall_ms", jsonNumber(wallMs));
+    json.fieldRaw("events", jsonNumber(events));
+    json.fieldRaw("sim_ops", jsonNumber(simOps));
+    json.fieldRaw("events_per_sec", jsonNumber(rate(events)));
+    json.fieldRaw("sim_ops_per_sec", jsonNumber(rate(simOps)));
+    json.item("cells");
+    if (result.cells.empty()) {
+        json.out += "[]";
+    } else {
+        json.open('[');
+        for (const CellResult &cell : result.cells) {
+            json.item();
+            json.open('{');
+            json.field("key", cell.key);
+            json.fieldRaw("wall_ms", jsonNumber(cell.host.wallMs));
+            json.fieldRaw("events", jsonNumber(cell.host.events));
+            json.fieldRaw("sim_ops", jsonNumber(cell.host.simOps));
+            json.close('}');
+        }
+        json.close(']');
+    }
+    json.close('}');
+}
+
 } // namespace
 
 std::string
-sweepJson(const SweepResult &result)
+sweepJson(const SweepResult &result, bool includeHost)
 {
     JsonWriter json;
     json.open('{');
     json.field("bench", result.name);
-    json.fieldRaw("schema", "1");
+    json.fieldRaw("schema", "2");
     json.item("cells");
     if (result.cells.empty()) {
         json.out += "[]";
@@ -320,6 +369,8 @@ sweepJson(const SweepResult &result)
         }
         json.close(']');
     }
+    if (includeHost)
+        writeHost(json, result);
     json.close('}');
     json.out += '\n';
     return std::move(json.out);

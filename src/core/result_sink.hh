@@ -4,10 +4,11 @@
  * BENCH_*.json trajectory tooling diff across revisions, plus the
  * generic pivot-table renderer the figure benches print with.
  *
- * JSON schema (version 1), one document per bench at
+ * JSON schema (version 2), one document per bench at
  * <SW_OUT_DIR>/<bench>.json (default bench/out/):
  *
- *   { "bench": "<name>", "schema": 1, "cells": [ ... ] }
+ *   { "bench": "<name>", "schema": 2,
+ *     "cells": [ ... ], "host": { ... } }
  *
  * Each cell carries its coordinates (workload, design, model,
  * log_style, variant), its baseline key and resolved speedup, an
@@ -16,8 +17,16 @@
  * ckc, lowering counters) or "crash" (crash cells: points_tested,
  * points_passed, rolled_back, replayed, torn_words, failures).
  * Cells appear in spec order and all numbers are rendered
- * deterministically, so the document is byte-identical across
- * SW_JOBS values.
+ * deterministically, so the `cells` array is byte-identical across
+ * SW_JOBS values — and byte-identical to the schema-1 rendering,
+ * so trajectory diffs survive the bump.
+ *
+ * Schema 2 adds the top-level `host` block: aggregate wall_ms,
+ * events, sim_ops, and the derived events_per_sec / sim_ops_per_sec
+ * rates, plus a per-cell {key, wall_ms, events, sim_ops} breakdown.
+ * wall_ms is measured host time and therefore NOT deterministic;
+ * determinism gates must diff `.cells` (jq) or render with
+ * includeHost=false rather than compare whole documents.
  */
 
 #ifndef CORE_RESULT_SINK_HH
@@ -31,8 +40,14 @@
 namespace strand
 {
 
-/** Render @p result as the schema-1 JSON document. */
-std::string sweepJson(const SweepResult &result);
+/**
+ * Render @p result as the schema-2 JSON document.
+ * @param includeHost emit the (nondeterministic) `host` block; pass
+ *        false to get a fully deterministic document for byte
+ *        comparisons.
+ */
+std::string sweepJson(const SweepResult &result,
+                      bool includeHost = true);
 
 /**
  * Write sweepJson() to <SW_OUT_DIR>/<name>.json, creating the

@@ -1,6 +1,7 @@
 #include "core/sweep.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -184,12 +185,32 @@ runSweep(const SweepSpec &spec)
     }
 
     auto runOne = [&](std::size_t i) {
-        setLogCellLabel(result.cells[i].key);
+        CellResult &out = result.cells[i];
+        setLogCellLabel(out.key);
+        auto started = std::chrono::steady_clock::now();
         try {
-            executeCell(spec.cells[i], result.cells[i]);
+            executeCell(spec.cells[i], out);
         } catch (const std::exception &e) {
-            result.cells[i].ok = false;
-            result.cells[i].error = e.what();
+            out.ok = false;
+            out.error = e.what();
+        }
+        out.host.wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        switch (out.kind) {
+          case CellKind::Timing:
+            out.host.events = out.metrics.hostEvents;
+            out.host.simOps = out.metrics.simOps;
+            break;
+          case CellKind::Crash:
+            out.host.events = out.crash.hostEvents;
+            out.host.simOps = out.crash.simOps;
+            break;
+          case CellKind::Fuzz:
+            out.host.events = out.fuzz.hostEvents;
+            out.host.simOps = out.fuzz.simOps;
+            break;
         }
         setLogCellLabel("");
     };

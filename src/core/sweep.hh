@@ -117,6 +117,20 @@ struct CellResult
     unsigned tornWords = wordsPerLine;
     /** Fuzz cells. */
     FuzzCellResult fuzz;
+
+    /**
+     * Host-side throughput observability (the schema-2 `host`
+     * block). wallMs is measured and therefore nondeterministic;
+     * events and simOps are simulation-side counts and identical for
+     * identical seeds.
+     */
+    struct Host
+    {
+        double wallMs = 0;
+        std::uint64_t events = 0;
+        std::uint64_t simOps = 0;
+    };
+    Host host;
 };
 
 /** A declarative experiment matrix. */

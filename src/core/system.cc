@@ -1,5 +1,8 @@
 #include "core/system.hh"
 
+#include <unordered_set>
+#include <vector>
+
 #include "runtime/layout.hh"
 
 namespace strand
@@ -51,15 +54,39 @@ System::System(const SystemConfig &config)
 void
 System::seedImage(const std::unordered_map<Addr, std::uint64_t> &words)
 {
+    // Seeded words cluster heavily within lines, so prewarming once
+    // per word would re-probe the same L2 set 8x. Dedupe to distinct
+    // lines in first-seen order — the install order decides L2 victim
+    // selection, so it must match what per-word calls produced — and
+    // merge runs of adjacent lines into single prewarm ranges.
+    std::vector<Addr> lines;
+    std::unordered_set<Addr> seenLines;
     for (auto [addr, value] : words) {
         if (isPersistentAddr(addr))
             image.writeDurable(addr, value);
         else
             image.writeArch(addr, value);
-        if (cfg.warmCaches)
-            caches->prewarmL2(lineAlign(addr), lineAlign(addr) + 1);
+        if (!cfg.warmCaches)
+            continue;
+        const Addr line = lineAlign(addr);
+        if (seenLines.insert(line).second)
+            lines.push_back(line);
     }
     if (cfg.warmCaches) {
+        Addr runStart = 0;
+        Addr runEnd = 0;
+        for (Addr line : lines) {
+            if (runEnd != runStart && line == runEnd) {
+                runEnd += lineBytes;
+                continue;
+            }
+            if (runEnd != runStart)
+                caches->prewarmL2(runStart, runEnd);
+            runStart = line;
+            runEnd = line + lineBytes;
+        }
+        if (runEnd != runStart)
+            caches->prewarmL2(runStart, runEnd);
         // The per-thread circular log buffers are written on every
         // operation and are LLC-resident in steady state.
         caches->prewarmL2(pmBase, cfg.layout.heapBase());
@@ -131,6 +158,15 @@ System::totalCycles() const
     double total = 0;
     for (const auto &core : cores)
         total += core->numCycles.value();
+    return total;
+}
+
+double
+System::totalCommitted() const
+{
+    double total = 0;
+    for (const auto &core : cores)
+        total += core->opsCommitted.value();
     return total;
 }
 

@@ -136,6 +136,12 @@ class System : public stats::StatGroup
     /** Total active cycles summed over cores. */
     double totalCycles() const;
 
+    /** Total ops committed over cores (host-throughput metric). */
+    double totalCommitted() const;
+
+    /** Kernel events serviced by this system's queue so far. */
+    std::uint64_t eventsServiced() const { return eq.serviced(); }
+
     /** The tick at which the last core finished. */
     Tick finishTick() const { return lastFinish; }
 

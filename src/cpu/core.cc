@@ -61,6 +61,8 @@ Core::Core(std::string name, EventQueue &eq, CoreId id, Hierarchy &hier,
     // Anything that can unblock the core re-arms its clock.
     this->engine->setWakeCallback([this] { wake(); });
     locks.addReleaseObserver([this] { wake(); });
+
+    tickEvent.init(eq, [this] { tick(); }, EventPriority::CpuTick);
 }
 
 void
@@ -69,8 +71,7 @@ Core::wake()
     if (!started || isFinished || !sleeping)
         return;
     sleeping = false;
-    eq.schedule(clockEdge(Cycles(1)), [this] { tick(); },
-                EventPriority::CpuTick);
+    tickEvent.schedule(clockEdge(Cycles(1)));
 }
 
 void
@@ -88,7 +89,7 @@ Core::start()
 {
     panicIf(started, "core started twice");
     started = true;
-    eq.schedule(clockEdge(), [this] { tick(); }, EventPriority::CpuTick);
+    tickEvent.schedule(clockEdge());
 }
 
 double
@@ -424,8 +425,7 @@ Core::tick()
                       engine->progressCount() != engineBefore ||
                       workDone != workBefore;
     if (progressed) {
-        eq.schedule(clockEdge(Cycles(1)), [this] { tick(); },
-                    EventPriority::CpuTick);
+        tickEvent.reschedule(clockPeriod());
         return;
     }
 

@@ -190,6 +190,9 @@ class Core : public ClockedObject
     /** Dispatch is busy executing serial application work. */
     Tick computeBusyUntil = 0;
 
+    /** The single per-cycle evaluation event, re-armed in place. */
+    EventQueue::Recurring tickEvent;
+
     StallCause stallReason = StallCause::None;
     bool isFinished = false;
     bool started = false;

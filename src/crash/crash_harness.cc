@@ -54,6 +54,9 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
     {
         auto ref = buildSystem();
         endTick = ref->run();
+        result.hostEvents += ref->eventsServiced();
+        result.simOps +=
+            static_cast<std::uint64_t>(ref->totalCommitted());
         for (const PersistRecord &persist : ref->persistTrace())
             points.push_back(persist.when);
         for (CoreId i = 0; i < ref->numCores(); ++i) {
@@ -152,6 +155,9 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
         sys->eventQueue().schedule(when,
                                    [&inject, when] { inject(when); });
     sys->run();
+    result.hostEvents += sys->eventsServiced();
+    result.simOps +=
+        static_cast<std::uint64_t>(sys->totalCommitted());
     // The completed run is one more crash point: a failure after the
     // last persist must recover to the final state.
     inject(sys->finishTick());

@@ -87,6 +87,10 @@ struct CrashCellResult
     std::vector<CrashPointResult> failures;
     std::uint64_t totalRolledBack = 0;
     std::uint64_t totalReplayed = 0;
+    /** Kernel events serviced over both runs (host observability). */
+    std::uint64_t hostEvents = 0;
+    /** Ops committed over both runs (host observability). */
+    std::uint64_t simOps = 0;
 
     bool allPassed() const { return pointsTested == pointsPassed; }
 };

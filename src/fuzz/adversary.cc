@@ -28,7 +28,7 @@ DrainAdversary::replaying(DecisionLog log)
 
 Tick
 DrainAdversary::consider(EventQueue &eq, FuzzSite site, CoreId core,
-                         std::function<void()> retry)
+                         const std::function<void()> &retry)
 {
     ++totalQueries;
     std::uint64_t query =
@@ -49,7 +49,7 @@ DrainAdversary::consider(EventQueue &eq, FuzzSite site, CoreId core,
     }
 
     if (delay > 0)
-        eq.scheduleIn(delay, std::move(retry));
+        eq.scheduleIn(delay, retry);
     return delay;
 }
 

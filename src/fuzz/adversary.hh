@@ -71,9 +71,15 @@ class DrainAdversary
      * @p core. @return 0 to proceed now; otherwise the action must be
      * held for the returned number of ticks — @p retry has already
      * been scheduled on @p eq at that point.
+     *
+     * @p retry is borrowed and only copied when a hold is issued, so
+     * call sites can pass one long-lived callback instead of
+     * constructing a closure per query. Each hold stays its own
+     * one-shot event: coalescing retries would reorder the queries
+     * the adversary sees and break decision-log replay.
      */
     Tick consider(EventQueue &eq, FuzzSite site, CoreId core,
-                  std::function<void()> retry);
+                  const std::function<void()> &retry);
 
     /** Decisions recorded (recording mode) or applied (replay). */
     const DecisionLog &log() const { return decisions; }

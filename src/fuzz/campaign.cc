@@ -18,6 +18,8 @@ runFuzzCell(const FuzzCellConfig &config)
         result.pointsChecked += trial.pointsChecked;
         result.queries += trial.queries;
         result.holds += trial.decisions.size();
+        result.hostEvents += trial.hostEvents;
+        result.simOps += trial.simOps;
         if (!trial.failed)
             continue;
         ++result.failingTrials;

@@ -62,6 +62,10 @@ struct FuzzCellResult
     std::uint64_t queries = 0;
     /** Adversary holds recorded over all recording runs. */
     std::uint64_t holds = 0;
+    /** Kernel events serviced over all trials (host observability). */
+    std::uint64_t hostEvents = 0;
+    /** Ops committed over all trials (host observability). */
+    std::uint64_t simOps = 0;
     std::vector<FuzzFailure> failures;
 
     bool allPassed() const { return failingTrials == 0; }

@@ -162,6 +162,9 @@ replayDecisions(const FuzzTrialContext &ctx, const DecisionLog &log,
     inject(outcome.endTick, false);
 
     outcome.traceHash = hashPersistTrace(sys->persistTrace());
+    outcome.hostEvents = sys->eventsServiced();
+    outcome.simOps =
+        static_cast<std::uint64_t>(sys->totalCommitted());
     return outcome;
 }
 
@@ -187,6 +190,9 @@ runFuzzTrial(const FuzzTrialSpec &spec)
         recordHash = hashPersistTrace(sys->persistTrace());
         result.decisions = adv.log();
         result.queries = adv.queriesSeen();
+        result.hostEvents += sys->eventsServiced();
+        result.simOps +=
+            static_cast<std::uint64_t>(sys->totalCommitted());
     }
 
     // Torn-word mask for every injection of this trial: half the
@@ -206,6 +212,8 @@ runFuzzTrial(const FuzzTrialSpec &spec)
     result.pointsChecked = outcome.pointsChecked;
     result.pointsFailed = outcome.pointsFailed;
     result.traceHash = outcome.traceHash;
+    result.hostEvents += outcome.hostEvents;
+    result.simOps += outcome.simOps;
 
     if (outcome.traceHash != recordHash) {
         // The replayed schedule did not reproduce the recorded run —

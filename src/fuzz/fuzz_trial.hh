@@ -73,6 +73,10 @@ struct FuzzReplayOutcome
     /** FNV-1a hash of the persist trace (replay-divergence check). */
     std::uint64_t traceHash = 0;
     Tick endTick = 0;
+    /** Kernel events serviced by the replay run (host observability). */
+    std::uint64_t hostEvents = 0;
+    /** Ops committed by the replay run (host observability). */
+    std::uint64_t simOps = 0;
 };
 
 /** Outcome of a full trial. */
@@ -94,6 +98,10 @@ struct FuzzTrialResult
     std::uint64_t traceHash = 0;
     /** True when record and replay persist traces diverged. */
     bool replayDiverged = false;
+    /** Kernel events over record + replay runs (host observability). */
+    std::uint64_t hostEvents = 0;
+    /** Ops committed over record + replay runs (host observability). */
+    std::uint64_t simOps = 0;
 };
 
 /** SplitMix64 — derives independent sub-seeds from a master seed. */

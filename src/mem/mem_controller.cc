@@ -89,6 +89,71 @@ MemController::tryRequest(const PacketPtr &pkt)
     panic("unreachable memory command");
 }
 
+MemController::ReadSlot *
+MemController::acquireReadSlot()
+{
+    if (!freeReadSlots.empty()) {
+        ReadSlot *slot = freeReadSlots.back();
+        freeReadSlots.pop_back();
+        return slot;
+    }
+    readSlots.push_back(std::make_unique<ReadSlot>());
+    ReadSlot *slot = readSlots.back().get();
+    slot->ev.init(eq, [this, slot] {
+        // Free the slot before the response runs so a request issued
+        // from the callback can reuse it.
+        PacketPtr pkt = std::move(slot->pkt);
+        freeReadSlots.push_back(slot);
+        --readsInFlight;
+        if (pkt->onResponse)
+            pkt->onResponse();
+        notifyRetry();
+    }, EventPriority::MemoryResponse);
+    return slot;
+}
+
+MemController::WriteSlot *
+MemController::acquireWriteSlot()
+{
+    if (!freeWriteSlots.empty()) {
+        WriteSlot *slot = freeWriteSlots.back();
+        freeWriteSlots.pop_back();
+        return slot;
+    }
+    writeSlots.push_back(std::make_unique<WriteSlot>());
+    WriteSlot *slot = writeSlots.back().get();
+    slot->ev.init(eq, [this, slot] {
+        if (!slot->inMedia) {
+            // ADR admission: the write is now in the persist domain
+            // and is acknowledged; the media program follows.
+            const PacketPtr &pkt = slot->pkt;
+            if (persistent) {
+                image.persistLine(pkt->data);
+                if (persistObserver)
+                    persistObserver(*pkt, curTick());
+            }
+            if (pkt->onResponse)
+                pkt->onResponse();
+            // Media program happens after admission; the queue slot
+            // is held until the media write retires (back-pressure).
+            Tick done = serviceOnBank(pkt->addr, curTick(),
+                                      params.mediaWriteLatency,
+                                      params.mediaWriteRowHitLatency,
+                                      params.writeOccupancy,
+                                      params.writeRowHitOccupancy);
+            slot->inMedia = true;
+            slot->ev.schedule(done);
+        } else {
+            slot->pkt.reset();
+            slot->inMedia = false;
+            freeWriteSlots.push_back(slot);
+            --writesInFlight;
+            notifyRetry();
+        }
+    }, EventPriority::MemoryResponse);
+    return slot;
+}
+
 void
 MemController::handleRead(const PacketPtr &pkt)
 {
@@ -100,12 +165,9 @@ MemController::handleRead(const PacketPtr &pkt)
                               params.readOccupancy,
                               params.readOccupancy);
     readLatencyHist.sample(static_cast<double>(done - issued));
-    eq.schedule(done, [this, pkt] {
-        --readsInFlight;
-        if (pkt->onResponse)
-            pkt->onResponse();
-        notifyRetry();
-    }, EventPriority::MemoryResponse);
+    ReadSlot *slot = acquireReadSlot();
+    slot->pkt = pkt;
+    slot->ev.schedule(done);
 }
 
 void
@@ -116,27 +178,9 @@ MemController::handleWrite(const PacketPtr &pkt)
     // ADR admission: transit to the controller, then the write is in
     // the persist domain. The ack back to the flushing unit is sent
     // at the same point.
-    Tick admitted = curTick() + params.writeAcceptLatency;
-    eq.schedule(admitted, [this, pkt] {
-        if (persistent) {
-            image.persistLine(pkt->data);
-            if (persistObserver)
-                persistObserver(*pkt, curTick());
-        }
-        if (pkt->onResponse)
-            pkt->onResponse();
-        // Media program happens after admission; the queue slot is
-        // held until the media write retires (back-pressure).
-        Tick done = serviceOnBank(pkt->addr, curTick(),
-                                  params.mediaWriteLatency,
-                                  params.mediaWriteRowHitLatency,
-                                  params.writeOccupancy,
-                                  params.writeRowHitOccupancy);
-        eq.schedule(done, [this] {
-            --writesInFlight;
-            notifyRetry();
-        }, EventPriority::MemoryResponse);
-    }, EventPriority::MemoryResponse);
+    WriteSlot *slot = acquireWriteSlot();
+    slot->pkt = pkt;
+    slot->ev.schedule(curTick() + params.writeAcceptLatency);
 }
 
 void

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mem/packet.hh"
@@ -125,6 +126,30 @@ class MemController : public ClockedObject
         Addr openRow = ~static_cast<Addr>(0);
     };
 
+    /**
+     * Pooled in-flight request state. Each slot owns one Recurring
+     * completion event whose callback is built once, when the slot is
+     * first created, so steady-state request traffic schedules
+     * without allocating. The pools are bounded by the queue-entry
+     * limits enforced in tryRequest().
+     */
+    struct ReadSlot
+    {
+        PacketPtr pkt;
+        EventQueue::Recurring ev;
+    };
+
+    /** Write slots step through ADR admission, then media program. */
+    struct WriteSlot
+    {
+        PacketPtr pkt;
+        bool inMedia = false;
+        EventQueue::Recurring ev;
+    };
+
+    ReadSlot *acquireReadSlot();
+    WriteSlot *acquireWriteSlot();
+
     Bank &bankFor(Addr addr);
 
     /** @return the device access completion tick for @p addr. */
@@ -143,6 +168,12 @@ class MemController : public ClockedObject
     std::vector<Bank> banks;
     unsigned readsInFlight = 0;
     unsigned writesInFlight = 0;
+
+    /** unique_ptr keeps slot addresses stable (Recurring is pinned). */
+    std::vector<std::unique_ptr<ReadSlot>> readSlots;
+    std::vector<std::unique_ptr<WriteSlot>> writeSlots;
+    std::vector<ReadSlot *> freeReadSlots;
+    std::vector<WriteSlot *> freeWriteSlots;
 
     std::vector<std::function<void()>> retryCallbacks;
     std::function<void(const Packet &, Tick)> persistObserver;

@@ -54,6 +54,142 @@ struct LineData
 };
 
 /**
+ * Sparse word storage, page-granular.
+ *
+ * Words live in fixed-size pages (512 words / 4 KiB of data) keyed by
+ * page base address, each with an occupancy bitmap distinguishing
+ * written words from the implicit zero background. Compared to a
+ * per-word hash map this costs one hash probe per *page* on the
+ * line-granular paths (snapshot, persist) and — the reason it exists —
+ * makes whole-image copies a handful of page memcpys instead of a
+ * rehash of every word ever written. Cache lines never span pages
+ * (pageBytes is a multiple of lineBytes), so line operations touch
+ * exactly one page.
+ */
+class WordStore
+{
+  public:
+    static constexpr unsigned pageWords = 512;
+    static constexpr Addr pageBytes =
+        static_cast<Addr>(pageWords) * wordBytes;
+    static_assert(pageBytes % lineBytes == 0,
+                  "lines must not span pages");
+
+    struct Page
+    {
+        std::array<std::uint64_t, pageWords> words{};
+        /** Bit w set means words[w] has been written. */
+        std::array<std::uint64_t, pageWords / 64> occupancy{};
+    };
+
+    /** @return the base address of the page holding @p wordAddr. */
+    static Addr
+    pageBase(Addr wordAddr)
+    {
+        return wordAddr & ~(pageBytes - 1);
+    }
+
+    /** @return @p wordAddr's word slot within its page. */
+    static unsigned
+    slotOf(Addr wordAddr)
+    {
+        return static_cast<unsigned>((wordAddr & (pageBytes - 1)) /
+                                     wordBytes);
+    }
+
+    static bool
+    occupied(const Page &page, unsigned slot)
+    {
+        return (page.occupancy[slot >> 6] >> (slot & 63)) & 1;
+    }
+
+    /** Write one slot of @p page, maintaining the word count. */
+    void
+    setSlot(Page &page, unsigned slot, std::uint64_t value)
+    {
+        if (!occupied(page, slot)) {
+            page.occupancy[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+            ++occupiedWords;
+        }
+        page.words[slot] = value;
+    }
+
+    void
+    set(Addr wordAddr, std::uint64_t value)
+    {
+        setSlot(pages[pageBase(wordAddr)], slotOf(wordAddr), value);
+    }
+
+    /** @return the word's value, or 0 if never written. */
+    std::uint64_t
+    get(Addr wordAddr) const
+    {
+        const Page *page = findPage(wordAddr);
+        // Unwritten slots of an existing page read as zero from the
+        // zero-initialized array, matching the sparse background.
+        return page ? page->words[slotOf(wordAddr)] : 0;
+    }
+
+    bool
+    contains(Addr wordAddr) const
+    {
+        const Page *page = findPage(wordAddr);
+        return page && occupied(*page, slotOf(wordAddr));
+    }
+
+    void
+    erase(Addr wordAddr)
+    {
+        auto it = pages.find(pageBase(wordAddr));
+        if (it == pages.end())
+            return;
+        unsigned slot = slotOf(wordAddr);
+        if (!occupied(it->second, slot))
+            return;
+        it->second.occupancy[slot >> 6] &=
+            ~(std::uint64_t{1} << (slot & 63));
+        // Restore the zero background so get() stays consistent.
+        it->second.words[slot] = 0;
+        --occupiedWords;
+    }
+
+    /** @return the page holding @p wordAddr, or nullptr. */
+    const Page *
+    findPage(Addr wordAddr) const
+    {
+        auto it = pages.find(pageBase(wordAddr));
+        return it == pages.end() ? nullptr : &it->second;
+    }
+
+    /** @return the page holding @p wordAddr, creating it if absent. */
+    Page &
+    touchPage(Addr wordAddr)
+    {
+        return pages[pageBase(wordAddr)];
+    }
+
+    /** Number of written words across all pages. */
+    std::size_t size() const { return occupiedWords; }
+
+    /** Walk every written word (unordered). */
+    template <typename Visit>
+    void
+    forEach(Visit &&visit) const
+    {
+        for (const auto &[base, page] : pages) {
+            for (unsigned slot = 0; slot < pageWords; ++slot) {
+                if (occupied(page, slot))
+                    visit(base + slot * wordBytes, page.words[slot]);
+            }
+        }
+    }
+
+  private:
+    std::unordered_map<Addr, Page> pages;
+    std::size_t occupiedWords = 0;
+};
+
+/**
  * The global functional memory image for one simulated system.
  */
 class MemoryImage
@@ -63,15 +199,14 @@ class MemoryImage
     void
     writeArch(Addr addr, std::uint64_t value)
     {
-        arch[wordAlign(addr)] = value;
+        arch.set(wordAlign(addr), value);
     }
 
     /** @return the architectural value of the word at @p addr. */
     std::uint64_t
     readArch(Addr addr) const
     {
-        auto it = arch.find(wordAlign(addr));
-        return it == arch.end() ? 0 : it->second;
+        return arch.get(wordAlign(addr));
     }
 
     /** @return true if the word has ever been written architecturally. */
@@ -90,11 +225,13 @@ class MemoryImage
     {
         LineData data;
         data.lineAddr = lineAlign(addr);
+        const WordStore::Page *page = arch.findPage(data.lineAddr);
+        if (!page)
+            return data;
+        unsigned base = WordStore::slotOf(data.lineAddr);
         for (unsigned i = 0; i < wordsPerLine; ++i) {
-            Addr wa = data.lineAddr + i * wordBytes;
-            auto it = arch.find(wa);
-            if (it != arch.end())
-                data.set(i, it->second);
+            if (WordStore::occupied(*page, base + i))
+                data.set(i, page->words[base + i]);
         }
         return data;
     }
@@ -114,16 +251,19 @@ class MemoryImage
         lastAdmission.lineAddr = data.lineAddr;
         lastAdmission.writtenMask = data.validMask;
         lastAdmission.prevValidMask = 0;
+        if (data.validMask == 0)
+            return;
+        WordStore::Page &page = persisted.touchPage(data.lineAddr);
+        unsigned base = WordStore::slotOf(data.lineAddr);
         for (unsigned i = 0; i < wordsPerLine; ++i) {
             if (!data.valid(i))
                 continue;
-            Addr wa = data.lineAddr + i * wordBytes;
-            if (auto it = persisted.find(wa); it != persisted.end()) {
-                lastAdmission.prevWords[i] = it->second;
+            if (WordStore::occupied(page, base + i)) {
+                lastAdmission.prevWords[i] = page.words[base + i];
                 lastAdmission.prevValidMask |=
                     static_cast<std::uint8_t>(1u << i);
             }
-            persisted[wa] = data.words[i];
+            persisted.setSlot(page, base + i, data.words[i]);
         }
     }
 
@@ -136,16 +276,15 @@ class MemoryImage
     void
     writeDurable(Addr addr, std::uint64_t value)
     {
-        arch[wordAlign(addr)] = value;
-        persisted[wordAlign(addr)] = value;
+        arch.set(wordAlign(addr), value);
+        persisted.set(wordAlign(addr), value);
     }
 
     /** @return the persisted value of the word at @p addr. */
     std::uint64_t
     readPersisted(Addr addr) const
     {
-        auto it = persisted.find(wordAlign(addr));
-        return it == persisted.end() ? 0 : it->second;
+        return persisted.get(wordAlign(addr));
     }
 
     /** @return true if the word has persisted at least once. */
@@ -203,8 +342,8 @@ class MemoryImage
             }
             Addr wa = lastAdmission.lineAddr + i * wordBytes;
             if (lastAdmission.prevValidMask & (1u << i)) {
-                snapshot.persisted[wa] = lastAdmission.prevWords[i];
-                snapshot.arch[wa] = lastAdmission.prevWords[i];
+                snapshot.persisted.set(wa, lastAdmission.prevWords[i]);
+                snapshot.arch.set(wa, lastAdmission.prevWords[i]);
             } else {
                 snapshot.persisted.erase(wa);
                 snapshot.arch.erase(wa);
@@ -225,8 +364,7 @@ class MemoryImage
     forEachPersisted(
         const std::function<void(Addr, std::uint64_t)> &visit) const
     {
-        for (const auto &[addr, value] : persisted)
-            visit(addr, value);
+        persisted.forEach(visit);
     }
 
     std::size_t archWords() const { return arch.size(); }
@@ -244,8 +382,8 @@ class MemoryImage
         std::array<std::uint64_t, wordsPerLine> prevWords{};
     };
 
-    std::unordered_map<Addr, std::uint64_t> arch;
-    std::unordered_map<Addr, std::uint64_t> persisted;
+    WordStore arch;
+    WordStore persisted;
     AdmissionUndo lastAdmission;
 };
 

@@ -23,6 +23,7 @@ StrandBufferUnit::StrandBufferUnit(std::string name, EventQueue &eq,
 {
     fatalIf(params.numBuffers == 0 || params.entriesPerBuffer == 0,
             "strand buffer unit needs at least one buffer and entry");
+    retryEvaluate = [this] { evaluate(); };
 }
 
 bool
@@ -132,8 +133,7 @@ StrandBufferUnit::issueFrom(Buffer &buffer)
             if (curTick() < entry.heldUntil)
                 continue;
             Tick delay = params.adversary->consider(
-                eq, FuzzSite::SbuIssue, core,
-                [this] { evaluate(); });
+                eq, FuzzSite::SbuIssue, core, retryEvaluate);
             if (delay > 0) {
                 entry.heldUntil = curTick() + delay;
                 continue;

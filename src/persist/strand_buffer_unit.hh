@@ -170,6 +170,8 @@ class StrandBufferUnit : public SimObject
     unsigned ongoing = 0;
     std::function<void(std::uint64_t)> completionCallback;
     std::function<void(std::uint64_t)> startedCallback;
+    /** Prebuilt adversary-hold retry; built once, borrowed per query. */
+    EventQueue::Callback retryEvaluate;
 };
 
 } // namespace strand

@@ -56,6 +56,7 @@ StrandEngine::StrandEngine(std::string name, EventQueue &eq, CoreId core,
         [this](std::uint64_t seq) { onClwbComplete(seq); });
     sbu.setStartedCallback(
         [this](std::uint64_t seq) { onClwbStarted(seq); });
+    retryEvaluate = [this] { evaluate(); };
 }
 
 bool
@@ -275,8 +276,7 @@ StrandEngine::issueHead()
             if (curTick() < entry.heldUntil)
                 return;
             Tick delay = params.adversary->consider(
-                eq, FuzzSite::StrandIssue, core,
-                [this] { evaluate(); });
+                eq, FuzzSite::StrandIssue, core, retryEvaluate);
             if (delay > 0) {
                 entry.heldUntil = curTick() + delay;
                 return;

@@ -134,6 +134,8 @@ class StrandEngine : public PersistEngine
     /** Shared-queue designs: issues left this cycle (one drain port). */
     unsigned issueBudget = ~0u;
     bool usedPort = false;
+    /** Prebuilt adversary-hold retry; built once, borrowed per query. */
+    EventQueue::Callback retryEvaluate;
 };
 
 } // namespace strand

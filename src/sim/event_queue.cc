@@ -1,7 +1,61 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 namespace strand
 {
+
+EventQueue::Record *
+EventQueue::allocRecord()
+{
+    if (!freeList.empty()) {
+        Record *rec = freeList.back();
+        freeList.pop_back();
+        return rec;
+    }
+    arena.emplace_back();
+    return &arena.back();
+}
+
+void
+EventQueue::releaseRecord(Record *rec)
+{
+    rec->callback = nullptr;
+    rec->state = State::Free;
+    rec->recurring = false;
+    freeList.push_back(rec);
+}
+
+void
+EventQueue::armRecord(Record *rec, Tick when)
+{
+    rec->when = when;
+    rec->seq = nextSeq++;
+    rec->state = State::Scheduled;
+    heap.push_back({when, rec->priority, rec->seq, rec});
+    std::push_heap(heap.begin(), heap.end(), Later{});
+    ++liveEvents;
+}
+
+void
+EventQueue::maybeCompact()
+{
+    std::size_t carcasses =
+        heap.size() - static_cast<std::size_t>(liveEvents);
+    if (carcasses <= 64 ||
+        carcasses <= static_cast<std::size_t>(liveEvents)) {
+        return;
+    }
+    heap.erase(std::remove_if(heap.begin(), heap.end(),
+                              [](const HeapEntry &entry) {
+                                  return !live(entry);
+                              }),
+               heap.end());
+    // The comparator is a strict total order (seq is unique), so
+    // rebuilding the heap cannot change the pop sequence.
+    std::make_heap(heap.begin(), heap.end(), Later{});
+    ++compactionRuns;
+}
 
 EventQueue::Handle
 EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
@@ -10,16 +64,11 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
             "event scheduled in the past: when={} now={}", when, now);
     panicIf(!cb, "event scheduled with empty callback");
 
-    Handle handle;
-    handle.record = std::make_shared<Handle::Record>();
-    handle.record->when = when;
-    handle.record->priority = static_cast<int>(prio);
-    handle.record->seq = nextSeq++;
-    handle.record->callback = std::move(cb);
-
-    heap.push(handle.record);
-    ++liveEvents;
-    return handle;
+    Record *rec = allocRecord();
+    rec->priority = static_cast<int>(prio);
+    rec->callback = std::move(cb);
+    armRecord(rec, when);
+    return Handle(rec, rec->seq);
 }
 
 void
@@ -27,28 +76,42 @@ EventQueue::deschedule(Handle &handle)
 {
     if (!handle.scheduled())
         return;
-    handle.record->cancelled = true;
+    // Handles are only issued for one-shots (Recurring cancels via
+    // its own deschedule), so the record goes straight back to the
+    // pool; its heap entry stays behind as a carcass.
+    releaseRecord(handle.record);
     --liveEvents;
+    maybeCompact();
 }
 
 bool
 EventQueue::serviceOne()
 {
     while (!heap.empty()) {
-        RecordPtr rec = heap.top();
-        heap.pop();
-        if (rec->cancelled)
+        HeapEntry top = heap.front();
+        std::pop_heap(heap.begin(), heap.end(), Later{});
+        heap.pop_back();
+        if (!live(top))
             continue;
 
-        panicIf(rec->when < now, "event queue went backwards");
-        now = rec->when;
-        rec->done = true;
+        panicIf(top.when < now, "event queue went backwards");
+        now = top.when;
         --liveEvents;
         ++servicedEvents;
-        // Move the callback out so that its captures are released
-        // promptly even if a handle keeps the record alive.
-        Callback cb = std::move(rec->callback);
-        cb();
+
+        Record *rec = top.rec;
+        if (rec->recurring) {
+            // Park the record so the callback can re-arm it.
+            rec->state = State::Idle;
+            rec->callback();
+        } else {
+            // Release before invoking: the callback has been moved
+            // out, so the record is immediately reusable by anything
+            // the callback schedules.
+            Callback cb = std::move(rec->callback);
+            releaseRecord(rec);
+            cb();
+        }
         return true;
     }
     return false;
@@ -66,16 +129,74 @@ EventQueue::runUntil(Tick limit)
 {
     while (!heap.empty()) {
         // Skip cancelled carcasses without advancing time.
-        if (heap.top()->cancelled) {
-            heap.pop();
+        if (!live(heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), Later{});
+            heap.pop_back();
             continue;
         }
-        if (heap.top()->when > limit)
+        if (heap.front().when > limit)
             break;
         serviceOne();
     }
     if (now < limit)
         now = limit;
+}
+
+EventQueue::Recurring::~Recurring()
+{
+    if (!owner)
+        return;
+    deschedule();
+    owner->releaseRecord(rec);
+}
+
+void
+EventQueue::Recurring::init(EventQueue &eq, Callback cb,
+                            EventPriority prio)
+{
+    panicIf(owner, "recurring event initialized twice");
+    panicIf(!cb, "recurring event initialized with empty callback");
+    owner = &eq;
+    rec = eq.allocRecord();
+    rec->priority = static_cast<int>(prio);
+    rec->recurring = true;
+    rec->state = Handle::State::Idle;
+    rec->callback = std::move(cb);
+}
+
+void
+EventQueue::Recurring::schedule(Tick when)
+{
+    panicIf(!owner, "recurring event scheduled before init");
+    panicIf(rec->state == Handle::State::Scheduled,
+            "recurring event scheduled while already pending");
+    panicIf(when < owner->now,
+            "event scheduled in the past: when={} now={}", when,
+            owner->now);
+    owner->armRecord(rec, when);
+}
+
+void
+EventQueue::Recurring::scheduleIn(Tick delta)
+{
+    panicIf(!owner, "recurring event scheduled before init");
+    schedule(owner->now + delta);
+}
+
+void
+EventQueue::Recurring::deschedule()
+{
+    if (!scheduled())
+        return;
+    rec->state = Handle::State::Idle;
+    --owner->liveEvents;
+    owner->maybeCompact();
+}
+
+bool
+EventQueue::Recurring::scheduled() const
+{
+    return rec && rec->state == Handle::State::Scheduled;
 }
 
 } // namespace strand

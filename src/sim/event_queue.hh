@@ -6,16 +6,29 @@
  * order) order, so simulations are fully deterministic for a given
  * seed and schedule. Events are scheduled by value and may be
  * descheduled through the handle returned by schedule().
+ *
+ * Performance model: event records live in a free-list arena owned by
+ * the queue, so the steady state of a simulation — cores rescheduling
+ * their tick every cycle, memory controllers completing requests —
+ * allocates nothing per event. The dispatch heap stores (tick,
+ * priority, seq) keys by value; a record's current seq is the source
+ * of truth, so cancelled or superseded heap entries are recognized as
+ * carcasses when popped and lazy compaction bounds how many carcasses
+ * a cancel-heavy workload (e.g. the fuzz adversary's holds) can
+ * accumulate. Because the comparator is a total order (seq is
+ * unique), compaction never changes dispatch order.
+ *
+ * Components with a permanent periodic callback should use Recurring:
+ * one record, allocated at init() and reused for every firing, with
+ * the callback constructed exactly once.
  */
 
 #ifndef SIM_EVENT_QUEUE_HH
 #define SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <string>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -48,7 +61,9 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    /** Handle used to deschedule a pending event. */
+    class Recurring;
+
+    /** Handle used to deschedule a pending one-shot event. */
     class Handle
     {
       public:
@@ -58,23 +73,107 @@ class EventQueue
         bool
         scheduled() const
         {
-            return record && !record->cancelled && !record->done;
+            return record && record->state == State::Scheduled &&
+                   record->seq == seq;
         }
 
       private:
         friend class EventQueue;
+        friend class Recurring;
+
+        enum class State : std::uint8_t
+        {
+            /** On the free list (or never allocated). */
+            Free,
+            /** Live in the heap, will fire unless descheduled. */
+            Scheduled,
+            /** Allocated (recurring) but not currently armed. */
+            Idle,
+        };
 
         struct Record
         {
             Tick when = 0;
             int priority = 0;
             std::uint64_t seq = 0;
-            bool cancelled = false;
-            bool done = false;
+            State state = State::Free;
+            /** Owned by a Recurring; survives firing, callback kept. */
+            bool recurring = false;
             Callback callback;
         };
 
-        std::shared_ptr<Record> record;
+        Handle(Record *record, std::uint64_t seq)
+            : record(record), seq(seq)
+        {
+        }
+
+        Record *record = nullptr;
+        /**
+         * The seq this handle was issued for. Records are recycled,
+         * so a handle is valid only while the record still carries
+         * its seq; a stale handle compares unequal and reads as
+         * not-scheduled.
+         */
+        std::uint64_t seq = 0;
+    };
+
+    /**
+     * A first-class recurring event: one reusable record that can be
+     * re-armed in place from its own callback, with no allocation
+     * after init(). This is the intended form for permanent periodic
+     * work (per-cycle core ticks, controller completion slots, the
+     * hierarchy kick): the callback is constructed exactly once and
+     * never copied or moved afterwards.
+     *
+     * At most one firing may be pending at a time; schedule() panics
+     * if the event is already armed. The owning object must not
+     * outlive the EventQueue, and the callback must not destroy the
+     * Recurring it runs on.
+     */
+    class Recurring
+    {
+      public:
+        Recurring() = default;
+        ~Recurring();
+
+        Recurring(const Recurring &) = delete;
+        Recurring &operator=(const Recurring &) = delete;
+
+        /**
+         * Bind to @p eq with @p cb. Must be called exactly once
+         * before the first schedule().
+         */
+        void init(EventQueue &eq, Callback cb,
+                  EventPriority prio = EventPriority::Default);
+
+        /** @return true once init() has run. */
+        bool initialized() const { return owner != nullptr; }
+
+        /** Arm at an absolute tick. Panics if already armed. */
+        void schedule(Tick when);
+
+        /** Arm @p delta ticks in the future. */
+        void scheduleIn(Tick delta);
+
+        /**
+         * Re-arm @p delta ticks ahead, in place. Identical to
+         * scheduleIn(); the name documents call sites inside the
+         * event's own callback.
+         */
+        void reschedule(Tick delta) { scheduleIn(delta); }
+
+        /** Cancel the pending firing, if any. */
+        void deschedule();
+
+        /** @return true while a firing is pending. */
+        bool scheduled() const;
+
+        /** @return the armed tick; only meaningful when scheduled(). */
+        Tick when() const { return rec ? rec->when : 0; }
+
+      private:
+        EventQueue *owner = nullptr;
+        Handle::Record *rec = nullptr;
     };
 
     EventQueue() = default;
@@ -106,7 +205,9 @@ class EventQueue
 
     /**
      * Cancel a pending event. Cancelling an already-fired or
-     * already-cancelled event is a no-op.
+     * already-cancelled event is a no-op. The record is returned to
+     * the arena immediately; only its heap entry lingers as a carcass
+     * until popped or compacted.
      */
     void deschedule(Handle &handle);
 
@@ -135,27 +236,89 @@ class EventQueue
      */
     void runUntil(Tick limit);
 
-  private:
-    using RecordPtr = std::shared_ptr<Handle::Record>;
+    /** @name Arena and heap observability (tests, simperf) @{ */
 
+    /** Records ever allocated; stable once the pool has warmed up. */
+    std::size_t arenaRecords() const { return arena.size(); }
+
+    /** Records currently on the free list. */
+    std::size_t freeRecords() const { return freeList.size(); }
+
+    /**
+     * Heap entries whose event was descheduled or superseded and
+     * that have not been popped or compacted yet.
+     */
+    std::size_t
+    cancelledPending() const
+    {
+        return heap.size() - static_cast<std::size_t>(liveEvents);
+    }
+
+    /** Total heap entries, live plus carcasses. */
+    std::size_t heapEntries() const { return heap.size(); }
+
+    /** Lazy compaction sweeps performed so far. */
+    std::uint64_t compactions() const { return compactionRuns; }
+
+    /** @} */
+
+  private:
+    using Record = Handle::Record;
+    using State = Handle::State;
+
+    /**
+     * Dispatch key, copied out of the record at arm time. The record
+     * holds the authoritative (seq, state); an entry whose key no
+     * longer matches is a carcass and never fires.
+     */
+    struct HeapEntry
+    {
+        Tick when = 0;
+        int priority = 0;
+        std::uint64_t seq = 0;
+        Record *rec = nullptr;
+    };
+
+    /** Max-heap comparator inverted so the earliest key pops first. */
     struct Later
     {
         bool
-        operator()(const RecordPtr &a, const RecordPtr &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
-            if (a->when != b->when)
-                return a->when > b->when;
-            if (a->priority != b->priority)
-                return a->priority > b->priority;
-            return a->seq > b->seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<RecordPtr, std::vector<RecordPtr>, Later> heap;
+    static bool
+    live(const HeapEntry &entry)
+    {
+        return entry.rec->state == State::Scheduled &&
+               entry.rec->seq == entry.seq;
+    }
+
+    Record *allocRecord();
+    void releaseRecord(Record *rec);
+    /** Push @p rec's current key; common tail of every arm path. */
+    void armRecord(Record *rec, Tick when);
+    /** Drop carcass entries once they outnumber the live ones. */
+    void maybeCompact();
+
+    friend class Recurring;
+
+    std::vector<HeapEntry> heap;
+    /** Arena: deque for pointer stability; records are never freed. */
+    std::deque<Record> arena;
+    std::vector<Record *> freeList;
+
     Tick now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t liveEvents = 0;
     std::uint64_t servicedEvents = 0;
+    std::uint64_t compactionRuns = 0;
 };
 
 } // namespace strand

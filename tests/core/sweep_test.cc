@@ -61,7 +61,19 @@ TEST(Sweep, SerialAndParallelRunsAreByteIdentical)
     ASSERT_TRUE(parallel.allOk());
     EXPECT_EQ(parallel.jobs, 4u);
 
-    EXPECT_EQ(sweepJson(serial), sweepJson(parallel));
+    // The deterministic document (everything but the measured host
+    // wall-clock) must not depend on the worker count...
+    EXPECT_EQ(sweepJson(serial, /*includeHost=*/false),
+              sweepJson(parallel, /*includeHost=*/false));
+    // ...and neither must the simulation-side host counters.
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+        EXPECT_EQ(serial.cells[i].host.events,
+                  parallel.cells[i].host.events);
+        EXPECT_EQ(serial.cells[i].host.simOps,
+                  parallel.cells[i].host.simOps);
+        EXPECT_GT(serial.cells[i].host.wallMs, 0.0);
+    }
 }
 
 TEST(Sweep, JobsClampToCellCount)
@@ -176,7 +188,7 @@ TEST(Sweep, MissingBaselineMarksTheCellFailed)
               std::string::npos);
 }
 
-TEST(ResultSink, SchemaOneGolden)
+TEST(ResultSink, SchemaTwoGolden)
 {
     // Hand-built result, exact bytes: any change to the document
     // layout or the number rendering must be deliberate (bump the
@@ -209,6 +221,9 @@ TEST(ResultSink, SchemaOneGolden)
     timing.metrics.lowering.drains = 3;
     timing.metrics.lowering.logEntries = 40;
     timing.metrics.lowering.commits = 10;
+    timing.host.wallMs = 250;
+    timing.host.events = 100000;
+    timing.host.simOps = 5000;
     result.cells.push_back(timing);
 
     CellResult crash;
@@ -227,11 +242,14 @@ TEST(ResultSink, SchemaOneGolden)
     failure.when = 77;
     failure.violation = "lost \"x\"";
     crash.crash.failures.push_back(failure);
+    crash.host.wallMs = 750;
+    crash.host.events = 400000;
+    crash.host.simOps = 20000;
     result.cells.push_back(crash);
 
     const std::string expected = R"({
   "bench": "golden",
-  "schema": 1,
+  "schema": 2,
   "cells": [
     {
       "kind": "timing",
@@ -287,10 +305,40 @@ TEST(ResultSink, SchemaOneGolden)
         ]
       }
     }
-  ]
+  ],
+  "host": {
+    "wall_ms": 1000,
+    "events": 500000,
+    "sim_ops": 25000,
+    "events_per_sec": 500000,
+    "sim_ops_per_sec": 25000,
+    "cells": [
+      {
+        "key": "queue/intel-x86/txn",
+        "wall_ms": 250,
+        "events": 100000,
+        "sim_ops": 5000
+      },
+      {
+        "key": "hashmap/non-atomic/sfr",
+        "wall_ms": 750,
+        "events": 400000,
+        "sim_ops": 20000
+      }
+    ]
+  }
 }
 )";
     EXPECT_EQ(sweepJson(result), expected);
+
+    // Schema-1 compatibility: the deterministic rendering drops the
+    // host block but keeps the cells bytes unchanged.
+    std::string bare = sweepJson(result, /*includeHost=*/false);
+    EXPECT_EQ(bare.find("\"host\""), std::string::npos);
+    EXPECT_NE(expected.find(bare.substr(
+                  bare.find("\"cells\""),
+                  bare.rfind(']') - bare.find("\"cells\"") + 1)),
+              std::string::npos);
 }
 
 TEST(ResultSink, EmptySweepStillRendersADocument)
@@ -298,8 +346,16 @@ TEST(ResultSink, EmptySweepStillRendersADocument)
     SweepResult result;
     result.name = "empty";
     EXPECT_EQ(sweepJson(result),
-              "{\n  \"bench\": \"empty\",\n  \"schema\": 1,\n"
-              "  \"cells\": []\n}\n");
+              "{\n  \"bench\": \"empty\",\n  \"schema\": 2,\n"
+              "  \"cells\": [],\n"
+              "  \"host\": {\n"
+              "    \"wall_ms\": 0,\n"
+              "    \"events\": 0,\n"
+              "    \"sim_ops\": 0,\n"
+              "    \"events_per_sec\": 0,\n"
+              "    \"sim_ops_per_sec\": 0,\n"
+              "    \"cells\": []\n"
+              "  }\n}\n");
 }
 
 } // namespace

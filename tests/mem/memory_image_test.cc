@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "mem/memory_image.hh"
 
 namespace strand
@@ -154,6 +156,110 @@ TEST(MemoryImage, ClonePersistedTornWithoutAdmissionIsPlainClone)
     MemoryImage torn = img.clonePersistedTorn(0);
     EXPECT_EQ(torn.readPersisted(pmLine), 7u);
     EXPECT_EQ(torn.readArch(pmLine), 7u);
+}
+
+TEST(WordStore, SparseWritesAcrossPageBoundaries)
+{
+    // Words straddling a 4 KiB page boundary land in different pages
+    // of the sparse store; neighbors within the same pages stay
+    // unoccupied and read as zero.
+    MemoryImage img;
+    const Addr boundary = pmBase + WordStore::pageBytes;
+    img.writeArch(boundary - wordBytes, 0x11);
+    img.writeArch(boundary, 0x22);
+    EXPECT_EQ(img.readArch(boundary - wordBytes), 0x11u);
+    EXPECT_EQ(img.readArch(boundary), 0x22u);
+    EXPECT_EQ(img.archWords(), 2u);
+    EXPECT_FALSE(img.archContains(boundary - 2 * wordBytes));
+    EXPECT_FALSE(img.archContains(boundary + wordBytes));
+    EXPECT_EQ(img.readArch(boundary + wordBytes), 0u);
+
+    // Widely scattered pages: one word each, no cross-talk.
+    for (unsigned i = 0; i < 64; ++i)
+        img.writeArch(pmBase + i * 16 * WordStore::pageBytes, i + 1);
+    for (unsigned i = 0; i < 64; ++i) {
+        EXPECT_EQ(
+            img.readArch(pmBase + i * 16 * WordStore::pageBytes),
+            i + 1);
+    }
+    EXPECT_EQ(img.archWords(), 66u);
+}
+
+TEST(WordStore, SnapshotAndPersistRoundTripNearPageEdges)
+{
+    // Cache lines never span pages (pageBytes is a multiple of
+    // lineBytes), so the one-page-lookup fast path in snapshotLine /
+    // persistLine must behave identically for the first and last
+    // line of a page.
+    MemoryImage img;
+    const Addr lastLine =
+        pmBase + WordStore::pageBytes - lineBytes;
+    const Addr firstLine = pmBase + WordStore::pageBytes;
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        img.writeArch(lastLine + w * wordBytes, 100 + w);
+        img.writeArch(firstLine + w * wordBytes, 200 + w);
+    }
+    img.persistLine(img.snapshotLine(lastLine));
+    img.persistLine(img.snapshotLine(firstLine));
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        EXPECT_EQ(img.readPersisted(lastLine + w * wordBytes),
+                  100u + w);
+        EXPECT_EQ(img.readPersisted(firstLine + w * wordBytes),
+                  200u + w);
+    }
+    EXPECT_EQ(img.persistedWords(), 2u * wordsPerLine);
+}
+
+TEST(WordStore, ForEachEnumeratesEveryOccupiedWordOnce)
+{
+    MemoryImage img;
+    // Two partial lines in different pages plus one full line.
+    img.writeDurable(pmLine, 1);
+    img.writeDurable(pmLine + 24, 2);
+    img.writeDurable(pmLine + 4 * WordStore::pageBytes, 3);
+    std::map<Addr, std::uint64_t> seen;
+    img.forEachPersisted([&seen](Addr addr, std::uint64_t value) {
+        EXPECT_TRUE(seen.emplace(addr, value).second);
+    });
+    std::map<Addr, std::uint64_t> expected{
+        {pmLine, 1},
+        {pmLine + 24, 2},
+        {pmLine + 4 * WordStore::pageBytes, 3},
+    };
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(WordStore, TornCloneMatchesWordMapSemanticsOnPagedStore)
+{
+    // The paged store must reproduce the word-map semantics
+    // ClonePersistedTornRevertsUnadmittedWords pins down, here with
+    // the torn line sitting at the very end of a page and the
+    // pre-image of one word living only in an earlier admission.
+    MemoryImage img;
+    const Addr line = pmBase + 7 * WordStore::pageBytes - lineBytes;
+    img.writeArch(line + 0, 1);
+    img.persistLine(img.snapshotLine(line));
+    img.writeArch(line + 0, 2);
+    img.writeArch(line + 8, 3);
+    img.persistLine(img.snapshotLine(line));
+    ASSERT_EQ(img.lastAdmissionMask(), 0b11u);
+
+    MemoryImage torn = img.clonePersistedTorn(0b10);
+    EXPECT_EQ(torn.readPersisted(line + 0), 1u);
+    EXPECT_EQ(torn.readPersisted(line + 8), 3u);
+
+    // Reverting a word with no pre-image erases it from the page;
+    // the slot reads as zero and reports unoccupied.
+    MemoryImage tornLow = img.clonePersistedTorn(0b01);
+    EXPECT_EQ(tornLow.readPersisted(line + 0), 2u);
+    EXPECT_FALSE(tornLow.persistedContains(line + 8));
+    EXPECT_EQ(tornLow.readPersisted(line + 8), 0u);
+    EXPECT_EQ(tornLow.persistedWords(), 1u);
+
+    // Clones deep-copy pages: writing the clone leaves the source
+    // image untouched.
+    torn.writeDurable(line + 16, 77);
+    EXPECT_FALSE(img.persistedContains(line + 16));
 }
 
 TEST(MemoryImage, OverlappingPersistsLastWriterWins)

@@ -148,6 +148,138 @@ TEST(EventQueue, PendingAndServicedCounts)
     EXPECT_EQ(eq.serviced(), 10u);
 }
 
+TEST(EventQueue, RecurringMatchesOneShotOrdering)
+{
+    // The same clocked pattern expressed twice — as a Recurring
+    // rescheduling itself in place and as chained one-shots — must
+    // interleave identically with competing same-tick events.
+    auto runPattern = [](bool recurring) {
+        EventQueue eq;
+        std::vector<int> order;
+        for (Tick t = 0; t < 5; ++t) {
+            eq.schedule(t * 100, [&order] { order.push_back(-1); },
+                        EventPriority::MemoryResponse);
+            eq.schedule(t * 100, [&order] { order.push_back(+1); },
+                        EventPriority::Stat);
+        }
+        EventQueue::Recurring ev;
+        int fires = 0;
+        std::function<void()> chained;
+        if (recurring) {
+            ev.init(eq, [&] {
+                order.push_back(0);
+                if (++fires < 5)
+                    ev.reschedule(100);
+            }, EventPriority::CpuTick);
+            ev.schedule(0);
+        } else {
+            chained = [&] {
+                order.push_back(0);
+                if (++fires < 5)
+                    eq.scheduleIn(100, chained,
+                                  EventPriority::CpuTick);
+            };
+            eq.schedule(0, chained, EventPriority::CpuTick);
+        }
+        eq.run();
+        return order;
+    };
+    EXPECT_EQ(runPattern(true), runPattern(false));
+}
+
+TEST(EventQueue, RecurringDescheduleAndRearm)
+{
+    EventQueue eq;
+    int fires = 0;
+    EventQueue::Recurring ev;
+    ev.init(eq, [&] { ++fires; });
+    ev.schedule(100);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 100u);
+    ev.deschedule();
+    EXPECT_FALSE(ev.scheduled());
+    eq.run();
+    EXPECT_EQ(fires, 0);
+    // The same record re-arms after cancellation.
+    ev.schedule(200);
+    eq.run();
+    EXPECT_EQ(fires, 1);
+    EXPECT_FALSE(ev.scheduled());
+}
+
+TEST(EventQueue, SchedulingRecurringWhilePendingPanics)
+{
+    EventQueue eq;
+    EventQueue::Recurring ev;
+    ev.init(eq, [] {});
+    ev.schedule(10);
+    EXPECT_THROW(ev.schedule(20), std::logic_error);
+    ev.deschedule();
+}
+
+TEST(EventQueue, PoolReusesRecordsAcrossDrainAndRefill)
+{
+    EventQueue eq;
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(i + 1, [] {});
+    eq.run();
+    const std::size_t arena = eq.arenaRecords();
+    EXPECT_EQ(eq.freeRecords(), arena);
+    // A second wave of the same size must come entirely from the
+    // free list: the arena does not grow.
+    for (int i = 0; i < 64; ++i)
+        eq.scheduleIn(i + 1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.arenaRecords(), arena);
+    EXPECT_EQ(eq.freeRecords(), arena);
+}
+
+TEST(EventQueue, RecurringSteadyStateAllocatesNoRecords)
+{
+    // The zero-allocation acceptance bar for the tick path: after
+    // warm-up, N recurring fires grow the record arena by exactly
+    // zero records.
+    EventQueue eq;
+    EventQueue::Recurring ev;
+    int fires = 0;
+    ev.init(eq, [&] {
+        if (++fires < 10000)
+            ev.reschedule(500);
+    }, EventPriority::CpuTick);
+    ev.schedule(0);
+    // Warm-up: let the pool reach steady state.
+    for (int i = 0; i < 16; ++i)
+        eq.serviceOne();
+    const std::size_t arena = eq.arenaRecords();
+    eq.run();
+    EXPECT_EQ(fires, 10000);
+    EXPECT_EQ(eq.arenaRecords(), arena);
+}
+
+TEST(EventQueue, CancelledCarcassesAreCompactedAndBounded)
+{
+    EventQueue eq;
+    std::vector<EventQueue::Handle> handles;
+    // Far-future events cancelled in bulk: the heap must not retain
+    // an unbounded carcass population.
+    for (int round = 0; round < 8; ++round) {
+        handles.clear();
+        for (int i = 0; i < 256; ++i)
+            handles.push_back(eq.schedule(1000000 + i, [] {}));
+        for (auto &handle : handles)
+            eq.deschedule(handle);
+    }
+    EXPECT_GT(eq.compactions(), 0u);
+    // Lazy compaction bound: carcasses may linger only while they
+    // are outnumbered by live events (plus the 64-entry floor).
+    EXPECT_LE(eq.cancelledPending(), 64u);
+    EXPECT_LE(eq.heapEntries(), 64u);
+    bool fired = false;
+    eq.schedule(2000000, [&] { fired = true; });
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
 TEST(EventQueue, ManyEventsStaySorted)
 {
     EventQueue eq;
