@@ -23,8 +23,11 @@
 using namespace strand;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int rc = 0;
+    if (bench::handleArgs(argc, argv, "coherence-interlock ablation", &rc))
+        return rc;
     unsigned threads = benchThreads();
     unsigned ops = benchOpsPerThread(60);
 

@@ -5,11 +5,12 @@
  * Every bench declares one SweepSpec (see core/sweep.hh), runs it on
  * the SW_JOBS worker pool, prints its rows/series from the
  * SweepResult, and writes the machine-readable JSON document via the
- * result sink. Sizes default to a few-minute total budget and scale
- * with:
- *   SW_OPS     operations per thread (default per bench)
- *   SW_THREADS program threads (default 8, Table I)
- *   SW_JOBS    sweep worker threads (default: hardware concurrency)
+ * result sink.
+ *
+ * Every bench main() starts with handleArgs(argc, argv): `--help`
+ * prints the shared SW_* knob table generated from the env_config
+ * registry (core/env_config.hh), so all binaries document the same
+ * knob surface automatically.
  */
 
 #ifndef BENCH_BENCH_UTIL_HH
@@ -18,6 +19,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,34 @@
 
 namespace strand::bench
 {
+
+/**
+ * Handle the shared command-line surface of every bench binary.
+ * `--help`/`-h` prints what the bench reproduces plus the SW_* knob
+ * table generated from the env_config registry, then asks main() to
+ * exit successfully.
+ * @return true when main() should exit (help was printed or an
+ * unknown flag was rejected; *exitCode says which).
+ */
+inline bool
+handleArgs(int argc, char **argv, const char *what, int *exitCode)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            std::printf("%s — %s\n\n%s", argv[0], what,
+                        envKnobTable().c_str());
+            *exitCode = 0;
+            return true;
+        }
+        std::fprintf(stderr, "unknown argument '%s' (try --help)\n",
+                     argv[i]);
+        *exitCode = 2;
+        return true;
+    }
+    *exitCode = 0;
+    return false;
+}
 
 /** Print a horizontal rule sized to @p width. */
 inline void

@@ -27,8 +27,14 @@
 using namespace strand;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int helpRc = 0;
+    if (bench::handleArgs(argc, argv,
+                          "crash-point fault-injection matrix across "
+                          "designs and models",
+                          &helpRc))
+        return helpRc;
     const unsigned threads = benchThreads(2);
     const unsigned ops = benchOpsPerThread(40);
     const unsigned points = benchCrashPoints(16);

@@ -77,8 +77,11 @@ recordSweep(unsigned threads, unsigned regions, unsigned opsPerRegion,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int rc = 0;
+    if (bench::handleArgs(argc, argv, "Figure 10 speedup vs failure-atomic region size", &rc))
+        return rc;
     unsigned threads = benchThreads();
     unsigned regions = benchOpsPerThread(60);
     constexpr unsigned opsPerSfr[] = {2, 4, 6, 8, 12, 16};

@@ -18,8 +18,11 @@
 using namespace strand;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int rc = 0;
+    if (bench::handleArgs(argc, argv, "Figure 9 strand-buffer-unit sensitivity sweep", &rc))
+        return rc;
     unsigned threads = benchThreads();
     unsigned ops = benchOpsPerThread(60);
     auto recorded = bench::recordAll(threads, ops);

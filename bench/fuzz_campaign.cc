@@ -58,6 +58,13 @@ main(int argc, char **argv)
 {
     if (argc == 3 && std::strcmp(argv[1], "--replay") == 0)
         return replayMode(argv[2]);
+    if (argc == 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0)) {
+        std::printf("%s — adversarial persistency fuzzing campaign\n"
+                    "usage: %s [--replay <file.repro>]\n\n%s",
+                    argv[0], argv[0], envKnobTable().c_str());
+        return 0;
+    }
     if (argc != 1) {
         std::fprintf(stderr,
                      "usage: %s [--replay <file.repro>]\n", argv[0]);
@@ -84,6 +91,12 @@ main(int argc, char **argv)
                 campaign.base.model = model;
                 campaign.base.numThreads = threads;
                 campaign.base.opsPerThread = ops;
+                // Pin the sanitizer into the spec (rather than rely
+                // on the replaying environment's SW_PMOSAN) so any
+                // .repro this campaign writes replays with the same
+                // checker attached.
+                if (benchPmosan())
+                    campaign.base.pmosan = true;
                 campaign.trials = trials;
                 campaign.seed = seed;
                 campaign.reproDir = reproDir;

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "core/experiment.hh"
 #include "core/env_config.hh"
 #include "mem/memory_image.hh"
@@ -186,8 +187,11 @@ runFig7Cell()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int rc = 0;
+    if (bench::handleArgs(argc, argv, "simulator host-throughput microbench", &rc))
+        return rc;
     std::printf("Simulator throughput microbench (fixed seeds; only "
                 "wall-clock varies)\n\n");
     std::vector<Section> sections;

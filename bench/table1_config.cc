@@ -14,8 +14,11 @@
 using namespace strand;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int rc = 0;
+    if (bench::handleArgs(argc, argv, "Table I simulator configuration vs the paper", &rc))
+        return rc;
     SystemConfig cfg;
     std::printf("Table I: simulator specifications\n");
     bench::rule(72);

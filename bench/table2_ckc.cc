@@ -47,8 +47,11 @@ paperCkc(WorkloadKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int rc = 0;
+    if (bench::handleArgs(argc, argv, "Table II CLWBs-per-kilocycle matrix", &rc))
+        return rc;
     unsigned threads = benchThreads();
     unsigned ops = benchOpsPerThread(120);
     auto recorded = bench::recordAll(threads, ops);

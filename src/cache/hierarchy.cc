@@ -282,6 +282,14 @@ Hierarchy::serviceMiss(CoreId core, Addr lineAddr, bool exclusive)
         auto transfer = [this, core, lineAddr, exclusive, i] {
             CacheLineInfo *owner = cores[i].array.findLine(lineAddr);
             ++cacheToCache;
+            // A read-exclusive steal of a dirty PM line is a VMO
+            // conflict edge: the old owner's earlier stores to the
+            // line are ordered before the requester's later ones.
+            if (obsHub && obsHub->active() && exclusive &&
+                isPersistentAddr(lineAddr)) {
+                obsHub->conflictEdge(
+                    {lineAddr, i, core, curTick()});
+            }
             if (exclusive) {
                 if (owner)
                     cores[i].array.invalidate(lineAddr);

@@ -34,6 +34,7 @@
 
 #include "cache/cache_array.hh"
 #include "cache/writeback_buffer.hh"
+#include "core/observer.hh"
 #include "mem/mem_controller.hh"
 #include "sim/sim_object.hh"
 
@@ -116,6 +117,9 @@ class Hierarchy : public SimObject
     {
         cores.at(core).recorder = std::move(recorder);
     }
+
+    /** Attach the system's observer hub (VMO conflict edges). */
+    void setObserverHub(ObserverHub *hub) { obsHub = hub; }
 
     /**
      * Install the lines covering [start, end) into the L2 as clean
@@ -287,6 +291,7 @@ class Hierarchy : public SimObject
 
     std::deque<Parked> parked;
     std::function<void()> wakeCallback;
+    ObserverHub *obsHub = nullptr;
     /** Retry/drain pump; armed at most once per tick. */
     EventQueue::Recurring kickEvent;
     /** Prebuilt adversary-hold retry; built once, borrowed per query. */

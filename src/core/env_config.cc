@@ -1,6 +1,8 @@
 #include "core/env_config.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "mem/address_map.hh"
@@ -73,9 +75,63 @@ parseEnvConfig(const std::function<const char *(const char *)> &get)
     config.crashSeed = parseSeed(get, "SW_CRASH_SEED");
     config.fuzzTrials = parseUnsigned(get, "SW_FUZZ_TRIALS", 0);
     config.fuzzSeed = parseSeed(get, "SW_FUZZ_SEED");
+    if (auto flag = parseUnsigned(get, "SW_PMOSAN", 0, 1))
+        config.pmosan = *flag != 0;
     if (const char *value = get("SW_OUT_DIR"); value && *value)
         config.outDir = value;
     return config;
+}
+
+const std::vector<EnvKnob> &
+envKnobs()
+{
+    static const std::vector<EnvKnob> knobs = {
+        {"SW_OPS", ">= 1", "per-bench default",
+         "operations per program thread"},
+        {"SW_THREADS", ">= 1", "8 (Table I)", "program threads"},
+        {"SW_CRASH_POINTS", ">= 0", "0 (off)",
+         "crash points injected per validated experiment"},
+        {"SW_JOBS", ">= 1", "hardware concurrency",
+         "sweep worker threads (1 = serial; output identical)"},
+        {"SW_TORN_WORDS", "0..7", "unset (no tearing)",
+         "admit only this many words of the final line per crash"},
+        {"SW_CRASH_SEED", "u64 (0x hex ok)", "fixed default",
+         "seed for random crash-tick selection"},
+        {"SW_FUZZ_TRIALS", ">= 0", "per-bench default",
+         "fuzz trials per campaign cell (0 disables cells)"},
+        {"SW_FUZZ_SEED", "u64 (0x hex ok)", "fixed default",
+         "campaign seed for fuzz trials"},
+        {"SW_PMOSAN", "0/1", "0 (off)",
+         "attach the online PMO-san persist-order checker"},
+        {"SW_OUT_DIR", "path", "bench/out",
+         "directory for JSON result files"},
+    };
+    return knobs;
+}
+
+std::string
+envKnobTable()
+{
+    std::string out = "SW_* environment knobs:\n";
+    std::size_t nameWidth = 0;
+    std::size_t rangeWidth = 0;
+    for (const EnvKnob &knob : envKnobs()) {
+        nameWidth = std::max(nameWidth, std::strlen(knob.name));
+        rangeWidth =
+            std::max(rangeWidth, std::strlen(knob.constraints));
+    }
+    for (const EnvKnob &knob : envKnobs()) {
+        out += "  ";
+        out += knob.name;
+        out.append(nameWidth - std::strlen(knob.name) + 2, ' ');
+        out += knob.constraints;
+        out.append(rangeWidth - std::strlen(knob.constraints) + 2, ' ');
+        out += knob.summary;
+        out += " [default: ";
+        out += knob.fallback;
+        out += "]\n";
+    }
+    return out;
 }
 
 const EnvConfig &

@@ -21,8 +21,14 @@
  *   SW_FUZZ_TRIALS  fuzz trials per campaign cell (0 disables cells)
  *   SW_FUZZ_SEED    campaign seed for fuzz trials (any u64;
  *                   0x-prefixed hex accepted)
+ *   SW_PMOSAN       attach the online PMO-san persist-order checker
+ *                   to every run (0/1; default off)
  *   SW_OUT_DIR      directory for JSON result files (default
  *                   bench/out)
+ *
+ * The knobs are also described by a data registry (envKnobs()), from
+ * which every bench binary generates the same --help table — adding
+ * a knob here without a registry row trips the env-config test.
  *
  * The environment is parsed once per process; sweep worker threads
  * may read the parsed config concurrently.
@@ -35,6 +41,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace strand
 {
@@ -50,8 +57,24 @@ struct EnvConfig
     std::optional<std::uint64_t> crashSeed;
     std::optional<unsigned> fuzzTrials;
     std::optional<std::uint64_t> fuzzSeed;
+    std::optional<bool> pmosan;
     std::string outDir = "bench/out";
 };
+
+/** One documented environment knob (the --help registry). */
+struct EnvKnob
+{
+    const char *name;        ///< e.g. "SW_OPS"
+    const char *constraints; ///< e.g. ">= 1", "0..7", "u64"
+    const char *fallback;    ///< behaviour when unset
+    const char *summary;     ///< one-line description
+};
+
+/** Every SW_* knob the tree reads, in documentation order. */
+const std::vector<EnvKnob> &envKnobs();
+
+/** The shared, aligned knob table every bench prints for --help. */
+std::string envKnobTable();
 
 /**
  * Parse the SW_* knobs through @p get (a getenv-shaped lookup).

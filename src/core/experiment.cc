@@ -1,7 +1,9 @@
 #include "core/experiment.hh"
 
 #include "core/env_config.hh"
+#include "core/observer_util.hh"
 #include "crash/crash_harness.hh"
+#include "sanitizer/pmo_sanitizer.hh"
 
 namespace strand
 {
@@ -48,6 +50,14 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
     sys.seedImage(recorded.preload);
     sys.loadStreams(std::move(streams));
 
+    AdmissionTally tally;
+    sys.addObserver(&tally);
+    const bool pmosan =
+        config.pmosan.value_or(benchPmosan());
+    PmoSanitizer sanitizer;
+    if (pmosan)
+        sys.addObserver(&sanitizer);
+
     RunMetrics metrics;
     sys.run();
     // Throughput is defined by the program cores; the background
@@ -70,6 +80,18 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
     metrics.hostEvents = sys.eventsServiced();
     metrics.simOps =
         static_cast<std::uint64_t>(sys.totalCommitted());
+    metrics.pmAdmissions = tally.admissions();
+
+    if (pmosan) {
+        metrics.pmosanViolations = sanitizer.violationCount();
+        metrics.pmosanChecked = sanitizer.persistsChecked();
+        // NON-ATOMIC omits the ordering the models ask for — PMO-san
+        // flagging it is the expected self-test, not an error.
+        panicIf(design != HwDesign::NonAtomic && !sanitizer.ok(),
+                "PMO-san: persist-order violation in {} under {}/{}:\n{}",
+                recorded.workload->name(), hwDesignName(design),
+                persistencyModelName(model), sanitizer.report());
+    }
 
     if (validate && design != HwDesign::NonAtomic) {
         const MemoryImage &img = sys.memory();
@@ -90,6 +112,7 @@ runExperiment(const RecordedWorkload &recorded, HwDesign design,
         crashCfg.seed = benchCrashSeed(crashCfg.seed);
         crashCfg.logStyle = config.logStyle;
         crashCfg.experiment = config;
+        crashCfg.pmosan = config.pmosan;
         CrashCellResult cell =
             runCrashCell(recorded, design, model, crashCfg);
         metrics.hostEvents += cell.hostEvents;
@@ -141,6 +164,12 @@ std::uint64_t
 benchFuzzSeed(std::uint64_t fallback)
 {
     return envConfig().fuzzSeed.value_or(fallback);
+}
+
+bool
+benchPmosan(bool fallback)
+{
+    return envConfig().pmosan.value_or(fallback);
 }
 
 } // namespace strand

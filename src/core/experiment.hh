@@ -11,6 +11,7 @@
 #define CORE_EXPERIMENT_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -63,6 +64,19 @@ struct RunMetrics
     std::uint64_t simOps = 0;
     /** @} */
 
+    /**
+     * @name Observer-side observability
+     * ADR admissions counted through the observer API, and PMO-san
+     * results when the sanitizer was attached (SW_PMOSAN). Not part
+     * of the `metrics` JSON block — cells stay byte-identical with
+     * the sanitizer off.
+     * @{
+     */
+    std::uint64_t pmAdmissions = 0;
+    std::uint64_t pmosanViolations = 0;
+    std::uint64_t pmosanChecked = 0;
+    /** @} */
+
     /** Speedup of this run relative to @p baseline. */
     double
     speedupOver(const RunMetrics &baseline) const
@@ -81,6 +95,12 @@ struct ExperimentConfig
     SystemConfig baseSystem; ///< numCores overridden per workload
     /** Write-ahead logging style the lowering emits (redo: TXN only). */
     LogStyle logStyle = LogStyle::Undo;
+    /**
+     * Attach the PMO-san online persist-order checker to the run and
+     * panic on violations (except under NON-ATOMIC, where they are
+     * expected and only counted). Unset defers to SW_PMOSAN.
+     */
+    std::optional<bool> pmosan;
 };
 
 /** Record @p kind once with @p params. */
@@ -129,6 +149,12 @@ unsigned benchFuzzTrials(unsigned fallback = 8);
 
 /** Fuzz campaign seed, overridable via env SW_FUZZ_SEED. */
 std::uint64_t benchFuzzSeed(std::uint64_t fallback = 0xf022);
+
+/**
+ * Whether to attach the PMO-san online persist-order checker,
+ * overridable via env SW_PMOSAN (default off).
+ */
+bool benchPmosan(bool fallback = false);
 
 } // namespace strand
 

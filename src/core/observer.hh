@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The multi-subscriber persist-event observer API.
+ *
+ * A System publishes structured events from the persist machinery —
+ * ADR admissions at the PM controller, dispatch and retirement of
+ * persist primitives at the per-core engines, and VMO conflict edges
+ * at the cache hierarchy — through one ObserverHub. Any number of
+ * PersistObserver subscribers may attach (the crash harness, the
+ * fuzz-trial injector and trace hasher, throughput tallies, PMO-san);
+ * they are notified in registration order, which makes multi-observer
+ * runs deterministic and lets sweep cells stay byte-identical at any
+ * SW_JOBS. This replaces the old single-slot System::setPersistHook,
+ * whose last-writer-wins std::function silently clobbered earlier
+ * subscribers.
+ *
+ * Observers are non-owning and must outlive the System. The hub
+ * asserts that no event fires during System teardown and that the
+ * subscriber list is never mutated from inside a notification.
+ */
+
+#ifndef CORE_OBSERVER_HH
+#define CORE_OBSERVER_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/** One persist event observed at the PM controller (ADR admission). */
+struct PersistRecord
+{
+    Addr lineAddr;
+    Tick when;
+    CoreId requester;
+    WriteOrigin origin;
+};
+
+/** Classification of a persist primitive for observer events. */
+enum class PrimitiveKind : std::uint8_t
+{
+    Clwb,       ///< a cache-line write-back toward PM
+    Barrier,    ///< persist barrier / ofence / SFENCE
+    NewStrand,  ///< strand separator
+    JoinStrand, ///< join / dfence (full drain)
+    Other,      ///< a non-persist op carrying ordering intents
+};
+
+/**
+ * One persist primitive passing a pipeline milestone. Dispatch events
+ * fire in program order per core; retirement events fire when the
+ * primitive completes in its engine (for a CLWB: when the flush
+ * acknowledges, i.e. at ADR admission of a dirty line or after the
+ * lookup of a clean one).
+ */
+struct PrimitiveEvent
+{
+    CoreId core = 0;
+    PrimitiveKind kind = PrimitiveKind::Other;
+    /** Dispatch sequence number in the core's shared seq space. */
+    SeqNum seq = 0;
+    /** Line address (CLWB only; 0 otherwise). */
+    Addr lineAddr = 0;
+    Tick when = 0;
+    /**
+     * Design-independent ordering intents attached before this op
+     * (kIntentNewStrand / kIntentJoin / kIntentBarrier bits from
+     * cpu/op.hh, applied in that order). They describe the *intended*
+     * strand-persistency ordering of the instrumented program even
+     * when the target design emits no hardware primitive for it.
+     */
+    std::uint8_t intents = 0;
+    /** Retirement only: the flush found no dirty data anywhere. */
+    bool clean = false;
+};
+
+/**
+ * A VMO conflict edge: ownership of a dirty line moved between cores
+ * (a read-exclusive snoop hit a Modified remote copy), ordering the
+ * source core's earlier stores before the requester's later ones.
+ */
+struct ConflictEdgeEvent
+{
+    Addr lineAddr = 0;
+    CoreId from = 0; ///< previous dirty owner
+    CoreId to = 0;   ///< requesting core
+    Tick when = 0;
+};
+
+/**
+ * Subscriber interface. Default implementations ignore everything,
+ * so observers override only the events they consume.
+ */
+class PersistObserver
+{
+  public:
+    virtual ~PersistObserver() = default;
+
+    /** A line entered the ADR persist domain at the PM controller. */
+    virtual void onPersistAdmitted(const PersistRecord &rec)
+    {
+        (void)rec;
+    }
+
+    /** A persist primitive (or intent carrier) dispatched, in
+     * program order per core. */
+    virtual void onPrimitiveDispatched(const PrimitiveEvent &ev)
+    {
+        (void)ev;
+    }
+
+    /** A persist primitive completed in its engine. */
+    virtual void onPrimitiveRetired(const PrimitiveEvent &ev)
+    {
+        (void)ev;
+    }
+
+    /** Dirty-line ownership moved between cores. */
+    virtual void onConflictEdge(const ConflictEdgeEvent &ev)
+    {
+        (void)ev;
+    }
+};
+
+/**
+ * Fan-out point owned by the System; producers (engines, hierarchy,
+ * cores, the PM-controller forwarder) hold a pointer and publish
+ * through it. Subscribers are notified in registration order.
+ */
+class ObserverHub
+{
+  public:
+    /** @return true when at least one observer is attached. */
+    bool active() const { return !observers.empty(); }
+
+    void
+    add(PersistObserver *obs)
+    {
+        panicIf(notifying, "observer added during notification");
+        panicIf(tearingDown, "observer added during teardown");
+        panicIf(!obs, "null observer");
+        panicIf(std::find(observers.begin(), observers.end(), obs) !=
+                    observers.end(),
+                "observer registered twice");
+        observers.push_back(obs);
+    }
+
+    void
+    remove(PersistObserver *obs)
+    {
+        panicIf(notifying, "observer removed during notification");
+        auto it = std::find(observers.begin(), observers.end(), obs);
+        panicIf(it == observers.end(),
+                "removing an observer that is not registered");
+        observers.erase(it);
+    }
+
+    /** Entering the owning System's destructor: any event after this
+     * point would reach observers with a half-destroyed System. */
+    void beginTeardown() { tearingDown = true; }
+
+    void
+    persistAdmitted(const PersistRecord &rec)
+    {
+        notify([&](PersistObserver &o) { o.onPersistAdmitted(rec); });
+    }
+
+    void
+    primitiveDispatched(const PrimitiveEvent &ev)
+    {
+        notify([&](PersistObserver &o) { o.onPrimitiveDispatched(ev); });
+    }
+
+    void
+    primitiveRetired(const PrimitiveEvent &ev)
+    {
+        notify([&](PersistObserver &o) { o.onPrimitiveRetired(ev); });
+    }
+
+    void
+    conflictEdge(const ConflictEdgeEvent &ev)
+    {
+        notify([&](PersistObserver &o) { o.onConflictEdge(ev); });
+    }
+
+  private:
+    template <typename Fn>
+    void
+    notify(Fn &&fn)
+    {
+        if (observers.empty())
+            return;
+        panicIf(tearingDown,
+                "persist event published during System teardown");
+        notifying = true;
+        // Index loop: registration order, and any accidental
+        // mutation mid-notification is caught by the panics above
+        // rather than invalidating an iterator.
+        for (std::size_t i = 0; i < observers.size(); ++i)
+            fn(*observers[i]);
+        notifying = false;
+    }
+
+    std::vector<PersistObserver *> observers;
+    bool notifying = false;
+    bool tearingDown = false;
+};
+
+} // namespace strand
+
+#endif // CORE_OBSERVER_HH

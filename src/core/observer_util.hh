@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small reusable PersistObserver implementations shared by the crash
+ * harness, the fuzzer, the benches, and tests.
+ */
+
+#ifndef CORE_OBSERVER_UTIL_HH
+#define CORE_OBSERVER_UTIL_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/observer.hh"
+
+namespace strand
+{
+
+/**
+ * Streaming FNV-1a hash of the persist trace. Produces the same
+ * value as hashing the complete trace after the run (the fuzzer's
+ * replay-divergence check) without buffering it.
+ */
+class TraceHasher final : public PersistObserver
+{
+  public:
+    void
+    onPersistAdmitted(const PersistRecord &rec) override
+    {
+        mix(rec.lineAddr);
+        mix(rec.when);
+        mix(rec.requester);
+        mix(static_cast<std::uint64_t>(rec.origin));
+    }
+
+    std::uint64_t value() const { return hash; }
+
+  private:
+    void
+    mix(std::uint64_t value)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (value >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    }
+
+    std::uint64_t hash = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+};
+
+/** Counts ADR admissions (bench throughput observability). */
+class AdmissionTally final : public PersistObserver
+{
+  public:
+    void
+    onPersistAdmitted(const PersistRecord &) override
+    {
+        ++count;
+    }
+
+    std::uint64_t admissions() const { return count; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/**
+ * Adapter for ad-hoc consumers: forwards each admission to a
+ * std::function. Replaces the one-off setPersistHook lambdas.
+ */
+class AdmissionCallback final : public PersistObserver
+{
+  public:
+    explicit AdmissionCallback(
+        std::function<void(const PersistRecord &)> fn)
+        : fn(std::move(fn))
+    {}
+
+    void
+    onPersistAdmitted(const PersistRecord &rec) override
+    {
+        fn(rec);
+    }
+
+  private:
+    std::function<void(const PersistRecord &)> fn;
+};
+
+} // namespace strand
+
+#endif // CORE_OBSERVER_UTIL_HH

@@ -29,26 +29,39 @@ System::System(const SystemConfig &config)
             core->wake();
     });
 
+    // ADR admissions fan out through the observer hub; the internal
+    // trace recorder is the first subscriber so persistTrace() is
+    // already updated when later observers see the same record.
+    hub.add(&traceRecorder);
     pmCtrl->setPersistObserver([this](const Packet &pkt, Tick when) {
-        persists.push_back({pkt.data.lineAddr, when, pkt.requester,
-                            pkt.origin});
-        if (persistHook)
-            persistHook(persists.back());
+        hub.persistAdmitted(
+            {pkt.data.lineAddr, when, pkt.requester, pkt.origin});
     });
+    caches->setObserverHub(&hub);
 
     coreFinish.assign(cfg.numCores, 0);
     for (CoreId i = 0; i < cfg.numCores; ++i) {
         auto engine = makePersistEngine(
             cfg.design, "engine", eq, i, *caches, cfg.engine);
+        engine->setObserverHub(&hub, i);
         cores.push_back(std::make_unique<Core>(
             "cpu" + std::to_string(i), eq, i, *caches,
             std::move(engine), locks, cfg.core, this));
+        cores.back()->setObserverHub(&hub);
         cores.back()->setFinishedCallback([this, i] {
             coreFinish[i] = eq.curTick();
             if (eq.curTick() > lastFinish)
                 lastFinish = eq.curTick();
         });
     }
+}
+
+System::~System()
+{
+    // No event may reach observers once destruction begins: member
+    // teardown order would hand them a half-destroyed System. The
+    // hub panics on any notification after this point.
+    hub.beginTeardown();
 }
 
 void

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/observer.hh"
 #include "cpu/core.hh"
 #include "persist/design.hh"
 #include "runtime/layout.hh"
@@ -51,15 +52,6 @@ struct SystemConfig
     DrainAdversary *adversary = nullptr;
 };
 
-/** One persist event observed at the PM controller. */
-struct PersistRecord
-{
-    Addr lineAddr;
-    Tick when;
-    CoreId requester;
-    WriteOrigin origin;
-};
-
 /**
  * A complete simulated machine.
  */
@@ -67,6 +59,7 @@ class System : public stats::StatGroup
 {
   public:
     explicit System(const SystemConfig &config);
+    ~System();
 
     MemoryImage &memory() { return image; }
     EventQueue &eventQueue() { return eq; }
@@ -99,15 +92,19 @@ class System : public stats::StatGroup
     bool runUntil(Tick limit);
 
     /**
-     * Install an observer invoked at every persist (ADR admission),
-     * in addition to the internal trace recording. The crash
-     * harness snapshots the persisted image from this hook.
+     * Attach a persist-event observer (non-owning; must outlive the
+     * System, and must be detached before destruction if it is
+     * shorter-lived than the run). Observers are notified in
+     * registration order on every event — multiple subscribers
+     * coexist, unlike the old single-slot setPersistHook.
      */
-    void
-    setPersistHook(std::function<void(const PersistRecord &)> hook)
-    {
-        persistHook = std::move(hook);
-    }
+    void addObserver(PersistObserver *obs) { hub.add(obs); }
+
+    /** Detach a previously attached observer. */
+    void removeObserver(PersistObserver *obs) { hub.remove(obs); }
+
+    /** The event fan-out point (producers publish through this). */
+    ObserverHub &observerHub() { return hub; }
 
     /** Simulate a failure: freeze PM, discard volatile state. */
     void crash() { image.crash(); }
@@ -156,6 +153,26 @@ class System : public stats::StatGroup
     /** Start the cores exactly once across run()/runUntil() calls. */
     void startCores();
 
+    /**
+     * The internal persist-trace recorder is itself an observer —
+     * registered first, so persistTrace() is complete by the time any
+     * user-attached observer sees the same admission.
+     */
+    struct TraceRecorder final : PersistObserver
+    {
+        explicit TraceRecorder(std::vector<PersistRecord> &out)
+            : out(out)
+        {}
+
+        void
+        onPersistAdmitted(const PersistRecord &rec) override
+        {
+            out.push_back(rec);
+        }
+
+        std::vector<PersistRecord> &out;
+    };
+
     SystemConfig cfg;
     EventQueue eq;
     MemoryImage image;
@@ -165,7 +182,8 @@ class System : public stats::StatGroup
     LockTable locks;
     std::vector<std::unique_ptr<Core>> cores;
     std::vector<PersistRecord> persists;
-    std::function<void(const PersistRecord &)> persistHook;
+    ObserverHub hub;
+    TraceRecorder traceRecorder{persists};
     std::vector<Tick> coreFinish;
     Tick lastFinish = 0;
     bool streamsLoaded = false;

@@ -119,6 +119,49 @@ Core::recordStall(StallCause cause)
     stallReason = cause;
 }
 
+namespace
+{
+
+PrimitiveKind
+primitiveKindOf(OpType type)
+{
+    switch (type) {
+      case OpType::Clwb:
+        return PrimitiveKind::Clwb;
+      case OpType::PersistBarrier:
+      case OpType::Sfence:
+      case OpType::Ofence:
+        return PrimitiveKind::Barrier;
+      case OpType::NewStrand:
+        return PrimitiveKind::NewStrand;
+      case OpType::JoinStrand:
+      case OpType::Dfence:
+        return PrimitiveKind::JoinStrand;
+      default:
+        return PrimitiveKind::Other;
+    }
+}
+
+} // namespace
+
+void
+Core::notifyDispatch(const Op &op, SeqNum seq)
+{
+    if (!obsHub || !obsHub->active())
+        return;
+    const std::uint8_t intents = effectiveIntents(op);
+    if (op.type != OpType::Clwb && intents == 0)
+        return;
+    PrimitiveEvent ev;
+    ev.core = coreId;
+    ev.kind = primitiveKindOf(op.type);
+    ev.seq = seq;
+    ev.lineAddr = op.type == OpType::Clwb ? lineAlign(op.addr) : 0;
+    ev.when = curTick();
+    ev.intents = intents;
+    obsHub->primitiveDispatched(ev);
+}
+
 bool
 Core::dispatchOne(const Op &op)
 {
@@ -140,6 +183,7 @@ Core::dispatchOne(const Op &op)
         SeqNum seq = nextSeq++;
         rob.push_back({seq, false});
         loadQueue.push_back({seq, op.addr, false, false});
+        notifyDispatch(op, seq);
         return true;
       }
       case OpType::Store: {
@@ -163,6 +207,7 @@ Core::dispatchOne(const Op &op)
         storeQueue.push_back({seq, op.addr, op.value, false, false});
         unissuedStores.insert(seq);
         incompleteStores.insert(seq);
+        notifyDispatch(op, seq);
         return true;
       }
       case OpType::Clwb:
@@ -181,6 +226,10 @@ Core::dispatchOne(const Op &op)
         rob.push_back({seq, true});
         SeqNum elder =
             op.type == OpType::Clwb ? elderStoreTo(op.addr) : 0;
+        // Announce before handing to the engine: a primitive that
+        // completes within dispatch still observes dispatch-before-
+        // retirement order.
+        notifyDispatch(op, seq);
         engine->dispatch(op, seq, elder);
         return true;
       }
@@ -196,6 +245,7 @@ Core::dispatchOne(const Op &op)
         computeBusyUntil = curTick() + delay;
         eq.scheduleIn(delay, [this] { wake(); },
                       EventPriority::CpuTick);
+        notifyDispatch(op, seq);
         return true;
       }
       case OpType::LockAcquire: {
@@ -208,6 +258,7 @@ Core::dispatchOne(const Op &op)
         Tick delay = cyclesToTicks(Cycles(params.lockAcquireCycles));
         eq.scheduleIn(delay, [this, seq] { markRobDone(seq); },
                       EventPriority::CpuTick);
+        notifyDispatch(op, seq);
         return true;
       }
       case OpType::LockRelease: {
@@ -230,6 +281,7 @@ Core::dispatchOne(const Op &op)
         Tick delay = cyclesToTicks(Cycles(params.lockReleaseCycles));
         eq.scheduleIn(delay, [this, seq] { markRobDone(seq); },
                       EventPriority::CpuTick);
+        notifyDispatch(op, seq);
         return true;
       }
     }

@@ -98,6 +98,9 @@ class Core : public ClockedObject
     CoreId id() const { return coreId; }
     PersistEngine &persistEngine() { return *engine; }
 
+    /** Attach the system's observer hub (dispatch events). */
+    void setObserverHub(ObserverHub *hub) { obsHub = hub; }
+
     /** Total persist-induced stall cycles (Figure 8 metric). */
     double persistStallCycles() const;
 
@@ -154,6 +157,15 @@ class Core : public ClockedObject
      * @return true on success; sets stallReason otherwise. */
     bool dispatchOne(const Op &op);
 
+    /**
+     * Publish a primitive-dispatched event for @p op (just
+     * dispatched as @p seq). Only successful dispatches are
+     * announced — a stalled op retries next cycle and must not be
+     * observed twice. CLWBs and any op carrying ordering intents are
+     * interesting; plain data ops are not.
+     */
+    void notifyDispatch(const Op &op, SeqNum seq);
+
     CoreId coreId;
     Hierarchy &hier;
     std::unique_ptr<PersistEngine> engine;
@@ -205,6 +217,7 @@ class Core : public ClockedObject
     /** Bumped by completion callbacks; progress marker. */
     std::uint64_t workDone = 0;
     std::function<void()> finishedCallback;
+    ObserverHub *obsHub = nullptr;
 };
 
 } // namespace strand

@@ -41,6 +41,20 @@ enum class OpType : std::uint8_t
 /** @return a short mnemonic for tracing. */
 const char *opTypeName(OpType type);
 
+/**
+ * Design-independent persist-ordering intents, as bits. The lowering
+ * annotates each op with the strand-persistency ordering the source
+ * program *means* at that point — even when the target design emits
+ * no hardware primitive for it (e.g. Intel x86 has no NewStrand op,
+ * so the intent rides on the next lowered op). Intents apply
+ * immediately before the op, in NewStrand, Join, Barrier order.
+ * PMO-san reconstructs the intended PMO relation from these bits and
+ * checks the hardware's actual admission order against it.
+ */
+constexpr std::uint8_t kIntentBarrier = 1;
+constexpr std::uint8_t kIntentNewStrand = 2;
+constexpr std::uint8_t kIntentJoin = 4;
+
 /** @return true for ops handled by the persist engine. */
 constexpr bool
 isPersistOp(OpType type)
@@ -70,6 +84,14 @@ struct Op
     /** Lock ops: which lock and this thread's recorded turn. */
     std::uint32_t lockId = 0;
     std::uint64_t ticket = 0;
+    /**
+     * Explicit kIntent* bits (set by the lowering). Zero means "use
+     * the op type's intrinsic intents" — see effectiveIntents().
+     * Non-zero overrides the intrinsic value: a NewStrand op lowered
+     * purely as a barrier replacement (NON-ATOMIC pair ordering)
+     * carries kIntentBarrier, not its intrinsic NewStrand intent.
+     */
+    std::uint8_t intents = 0;
 
     static Op
     load(Addr addr)
@@ -143,6 +165,38 @@ struct Op
         return {OpType::LockRelease, 0, 0, 1, lockId, 0};
     }
 };
+
+/**
+ * Intrinsic persist-ordering intents of an op type: what the
+ * primitive means under the design that natively uses it. SFENCE is
+ * both a barrier and a drain point on Intel; dfence is HOPS's drain.
+ */
+constexpr std::uint8_t
+intrinsicIntents(OpType type)
+{
+    switch (type) {
+      case OpType::PersistBarrier:
+      case OpType::Ofence:
+        return kIntentBarrier;
+      case OpType::Sfence:
+        return kIntentBarrier | kIntentJoin;
+      case OpType::NewStrand:
+        return kIntentNewStrand;
+      case OpType::JoinStrand:
+      case OpType::Dfence:
+        return kIntentJoin;
+      default:
+        return 0;
+    }
+}
+
+/** @return the op's explicit intents, or the type's intrinsic ones
+ *  when the lowering left the field at zero. */
+constexpr std::uint8_t
+effectiveIntents(const Op &op)
+{
+    return op.intents ? op.intents : intrinsicIntents(op.type);
+}
 
 /** A per-thread sequence of operations. */
 using OpStream = std::vector<Op>;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "core/env_config.hh"
+#include "core/observer_util.hh"
 #include "runtime/recovery.hh"
+#include "sanitizer/pmo_sanitizer.hh"
 #include "sim/random.hh"
 
 namespace strand
@@ -53,12 +56,15 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
     Tick endTick = 0;
     {
         auto ref = buildSystem();
+        AdmissionCallback admissions(
+            [&points](const PersistRecord &rec) {
+                points.push_back(rec.when);
+            });
+        ref->addObserver(&admissions);
         endTick = ref->run();
         result.hostEvents += ref->eventsServiced();
         result.simOps +=
             static_cast<std::uint64_t>(ref->totalCommitted());
-        for (const PersistRecord &persist : ref->persistTrace())
-            points.push_back(persist.when);
         for (CoreId i = 0; i < ref->numCores(); ++i) {
             const std::vector<Tick> &ticks =
                 ref->core(i).persistEngine().completionTicks();
@@ -92,6 +98,9 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
     // Injection run: identical schedule; the snapshot callbacks are
     // pure observers, so timing is not perturbed.
     auto sys = buildSystem();
+    PmoSanitizer sanitizer;
+    if (config.pmosan.value_or(envConfig().pmosan.value_or(false)))
+        sys->addObserver(&sanitizer);
     RecoveryManager recovery{ip.layout};
     const unsigned programThreads = recorded.params.numThreads;
 
@@ -161,6 +170,21 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
     // The completed run is one more crash point: a failure after the
     // last persist must recover to the final state.
     inject(sys->finishTick());
+
+    if (!sanitizer.ok()) {
+        // A persist-order violation is a failure of the cell even when
+        // every snapshot happened to recover: it means an ordering the
+        // program asked for was not honored by the hardware model.
+        CrashPointResult point;
+        point.when = sanitizer.violations().empty()
+                         ? sys->finishTick()
+                         : sanitizer.violations()[0].when;
+        point.passed = false;
+        ++result.pointsTested;
+        if (result.failures.size() < 32)
+            point.violation = sanitizer.report();
+        result.failures.push_back(std::move(point));
+    }
 
     if (stats)
         stats->record(result);

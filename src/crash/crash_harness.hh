@@ -29,6 +29,7 @@
 #ifndef CRASH_CRASH_HARNESS_HH
 #define CRASH_CRASH_HARNESS_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,12 @@ struct CrashHarnessConfig
     unsigned tornWords = wordsPerLine;
     /** Forwarded to the systems built for both runs. */
     ExperimentConfig experiment;
+    /**
+     * Attach the PMO-san online persist-order checker to the
+     * injection run; violations are recorded as an extra failing
+     * point. Unset defers to SW_PMOSAN.
+     */
+    std::optional<bool> pmosan;
 };
 
 /** Outcome of one injected crash point. */

@@ -1,8 +1,11 @@
 #include "fuzz/fuzz_trial.hh"
 
+#include "core/env_config.hh"
+#include "core/observer_util.hh"
 #include "crash/crash_oracle.hh"
 #include "runtime/instrumentor.hh"
 #include "runtime/recovery.hh"
+#include "sanitizer/pmo_sanitizer.hh"
 #include "sim/random.hh"
 
 namespace strand
@@ -39,23 +42,10 @@ makeTrialContext(const FuzzTrialSpec &spec)
 namespace
 {
 
-std::uint64_t
-hashPersistTrace(const std::vector<PersistRecord> &trace)
+bool
+pmosanEnabled(const FuzzTrialSpec &spec)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ULL; // FNV-1a offset basis
-    auto mix = [&hash](std::uint64_t value) {
-        for (unsigned i = 0; i < 8; ++i) {
-            hash ^= (value >> (8 * i)) & 0xff;
-            hash *= 0x100000001b3ULL;
-        }
-    };
-    for (const PersistRecord &rec : trace) {
-        mix(rec.lineAddr);
-        mix(rec.when);
-        mix(rec.requester);
-        mix(static_cast<std::uint64_t>(rec.origin));
-    }
-    return hash;
+    return spec.pmosan.value_or(envConfig().pmosan.value_or(false));
 }
 
 /** Streams, oracle, and a system factory for one (ctx, adversary). */
@@ -152,16 +142,35 @@ replayDecisions(const FuzzTrialContext &ctx, const DecisionLog &log,
     };
 
     // Persisted state changes only at ADR admissions, so checking in
-    // the admission hook covers every distinct post-crash image this
-    // schedule can produce.
-    sys->setPersistHook([&inject](const PersistRecord &rec) {
+    // an admission observer covers every distinct post-crash image
+    // this schedule can produce.
+    AdmissionCallback injector([&inject](const PersistRecord &rec) {
         inject(rec.when, true);
     });
+    TraceHasher hasher;
+    PmoSanitizer sanitizer;
+    sys->addObserver(&injector);
+    sys->addObserver(&hasher);
+    if (pmosanEnabled(ctx.spec))
+        sys->addObserver(&sanitizer);
     outcome.endTick = sys->run();
     // A crash after the last persist must recover to the final state.
     inject(outcome.endTick, false);
 
-    outcome.traceHash = hashPersistTrace(sys->persistTrace());
+    if (!sanitizer.ok()) {
+        // Persist-order violations ride the same failure path as
+        // recovery violations, so shrinking and .repro dumps apply.
+        outcome.pointsFailed += 1;
+        if (!outcome.failed) {
+            outcome.failed = true;
+            outcome.crashTick = sanitizer.violations().empty()
+                                    ? outcome.endTick
+                                    : sanitizer.violations()[0].when;
+            outcome.violation = sanitizer.report();
+        }
+    }
+
+    outcome.traceHash = hasher.value();
     outcome.hostEvents = sys->eventsServiced();
     outcome.simOps =
         static_cast<std::uint64_t>(sys->totalCommitted());
@@ -186,8 +195,10 @@ runFuzzTrial(const FuzzTrialSpec &spec)
         DrainAdversary adv = DrainAdversary::recording(ap);
         TrialRig rig(ctx);
         auto sys = rig.buildSystem(ctx, &adv);
+        TraceHasher hasher;
+        sys->addObserver(&hasher);
         sys->run();
-        recordHash = hashPersistTrace(sys->persistTrace());
+        recordHash = hasher.value();
         result.decisions = adv.log();
         result.queries = adv.queriesSeen();
         result.hostEvents += sys->eventsServiced();

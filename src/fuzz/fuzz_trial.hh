@@ -27,6 +27,8 @@
 #ifndef FUZZ_FUZZ_TRIAL_HH
 #define FUZZ_FUZZ_TRIAL_HH
 
+#include <optional>
+
 #include "core/experiment.hh"
 #include "fuzz/adversary.hh"
 
@@ -48,6 +50,12 @@ struct FuzzTrialSpec
     AdversaryParams adversary;
     /** Master seed; workload/adversary/torn seeds derive from it. */
     std::uint64_t seed = 1;
+    /**
+     * Attach the PMO-san online persist-order checker to the replay
+     * run; its violations fail the trial through the same shrinkable
+     * path as recovery violations. Unset defers to SW_PMOSAN.
+     */
+    std::optional<bool> pmosan;
 };
 
 /** A trial spec with its derived seeds and recorded workload. */

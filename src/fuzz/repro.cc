@@ -75,6 +75,11 @@ serializeRepro(const FuzzRepro &repro)
     // key set; the planted bug exists purely for harness self-tests.
     if (repro.spec.experiment.engine.plantedEpochBug)
         out << "planted 1\n";
+    // Pinned when the trial ran with an explicit PMO-san setting, so
+    // a sanitizer-found violation replays with the sanitizer attached
+    // regardless of the replaying environment's SW_PMOSAN.
+    if (repro.spec.pmosan)
+        out << "pmosan " << (*repro.spec.pmosan ? 1 : 0) << "\n";
     std::snprintf(buf, sizeof(buf), "seed 0x%" PRIx64 "\n",
                   repro.spec.seed);
     out << buf;
@@ -152,6 +157,8 @@ parseRepro(const std::string &text, std::string *error)
         } else if (key == "planted") {
             repro.spec.experiment.engine.plantedEpochBug =
                 value != "0";
+        } else if (key == "pmosan") {
+            repro.spec.pmosan = value != "0";
         } else if (key == "seed") {
             repro.spec.seed = std::stoull(value, nullptr, 0);
         } else if (key == "tornwords") {

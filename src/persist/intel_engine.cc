@@ -107,6 +107,7 @@ IntelEngine::issueEligible()
                     (!sq.allCompletedBefore ||
                      sq.allCompletedBefore(entry.seq))) {
                     entry.completed = true;
+                    emitRetired(PrimitiveKind::Barrier, entry.seq);
                     noteProgress();
                 } else {
                     blocked = true;
@@ -143,11 +144,13 @@ IntelEngine::issueEligible()
         entry.issuedAt = curTick();
         noteProgress();
         SeqNum seq = entry.seq;
-        hier.tryFlush(core, entry.addr, [this, seq](bool) {
+        hier.tryFlush(core, entry.addr, [this, seq](bool wrotePm) {
             for (Entry &e : queue) {
                 if (e.type == OpType::Clwb && e.seq == seq) {
                     e.completed = true;
                     noteCompletion();
+                    emitRetired(PrimitiveKind::Clwb, seq,
+                                lineAlign(e.addr), !wrotePm);
                     noteProgress();
                     ++clwbsCompleted;
                     flushLatency.sample(

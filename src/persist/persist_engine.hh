@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "core/observer.hh"
 #include "cpu/op.hh"
 #include "sim/sim_object.hh"
 
@@ -138,7 +139,33 @@ class PersistEngine : public SimObject
         return completions;
     }
 
+    /** Attach the system's observer hub; retirement events carry
+     * @p core as their core id. */
+    void
+    setObserverHub(ObserverHub *hub, CoreId core)
+    {
+        obsHub = hub;
+        obsCore = core;
+    }
+
   protected:
+    /** Publish a primitive-retired event (no-op without observers). */
+    void
+    emitRetired(PrimitiveKind kind, SeqNum seq, Addr lineAddr = 0,
+                bool clean = false)
+    {
+        if (!obsHub || !obsHub->active())
+            return;
+        PrimitiveEvent ev;
+        ev.core = obsCore;
+        ev.kind = kind;
+        ev.seq = seq;
+        ev.lineAddr = lineAddr;
+        ev.when = curTick();
+        ev.clean = clean;
+        obsHub->primitiveRetired(ev);
+    }
+
     /** Engines call this when a CLWB/flush completes. */
     void
     noteCompletion()
@@ -158,6 +185,8 @@ class PersistEngine : public SimObject
     StoreQueueView sq;
     std::function<void()> wake;
     std::uint64_t progress = 0;
+    ObserverHub *obsHub = nullptr;
+    CoreId obsCore = 0;
 
   private:
     bool recordCompletions = false;

@@ -159,7 +159,7 @@ StrandBufferUnit::issueFrom(Buffer &buffer)
                 flushLatency.sample(
                     static_cast<double>(curTick() - e.issuedAt));
                 if (completionCallback)
-                    completionCallback(e.id);
+                    completionCallback(e.id, wrotePm);
                 break;
             }
             retireCompleted(*bufferPtr);

@@ -91,9 +91,12 @@ class StrandBufferUnit : public SimObject
      */
     void newStrand();
 
-    /** Invoked (with the CLWB id) when a CLWB completes its flush. */
+    /**
+     * Invoked (with the CLWB id and whether the flush actually wrote
+     * PM — false for a clean lookup) when a CLWB completes.
+     */
     void
-    setCompletionCallback(std::function<void(std::uint64_t)> cb)
+    setCompletionCallback(std::function<void(std::uint64_t, bool)> cb)
     {
         completionCallback = std::move(cb);
     }
@@ -168,7 +171,7 @@ class StrandBufferUnit : public SimObject
     StrandBufferUnitParams params;
     std::vector<Buffer> buffers;
     unsigned ongoing = 0;
-    std::function<void(std::uint64_t)> completionCallback;
+    std::function<void(std::uint64_t, bool)> completionCallback;
     std::function<void(std::uint64_t)> startedCallback;
     /** Prebuilt adversary-hold retry; built once, borrowed per query. */
     EventQueue::Callback retryEvaluate;

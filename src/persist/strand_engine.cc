@@ -52,8 +52,9 @@ StrandEngine::StrandEngine(std::string name, EventQueue &eq, CoreId core,
       core(core), params(params),
       sbu("sbu", eq, core, hier, params.sbu, this)
 {
-    sbu.setCompletionCallback(
-        [this](std::uint64_t seq) { onClwbComplete(seq); });
+    sbu.setCompletionCallback([this](std::uint64_t seq, bool wrotePm) {
+        onClwbComplete(seq, wrotePm);
+    });
     sbu.setStartedCallback(
         [this](std::uint64_t seq) { onClwbStarted(seq); });
     retryEvaluate = [this] { evaluate(); };
@@ -258,6 +259,7 @@ StrandEngine::issueHead()
             if (!entry.completed) {
                 if (joinComplete(entry)) {
                     entry.completed = true;
+                    emitRetired(PrimitiveKind::JoinStrand, entry.seq);
                     noteProgress();
                 } else {
                     return;
@@ -305,10 +307,12 @@ StrandEngine::issueHead()
           case OpType::Ofence:
             sbu.pushBarrier();
             entry.completed = true;
+            emitRetired(PrimitiveKind::Barrier, entry.seq);
             break;
           case OpType::NewStrand:
             sbu.newStrand();
             entry.completed = true;
+            emitRetired(PrimitiveKind::NewStrand, entry.seq);
             break;
           default:
             panic("unexpected entry type at issue");
@@ -352,12 +356,14 @@ StrandEngine::onClwbStarted(SeqNum seq)
 }
 
 void
-StrandEngine::onClwbComplete(SeqNum seq)
+StrandEngine::onClwbComplete(SeqNum seq, bool wrotePm)
 {
     for (Entry &entry : queue) {
         if (entry.type == OpType::Clwb && entry.seq == seq) {
             entry.completed = true;
             noteCompletion();
+            emitRetired(PrimitiveKind::Clwb, seq,
+                        lineAlign(entry.addr), !wrotePm);
             noteProgress();
             break;
         }

@@ -121,7 +121,7 @@ class StrandEngine : public PersistEngine
 
     void issueHead();
     void retire();
-    void onClwbComplete(SeqNum seq);
+    void onClwbComplete(SeqNum seq, bool wrotePm);
     void onClwbStarted(SeqNum seq);
 
     /** @return true if a JoinStrand-like entry is complete. */

@@ -15,25 +15,39 @@ Instrumentor::Instrumentor(const InstrumentorParams &params)
 }
 
 void
+Instrumentor::push(OpStream &out, Op op)
+{
+    op.intents |= pendingIntents;
+    pendingIntents = 0;
+    out.push_back(op);
+}
+
+void
 Instrumentor::emitPairOrder(OpStream &out)
 {
     ++loweringStats.barriers;
+    pendingIntents |= kIntentBarrier;
     switch (params.design) {
       case HwDesign::IntelX86:
-        out.push_back(Op::sfence());
+        push(out, Op::sfence());
         break;
       case HwDesign::Hops:
-        out.push_back(Op::ofence());
+        push(out, Op::ofence());
         break;
       case HwDesign::NoPersistQueue:
       case HwDesign::StrandWeaver:
-        out.push_back(Op::persistBarrier());
+        push(out, Op::persistBarrier());
         break;
       case HwDesign::NonAtomic:
         // No pairwise ordering at all: the log and the update drain
-        // on separate strands and may persist in either order.
+        // on separate strands and may persist in either order. The
+        // emitted op is a NewStrand, but its *intent* stays Barrier
+        // (explicit intents override the intrinsic NewStrand), so
+        // PMO-san checks the ordering the source program meant and
+        // flags this design's reorderings — the expected-fail
+        // self-test.
         --loweringStats.barriers;
-        emitStrandSep(out);
+        push(out, Op::newStrand());
         break;
     }
 }
@@ -41,13 +55,15 @@ Instrumentor::emitPairOrder(OpStream &out)
 void
 Instrumentor::emitStrandSep(OpStream &out)
 {
+    pendingIntents |= kIntentNewStrand;
     switch (params.design) {
       case HwDesign::NoPersistQueue:
       case HwDesign::StrandWeaver:
       case HwDesign::NonAtomic:
-        out.push_back(Op::newStrand());
+        push(out, Op::newStrand());
         break;
       default:
+        // No hardware primitive; the intent rides the next op.
         break;
     }
 }
@@ -56,19 +72,20 @@ void
 Instrumentor::emitDrain(OpStream &out)
 {
     ++loweringStats.drains;
+    pendingIntents |= kIntentJoin;
     switch (params.design) {
       case HwDesign::IntelX86:
-        out.push_back(Op::sfence());
+        push(out, Op::sfence());
         break;
       case HwDesign::Hops:
-        out.push_back(Op::dfence());
+        push(out, Op::dfence());
         break;
       case HwDesign::NoPersistQueue:
       case HwDesign::StrandWeaver:
       case HwDesign::NonAtomic:
         // NON-ATOMIC removes only the log/update pair ordering
         // (§VI-A); persists still drain at synchronization points.
-        out.push_back(Op::joinStrand());
+        push(out, Op::joinStrand());
         break;
     }
 }
@@ -85,19 +102,19 @@ Instrumentor::emitLogEntry(OpStream &out, ThreadState &state, CoreId tid,
     std::uint64_t idx = state.tail++;
     Addr base = layout.entryAddr(tid, idx);
 
-    out.push_back(Op::store(base + log_field::type,
+    push(out, Op::store(base + log_field::type,
                             static_cast<std::uint64_t>(type)));
-    out.push_back(Op::store(base + log_field::addr, addr));
-    out.push_back(Op::store(base + log_field::value, value));
-    out.push_back(Op::store(base + log_field::size, wordBytes));
-    out.push_back(Op::store(base + log_field::commitMarker, 0));
+    push(out, Op::store(base + log_field::addr, addr));
+    push(out, Op::store(base + log_field::value, value));
+    push(out, Op::store(base + log_field::size, wordBytes));
+    push(out, Op::store(base + log_field::commitMarker, 0));
     // The entry sequence distinguishes live entries from stale laps.
-    out.push_back(Op::store(base + log_field::seq, idx));
+    push(out, Op::store(base + log_field::seq, idx));
     // Cross-thread rollback order (scalar clock).
-    out.push_back(Op::store(base + log_field::globalSeq, globalSeq));
+    push(out, Op::store(base + log_field::globalSeq, globalSeq));
     // Valid is written last.
-    out.push_back(Op::store(base + log_field::valid, 1));
-    out.push_back(Op::clwb(base));
+    push(out, Op::store(base + log_field::valid, 1));
+    push(out, Op::clwb(base));
 
     loweringStats.stores += 8;
     loweringStats.clwbs += 1;
@@ -120,14 +137,14 @@ Instrumentor::emitSyncEntryOverhead(OpStream &out)
         // every outermost-critical-section boundary — the
         // heavyweight mechanism the paper contrasts with SFR
         // (§VI-B); published ATLAS overheads are severe.
-        out.push_back(Op::compute(520));
+        push(out, Op::compute(520));
         break;
       case PersistencyModel::Sfr:
         // SFR logs happens-before relations at each boundary.
-        out.push_back(Op::compute(130));
+        push(out, Op::compute(130));
         break;
       case PersistencyModel::Txn:
-        out.push_back(Op::compute(5));
+        push(out, Op::compute(5));
         break;
     }
 }
@@ -144,8 +161,8 @@ Instrumentor::emitTxnCommit(OpStream &out, ThreadState &state,
     // 1. Set the commit marker on the terminating entry (Figure 6
     // step 2) and make it durable before invalidation begins.
     Addr cmEntry = layout.entryAddr(tid, region.lastEntry);
-    out.push_back(Op::store(cmEntry + log_field::commitMarker, 1));
-    out.push_back(Op::clwb(cmEntry));
+    push(out, Op::store(cmEntry + log_field::commitMarker, 1));
+    push(out, Op::clwb(cmEntry));
     loweringStats.stores += 1;
     loweringStats.clwbs += 1;
     emitDrain(out);
@@ -154,8 +171,8 @@ Instrumentor::emitTxnCommit(OpStream &out, ThreadState &state,
     // entries invalidate concurrently (separate strands / one epoch).
     for (std::uint64_t idx : region.entries) {
         Addr base = layout.entryAddr(tid, idx);
-        out.push_back(Op::store(base + log_field::valid, 0));
-        out.push_back(Op::clwb(base));
+        push(out, Op::store(base + log_field::valid, 0));
+        push(out, Op::clwb(base));
         loweringStats.stores += 1;
         loweringStats.clwbs += 1;
         emitStrandSep(out);
@@ -164,8 +181,8 @@ Instrumentor::emitTxnCommit(OpStream &out, ThreadState &state,
 
     // 3. Advance and flush the persistent head pointer (step 4).
     state.head = region.lastEntry + 1;
-    out.push_back(Op::store(layout.headPtrAddr(tid), state.head));
-    out.push_back(Op::clwb(layout.headPtrAddr(tid)));
+    push(out, Op::store(layout.headPtrAddr(tid), state.head));
+    push(out, Op::clwb(layout.headPtrAddr(tid)));
     loweringStats.stores += 1;
     loweringStats.clwbs += 1;
     emitDrain(out);
@@ -187,8 +204,8 @@ Instrumentor::emitRedoCommit(OpStream &out, ThreadState &state,
     // 2. Commit marker on the terminating entry. Once durable, the
     // transaction is logically applied: recovery replays it forward.
     Addr cmEntry = layout.entryAddr(tid, region.lastEntry);
-    out.push_back(Op::store(cmEntry + log_field::commitMarker, 1));
-    out.push_back(Op::clwb(cmEntry));
+    push(out, Op::store(cmEntry + log_field::commitMarker, 1));
+    push(out, Op::clwb(cmEntry));
     loweringStats.stores += 1;
     loweringStats.clwbs += 1;
 
@@ -199,14 +216,14 @@ Instrumentor::emitRedoCommit(OpStream &out, ThreadState &state,
     Addr lastLine = ~static_cast<Addr>(0);
     for (std::size_t i = 0; i < state.deferredUpdates.size(); ++i) {
         auto [addr, value] = state.deferredUpdates[i];
-        out.push_back(Op::store(addr, value));
+        push(out, Op::store(addr, value));
         loweringStats.stores += 1;
         bool nextSameLine =
             i + 1 < state.deferredUpdates.size() &&
             lineAlign(state.deferredUpdates[i + 1].first) ==
                 lineAlign(addr);
         if (!nextSameLine) {
-            out.push_back(Op::clwb(addr));
+            push(out, Op::clwb(addr));
             loweringStats.clwbs += 1;
         }
         lastLine = lineAlign(addr);
@@ -219,16 +236,16 @@ Instrumentor::emitRedoCommit(OpStream &out, ThreadState &state,
     emitDrain(out);
     for (std::uint64_t idx : region.entries) {
         Addr base = layout.entryAddr(tid, idx);
-        out.push_back(Op::store(base + log_field::valid, 0));
-        out.push_back(Op::clwb(base));
+        push(out, Op::store(base + log_field::valid, 0));
+        push(out, Op::clwb(base));
         loweringStats.stores += 1;
         loweringStats.clwbs += 1;
         emitStrandSep(out);
     }
     emitDrain(out);
     state.head = region.lastEntry + 1;
-    out.push_back(Op::store(layout.headPtrAddr(tid), state.head));
-    out.push_back(Op::clwb(layout.headPtrAddr(tid)));
+    push(out, Op::store(layout.headPtrAddr(tid), state.head));
+    push(out, Op::clwb(layout.headPtrAddr(tid)));
     loweringStats.stores += 1;
     loweringStats.clwbs += 1;
     emitDrain(out);
@@ -242,6 +259,7 @@ Instrumentor::buildPrunerStream(
 {
     const LogLayout &layout = params.layout;
     OpStream out;
+    pendingIntents = 0;
 
     // Batched commits (the decoupled-SFR pruning discipline): wait
     // for a window of regions to complete, then make the whole batch
@@ -262,15 +280,15 @@ Instrumentor::buildPrunerStream(
         for (std::size_t i = next; i < batchEnd; ++i) {
             auto gate = static_cast<std::uint32_t>(
                 regionDoneLockBase + regions[i].globalSeq);
-            out.push_back(Op::lockAcquire(gate, 1));
-            out.push_back(Op::lockRelease(gate));
+            push(out, Op::lockAcquire(gate, 1));
+            push(out, Op::lockRelease(gate));
         }
 
         // 2. Advance the commit frontier durably. Everything at or
         // below it is committed from recovery's point of view.
         std::uint64_t frontier = regions[batchEnd - 1].globalSeq + 1;
-        out.push_back(Op::store(layout.frontierAddr(), frontier));
-        out.push_back(Op::clwb(layout.frontierAddr()));
+        push(out, Op::store(layout.frontierAddr(), frontier));
+        push(out, Op::clwb(layout.frontierAddr()));
         loweringStats.stores += 1;
         loweringStats.clwbs += 1;
         emitDrain(out);
@@ -289,9 +307,9 @@ Instrumentor::buildPrunerStream(
         for (CoreId t = 0; t < layout.maxThreads; ++t) {
             if (!touched[t])
                 continue;
-            out.push_back(
+            push(out, 
                 Op::store(layout.headPtrAddr(t), newHead[t]));
-            out.push_back(Op::clwb(layout.headPtrAddr(t)));
+            push(out, Op::clwb(layout.headPtrAddr(t)));
             loweringStats.stores += 1;
             loweringStats.clwbs += 1;
             emitStrandSep(out);
@@ -302,8 +320,8 @@ Instrumentor::buildPrunerStream(
         for (std::size_t i = next; i < batchEnd; ++i) {
             auto done = static_cast<std::uint32_t>(
                 prunedLockBase + regions[i].globalSeq);
-            out.push_back(Op::lockAcquire(done, 0));
-            out.push_back(Op::lockRelease(done));
+            push(out, Op::lockAcquire(done, 0));
+            push(out, Op::lockRelease(done));
         }
         loweringStats.commits += batchEnd - next;
         next = batchEnd;
@@ -323,25 +341,26 @@ Instrumentor::lower(const RegionTrace &trace)
         OpStream &out = streams[tid];
         ThreadState &state = states[tid];
         std::size_t pendingRun = 0;
+        pendingIntents = 0;
 
         for (const TraceEvent &ev : trace.threads[tid]) {
             switch (ev.kind) {
               case TraceEvent::Kind::Load:
-                out.push_back(Op::load(ev.addr));
+                push(out, Op::load(ev.addr));
                 ++loweringStats.loads;
                 break;
 
               case TraceEvent::Kind::PlainStore:
-                out.push_back(Op::store(ev.addr, ev.newValue));
+                push(out, Op::store(ev.addr, ev.newValue));
                 ++loweringStats.stores;
                 break;
 
               case TraceEvent::Kind::Compute:
-                out.push_back(Op::compute(ev.cycles));
+                push(out, Op::compute(ev.cycles));
                 break;
 
               case TraceEvent::Kind::LockAcquire:
-                out.push_back(Op::lockAcquire(ev.lockId, ev.ticket));
+                push(out, Op::lockAcquire(ev.lockId, ev.ticket));
                 ++state.lockDepth;
                 // Strand persistency decouples persist from
                 // visibility order, so persists inside the critical
@@ -364,7 +383,7 @@ Instrumentor::lower(const RegionTrace &trace)
                 // Persists must complete before the lock hands off;
                 // the core orders the release behind this drain.
                 emitDrain(out);
-                out.push_back(Op::lockRelease(ev.lockId));
+                push(out, Op::lockRelease(ev.lockId));
                 panicIf(state.lockDepth == 0,
                         "lock release without acquire in trace");
                 --state.lockDepth;
@@ -375,8 +394,8 @@ Instrumentor::lower(const RegionTrace &trace)
                     for (std::uint64_t seq : state.pendingHandshakes) {
                         auto gate = static_cast<std::uint32_t>(
                             regionDoneLockBase + seq);
-                        out.push_back(Op::lockAcquire(gate, 0));
-                        out.push_back(Op::lockRelease(gate));
+                        push(out, Op::lockAcquire(gate, 0));
+                        push(out, Op::lockRelease(gate));
                     }
                     state.pendingHandshakes.clear();
                     // Bounded run-ahead: wait for the pruner to have
@@ -387,8 +406,8 @@ Instrumentor::lower(const RegionTrace &trace)
                         auto done = static_cast<std::uint32_t>(
                             prunedLockBase + state.myRegions.front());
                         state.myRegions.pop_front();
-                        out.push_back(Op::lockAcquire(done, 1));
-                        out.push_back(Op::lockRelease(done));
+                        push(out, Op::lockAcquire(done, 1));
+                        push(out, Op::lockRelease(done));
                     }
                 }
                 break;
@@ -457,11 +476,11 @@ Instrumentor::lower(const RegionTrace &trace)
                 }
                 emitPairOrder(out);
                 for (std::size_t i = here; i < runEnd; ++i) {
-                    out.push_back(Op::store(events[i].addr,
+                    push(out, Op::store(events[i].addr,
                                             events[i].newValue));
                     loweringStats.stores += 1;
                 }
-                out.push_back(Op::clwb(ev.addr));
+                push(out, Op::clwb(ev.addr));
                 loweringStats.clwbs += 1;
                 emitStrandSep(out);
                 break;
@@ -524,8 +543,8 @@ Instrumentor::lower(const RegionTrace &trace)
             for (std::uint64_t seq : state.pendingHandshakes) {
                 auto gate = static_cast<std::uint32_t>(
                     regionDoneLockBase + seq);
-                out.push_back(Op::lockAcquire(gate, 0));
-                out.push_back(Op::lockRelease(gate));
+                push(out, Op::lockAcquire(gate, 0));
+                push(out, Op::lockRelease(gate));
             }
             state.pendingHandshakes.clear();
         }

@@ -170,6 +170,17 @@ class Instrumentor
         std::uint64_t lastEntry = 0;
     };
 
+    /**
+     * Append @p op, stamping any pending ordering intents onto it.
+     * All ops must be emitted through here: emitPairOrder /
+     * emitStrandSep / emitDrain accumulate kIntent* bits in
+     * pendingIntents, and the next emitted op carries them — which is
+     * how designs without a dedicated primitive (e.g. no NewStrand op
+     * on Intel x86 / HOPS) still record the intended strand
+     * boundaries for PMO-san.
+     */
+    void push(OpStream &out, Op op);
+
     /** Emit the design's pairwise ordering primitive. */
     void emitPairOrder(OpStream &out);
     /** Emit the design's strand separator (NewStrand), if any. */
@@ -210,6 +221,8 @@ class Instrumentor
     InstrumentorParams params;
     LoweringStats loweringStats;
     std::vector<RegionLogInfo> regionLogInfos;
+    /** kIntent* bits awaiting the next push()ed op. */
+    std::uint8_t pendingIntents = 0;
 };
 
 } // namespace strand

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * PMO-san: an online checker of the strand-persistency persist
+ * memory order (paper §III, Eqs. 1–4).
+ *
+ * The offline model (src/persist/pmo.hh) validates a finished persist
+ * trace against the PMO's transitive closure; PMO-san instead rides
+ * the live observer stream and validates each persist *as the
+ * hardware completes it*, the persistency analogue of a thread
+ * sanitizer. It reconstructs the intended ordering relation from the
+ * kIntent* bits the lowering stamps on dispatched ops — which are
+ * design-independent, so the same checker runs under all five
+ * hardware designs — and checks that the engines acknowledge persists
+ * only in linear extensions of that relation:
+ *
+ *  - Eq. 1 (intra-strand): a persist separated from an earlier one by
+ *    a persist-barrier intent (with no NewStrand intent between) may
+ *    complete only after the earlier one is durable.
+ *  - Eq. 2 (JoinStrand): a persist after a join intent may complete
+ *    only after every earlier persist of its thread is durable.
+ *  - Eq. 3 (SPA, conflicting stores): satisfied by construction in
+ *    this simulator — an admission snapshots the whole line's current
+ *    architectural state, so an earlier same-line persist can never
+ *    be "overtaken" with stale data. Conflict edges are still
+ *    recorded for diagnostics.
+ *  - Eq. 4 (transitivity): checking each generating edge at every
+ *    completion suffices — a linear order that respects all direct
+ *    edges respects their transitive closure.
+ *
+ * The check is O(1) amortized per event: per-strand barrier-level
+ * buckets and per-core join-epoch buckets with monotone frontiers;
+ * each tracked persist is visited a constant number of times.
+ *
+ * "Durable" for an earlier persist q means q's own flush acknowledged
+ * OR q's line was admitted to the ADR domain at/after q dispatched (a
+ * later CLWB or write-back of the same line covers q's data — the
+ * admission is a whole-line snapshot).
+ *
+ * On violation PMO-san records a causal trace: the later persist, the
+ * earlier not-yet-durable one, and the ordering intent (barrier/join
+ * dispatch) that connects them. Violations are capped; the total
+ * count keeps incrementing.
+ */
+
+#ifndef SANITIZER_PMO_SANITIZER_HH
+#define SANITIZER_PMO_SANITIZER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/observer.hh"
+
+namespace strand
+{
+
+/** PMO-san tuning. */
+struct PmoSanitizerConfig
+{
+    /** Causal traces kept in full (the count is not capped). */
+    std::size_t maxViolations = 16;
+};
+
+/**
+ * The online PMO checker. Attach via System::addObserver before the
+ * run; query ok()/report() after (or during) it.
+ */
+class PmoSanitizer final : public PersistObserver
+{
+  public:
+    explicit PmoSanitizer(PmoSanitizerConfig config = {})
+        : cfg(config)
+    {}
+
+    /** One detected ordering violation with its causal trace. */
+    struct Violation
+    {
+        /** 1 or 2: which PMO equation the completion order broke. */
+        unsigned equation = 0;
+        CoreId core = 0;
+        Addr laterLine = 0;
+        Addr earlierLine = 0;
+        Tick when = 0;
+        /** Multi-line causal trace (later:/earlier:/edge:). */
+        std::string trace;
+    };
+
+    void onPrimitiveDispatched(const PrimitiveEvent &ev) override;
+    void onPrimitiveRetired(const PrimitiveEvent &ev) override;
+    void onPersistAdmitted(const PersistRecord &rec) override;
+    void onConflictEdge(const ConflictEdgeEvent &ev) override;
+
+    /** @return true when no violation has been detected so far. */
+    bool ok() const { return totalViolations == 0; }
+
+    /** Total violations detected (including beyond the trace cap). */
+    std::uint64_t violationCount() const { return totalViolations; }
+
+    /** The first maxViolations violations, with causal traces. */
+    const std::vector<Violation> &violations() const { return found; }
+
+    /** All kept causal traces joined into one printable report. */
+    std::string report() const;
+
+    /** @name Exposure counters (how much the run exercised) @{ */
+    std::uint64_t persistsChecked() const { return checkedCount; }
+    std::uint64_t admissionsSeen() const { return admissionCount; }
+    std::uint64_t conflictEdgesSeen() const { return edgeCount; }
+    /** @} */
+
+  private:
+    /** A tracked CLWB from dispatch to flush acknowledgement. */
+    struct Persist
+    {
+        CoreId core = 0;
+        Addr line = 0;
+        SeqNum seq = 0;
+        Tick dispatchTick = 0;
+        /** Intended-strand coordinates at dispatch. */
+        std::uint64_t strand = 0;
+        std::uint32_t level = 0; ///< barrier count within the strand
+        std::uint64_t epoch = 0; ///< join count within the core
+        /** Dispatch tick of the intent that began level / epoch. */
+        Tick levelStartTick = 0;
+        Tick epochStartTick = 0;
+        bool acked = false;
+    };
+
+    /** Barrier-level buckets of one intended strand. */
+    struct Strand
+    {
+        /** Indices (into arena) of not-yet-retired-from-checking
+         * persists, bucketed by barrier level. */
+        std::vector<std::vector<std::uint32_t>> levels;
+        /** All levels below this are fully durable. */
+        std::uint32_t frontier = 0;
+    };
+
+    struct CoreState
+    {
+        /** Intended-PMO coordinates of the next dispatch. */
+        std::uint64_t strandSeq = 0;
+        std::uint32_t pbLevel = 0;
+        std::uint64_t jsEpoch = 0;
+        Tick levelStartTick = 0;
+        Tick epochStartTick = 0;
+
+        std::vector<Strand> strands; ///< indexed by strand seq
+        /** Join-epoch buckets (indices into arena). */
+        std::vector<std::vector<std::uint32_t>> epochs;
+        std::uint64_t epochFrontier = 0;
+        /** Dispatch seq → arena index of live tracked persists. */
+        std::unordered_map<SeqNum, std::uint32_t> bySeq;
+    };
+
+    CoreState &coreState(CoreId core);
+    /** @return true once @p q is durable (acked or line admitted at
+     * or after its dispatch). */
+    bool covered(const Persist &q) const;
+    /** First uncovered persist in @p bucket, dropping covered ones;
+     * ~0u when the bucket drains empty. */
+    std::uint32_t firstUncovered(std::vector<std::uint32_t> &bucket);
+    void checkEq1(const Persist &p, Tick now);
+    void checkEq2(const Persist &p, Tick now);
+    void recordViolation(unsigned equation, const Persist &later,
+                         const Persist &earlier, Tick now);
+
+    PmoSanitizerConfig cfg;
+    std::vector<Persist> arena;
+    std::vector<CoreState> coresState;
+    /** Line → tick of its most recent ADR admission. */
+    std::unordered_map<Addr, Tick> lastAdmit;
+
+    std::vector<Violation> found;
+    std::uint64_t totalViolations = 0;
+    std::uint64_t checkedCount = 0;
+    std::uint64_t admissionCount = 0;
+    std::uint64_t edgeCount = 0;
+};
+
+} // namespace strand
+
+#endif // SANITIZER_PMO_SANITIZER_HH

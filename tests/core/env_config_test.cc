@@ -11,6 +11,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/env_config.hh"
 #include "mem/address_map.hh"
@@ -40,7 +41,41 @@ TEST(EnvConfig, UnsetKnobsLeaveDefaults)
     EXPECT_FALSE(config.crashSeed.has_value());
     EXPECT_FALSE(config.fuzzTrials.has_value());
     EXPECT_FALSE(config.fuzzSeed.has_value());
+    EXPECT_FALSE(config.pmosan.has_value());
     EXPECT_EQ(config.outDir, "bench/out");
+}
+
+TEST(EnvConfig, PmosanParsesAsBool)
+{
+    EXPECT_EQ(parse({{"SW_PMOSAN", "1"}}).pmosan, true);
+    EXPECT_EQ(parse({{"SW_PMOSAN", "0"}}).pmosan, false);
+    EXPECT_FALSE(parse({}).pmosan.has_value());
+    // Only 0/1 are accepted; anything else dies loudly.
+    EXPECT_THROW(parse({{"SW_PMOSAN", "2"}}), std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_PMOSAN", "yes"}}),
+                 std::invalid_argument);
+}
+
+TEST(EnvConfig, KnobRegistryCoversEveryKnob)
+{
+    // The --help table is generated from envKnobs(); a knob missing
+    // from the registry would be parsed but undocumented. Keep the
+    // registry in sync with the parser by name.
+    std::vector<std::string> expected = {
+        "SW_OPS",         "SW_THREADS",   "SW_CRASH_POINTS",
+        "SW_JOBS",        "SW_TORN_WORDS", "SW_CRASH_SEED",
+        "SW_FUZZ_TRIALS", "SW_FUZZ_SEED", "SW_PMOSAN",
+        "SW_OUT_DIR",
+    };
+    std::vector<std::string> actual;
+    for (const EnvKnob &knob : envKnobs())
+        actual.push_back(knob.name);
+    EXPECT_EQ(actual, expected);
+
+    std::string table = envKnobTable();
+    for (const std::string &name : expected)
+        EXPECT_NE(table.find(name), std::string::npos)
+            << name << " missing from the --help knob table";
 }
 
 TEST(EnvConfig, EmptyValuesCountAsUnset)

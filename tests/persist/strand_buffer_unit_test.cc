@@ -34,8 +34,9 @@ class SbuFixture : public ::testing::Test
         hier = std::make_unique<Hierarchy>("caches", eq, img, 1,
                                            HierarchyParams{}, *pm, *dram);
         sbu = std::make_unique<StrandBufferUnit>("sbu", eq, 0, *hier, p);
-        sbu->setCompletionCallback(
-            [this](std::uint64_t id) { completions.push_back(id); });
+        sbu->setCompletionCallback([this](std::uint64_t id, bool) {
+            completions.push_back(id);
+        });
         pm->setPersistObserver([this](const Packet &pkt, Tick) {
             persistOrder.push_back(pkt.data.lineAddr);
         });
