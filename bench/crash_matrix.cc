@@ -17,7 +17,14 @@
  * bench/out/crash_matrix.json. Sizes scale with SW_OPS / SW_THREADS
  * / SW_CRASH_POINTS; SW_TORN_WORDS additionally tears the final
  * flushed line at every crash point, admitting only that many of its
- * 8-byte words.
+ * 8-byte words. Matrix cells honour SW_CRASH_FORK (unset: classic
+ * two-run), so the same binary run twice gives the forked-vs-two-run
+ * determinism diff.
+ *
+ * Two extra probe cells pin a 512-point budget at a fixed coordinate
+ * with the harness mode forced per cell (fork512 / tworun512),
+ * measuring the forked-snapshot speedup on identical work; their
+ * wall-clock ratio is printed and recorded in the JSON host block.
  */
 
 #include <cstdio>
@@ -65,6 +72,29 @@ main(int argc, char **argv)
             redo.tornWords = tornWords;
         }
     }
+
+    // Forked-vs-two-run speedup probe: one coordinate, a 512-point
+    // budget, both harness modes pinned per cell. A larger recorded
+    // run than the matrix cells so the enumeration can actually fill
+    // the budget.
+    constexpr unsigned probePoints = 512;
+    {
+        WorkloadParams params;
+        params.numThreads = 2;
+        params.opsPerThread = 400;
+        auto recorded = recordShared(WorkloadKind::Queue, params);
+        SweepCell &tworun =
+            spec.addCrash(recorded, HwDesign::StrandWeaver,
+                          PersistencyModel::Sfr, probePoints);
+        tworun.variant = "tworun512";
+        tworun.crashFork = false;
+        SweepCell &fork =
+            spec.addCrash(recorded, HwDesign::StrandWeaver,
+                          PersistencyModel::Sfr, probePoints);
+        fork.variant = "fork512";
+        fork.crashFork = true;
+    }
+
     SweepResult result = runSweep(spec);
 
     std::printf("Crash-consistency matrix (%u threads, %u ops/thread, "
@@ -131,6 +161,41 @@ main(int argc, char **argv)
     std::printf("\nnon-atomic violations detected: %u "
                 "(the oracle has teeth)\n",
                 nonAtomicViolations);
+
+    // Speedup probe: identical work, verdicts must agree bit for bit;
+    // the wall-clock ratio is the forked-snapshot payoff.
+    const CellResult *probeFork = nullptr;
+    const CellResult *probeTworun = nullptr;
+    for (const CellResult &cell : result.cells) {
+        if (cell.variant == "fork512")
+            probeFork = &cell;
+        else if (cell.variant == "tworun512")
+            probeTworun = &cell;
+    }
+    if (probeFork && probeTworun && probeFork->ok &&
+        probeTworun->ok) {
+        const CrashCellResult &f = probeFork->crash;
+        const CrashCellResult &t = probeTworun->crash;
+        if (f.pointsTested != t.pointsTested ||
+            f.pointsPassed != t.pointsPassed ||
+            f.pointsInjected != t.pointsInjected ||
+            f.totalRolledBack != t.totalRolledBack ||
+            f.totalReplayed != t.totalReplayed) {
+            std::printf("speedup probe: fork/two-run verdicts "
+                        "DIVERGED <-- FAIL\n");
+            ++unexpectedFailures;
+        } else {
+            double ratio =
+                probeFork->host.wallMs > 0
+                    ? probeTworun->host.wallMs / probeFork->host.wallMs
+                    : 0.0;
+            std::printf("speedup probe (%u-point budget, %u injected): "
+                        "two-run %.1f ms, forked %.1f ms -> %.1fx\n",
+                        probePoints, f.pointsInjected,
+                        probeTworun->host.wallMs,
+                        probeFork->host.wallMs, ratio);
+        }
+    }
     int rc = bench::finish(result);
     if (unexpectedFailures > 0) {
         std::printf("%u recoverable cell(s) FAILED crash injection\n",

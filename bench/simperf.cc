@@ -11,6 +11,12 @@
  *                   fast path (one pooled record re-armed in place).
  *   image_clone     MemoryImage::clonePersisted / clonePersistedTorn,
  *                   the crash- and fuzz-harness inner loop.
+ *   fork_setup      the forked crash harness's per-campaign setup: one
+ *                   image copy plus the full newest-first
+ *                   undoAdmission rewind walk. Like image_clone it is
+ *                   page-copy/page-write bound, so the CI guard
+ *                   compares the two sections' RATIO against the
+ *                   baseline ratio (host speed cancels out).
  *   fig7_cell       one fig7-shaped timing cell end to end, the
  *                   integrated number the sweeps are made of.
  *
@@ -159,6 +165,45 @@ runImageClone()
 }
 
 Section
+runForkSetup()
+{
+    // A run-shaped admission history: every line admitted twice, so
+    // each rewind step has a pre-image to restore (the expensive
+    // branch of undoAdmission).
+    MemoryImage img;
+    constexpr unsigned lines = 1024;
+    std::vector<MemoryImage::AdmissionUndo> undos;
+    undos.reserve(2 * lines);
+    for (unsigned pass = 0; pass < 2; ++pass) {
+        for (unsigned l = 0; l < lines; ++l) {
+            Addr la = pmBase + static_cast<Addr>(l) * lineBytes;
+            for (unsigned w = 0; w < wordsPerLine; ++w)
+                img.writeArch(la + w * wordBytes,
+                              pass * 100'000 + l * 8 + w + 1);
+            img.persistLine(img.snapshotLine(la));
+            undos.push_back(img.lastAdmissionUndo());
+        }
+    }
+    constexpr unsigned iters = 400;
+    std::uint64_t sink = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < iters; ++i) {
+        MemoryImage machine = img;
+        for (auto it = undos.rbegin(); it != undos.rend(); ++it)
+            machine.undoAdmission(*it);
+        sink += machine.persistedWords();
+    }
+    Section s{"fork_setup", iters, msSince(t0), 0};
+    s.unitsPerSec = 1e3 * static_cast<double>(s.units) / s.wallMs;
+    std::printf("fork_setup:      forks=%llu rewinds=%zu wall_ms=%.1f "
+                "forks_per_sec=%.3g (sink %llu)\n",
+                static_cast<unsigned long long>(s.units),
+                iters * undos.size(), s.wallMs, s.unitsPerSec,
+                static_cast<unsigned long long>(sink));
+    return s;
+}
+
+Section
 runFig7Cell()
 {
     WorkloadParams params;
@@ -198,6 +243,7 @@ main(int argc, char **argv)
     sections.push_back(runEventChurn());
     sections.push_back(runRecurringChurn());
     sections.push_back(runImageClone());
+    sections.push_back(runForkSetup());
     sections.push_back(runFig7Cell());
 
     namespace fs = std::filesystem;

@@ -77,6 +77,8 @@ parseEnvConfig(const std::function<const char *(const char *)> &get)
     config.fuzzSeed = parseSeed(get, "SW_FUZZ_SEED");
     if (auto flag = parseUnsigned(get, "SW_PMOSAN", 0, 1))
         config.pmosan = *flag != 0;
+    if (auto flag = parseUnsigned(get, "SW_CRASH_FORK", 0, 1))
+        config.crashFork = *flag != 0;
     if (const char *value = get("SW_OUT_DIR"); value && *value)
         config.outDir = value;
     return config;
@@ -103,6 +105,8 @@ envKnobs()
          "campaign seed for fuzz trials"},
         {"SW_PMOSAN", "0/1", "0 (off)",
          "attach the online PMO-san persist-order checker"},
+        {"SW_CRASH_FORK", "0/1", "0 (two-run)",
+         "forked-snapshot crash exploration (one warm run)"},
         {"SW_OUT_DIR", "path", "bench/out",
          "directory for JSON result files"},
     };

@@ -23,6 +23,9 @@
  *                   0x-prefixed hex accepted)
  *   SW_PMOSAN       attach the online PMO-san persist-order checker
  *                   to every run (0/1; default off)
+ *   SW_CRASH_FORK   forked-snapshot crash exploration: one warm run,
+ *                   forked and rewound per crash point (0/1; default
+ *                   off = two-run oracle mode)
  *   SW_OUT_DIR      directory for JSON result files (default
  *                   bench/out)
  *
@@ -58,6 +61,7 @@ struct EnvConfig
     std::optional<unsigned> fuzzTrials;
     std::optional<std::uint64_t> fuzzSeed;
     std::optional<bool> pmosan;
+    std::optional<bool> crashFork;
     std::string outDir = "bench/out";
 };
 

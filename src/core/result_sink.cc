@@ -210,6 +210,10 @@ writeCrash(JsonWriter &json, const CellResult &cell)
                                        crash.pointsTested)));
     json.fieldRaw("points_passed", jsonNumber(std::uint64_t(
                                        crash.pointsPassed)));
+    json.fieldRaw("points_requested",
+                  jsonNumber(std::uint64_t(crash.pointsRequested)));
+    json.fieldRaw("points_injected",
+                  jsonNumber(std::uint64_t(crash.pointsInjected)));
     json.fieldRaw("rolled_back", jsonNumber(crash.totalRolledBack));
     json.fieldRaw("replayed", jsonNumber(crash.totalReplayed));
     json.item("failures");

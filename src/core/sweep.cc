@@ -147,6 +147,7 @@ executeCell(const SweepCell &cell, CellResult &result)
         crashCfg.logStyle = cell.config.logStyle;
         crashCfg.tornWords = cell.tornWords;
         crashCfg.experiment = cell.config;
+        crashCfg.fork = cell.crashFork;
         result.crash = runCrashCell(*cell.recorded, cell.design,
                                     cell.model, crashCfg);
     }

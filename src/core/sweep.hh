@@ -27,6 +27,7 @@
 #define CORE_SWEEP_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,13 @@ struct SweepCell
     unsigned crashPoints = 16;
     /** Crash cells: torn-line injection (see CrashHarnessConfig). */
     unsigned tornWords = wordsPerLine;
+    /**
+     * Crash cells: pin the harness mode (forked vs two-run)
+     * regardless of SW_CRASH_FORK; unset defers to the knob. Used by
+     * the crash_matrix fork-speedup probe cells, which must compare
+     * the two modes inside one sweep.
+     */
+    std::optional<bool> crashFork;
     /**
      * Fuzz cells: the campaign configuration. The workload comes
      * from fuzz.base.kind (fuzz trials record their own workload per

@@ -1,6 +1,7 @@
 #include "crash/crash_harness.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "core/env_config.hh"
 #include "core/observer_util.hh"
@@ -10,6 +11,93 @@
 
 namespace strand
 {
+
+CrashPointPlan
+planCrashPoints(std::vector<Tick> enumerated, Tick endTick,
+                const CrashHarnessConfig &config)
+{
+    CrashPointPlan plan;
+    plan.requested = config.pointBudget;
+    std::sort(enumerated.begin(), enumerated.end());
+    enumerated.erase(
+        std::unique(enumerated.begin(), enumerated.end()),
+        enumerated.end());
+    plan.enumerated = enumerated.size();
+    if (config.pointBudget == 0)
+        return plan;
+
+    const std::size_t budget = config.pointBudget;
+    const std::size_t count = enumerated.size();
+    std::vector<Tick> &points = plan.points;
+    if (count <= budget) {
+        points = enumerated;
+    } else if (budget == 1) {
+        // With room for a single point, keep the last one: the fully
+        // committed end-of-enumeration state is the one the old
+        // sampler silently skipped.
+        points.push_back(enumerated.back());
+    } else {
+        // Even sampling that retains both endpoints: i*(N-1)/(B-1)
+        // walks index 0 to N-1 with average stride (N-1)/(B-1) >= 1
+        // (N > B here), so all B indices are distinct.
+        points.reserve(budget);
+        for (std::size_t i = 0; i < budget; ++i)
+            points.push_back(enumerated[i * (count - 1) /
+                                        (budget - 1)]);
+    }
+
+    // Random ticks between admissions probe the same persisted
+    // states through an independent path. An empty enumeration means
+    // the run persisted nothing — there is no state to probe, so no
+    // top-up. Drawn ticks that collide with selected ones are
+    // redrawn (bounded), never silently double-counted.
+    if (count > 0 && endTick > 0) {
+        const std::size_t target = std::min(budget, count) / 4 + 1;
+        Rng rng(config.seed);
+        std::set<Tick> chosen(points.begin(), points.end());
+        std::size_t accepted = 0;
+        for (std::size_t attempt = 0;
+             accepted < target && attempt < 4 * target + 16;
+             ++attempt) {
+            if (chosen.insert(rng.nextRange(1, endTick)).second)
+                ++accepted;
+        }
+        points.assign(chosen.begin(), chosen.end());
+    }
+    return plan;
+}
+
+namespace
+{
+
+/**
+ * Admit-mask for tearing the most recent admission: the first
+ * @p tornWords written words of @p written stay durable.
+ */
+std::uint8_t
+tornAdmitMask(std::uint8_t written, unsigned tornWords)
+{
+    std::uint8_t admit = 0;
+    unsigned kept = 0;
+    for (unsigned i = 0; i < wordsPerLine && kept < tornWords; ++i) {
+        if (written & (1u << i)) {
+            admit |= static_cast<std::uint8_t>(1u << i);
+            ++kept;
+        }
+    }
+    return admit;
+}
+
+/** One evaluated crash point, before folding into the cell result. */
+struct PointOutcome
+{
+    Tick when = 0;
+    bool passed = false;
+    RecoveryReport report;
+    std::string violation;
+};
+
+} // namespace
 
 CrashCellResult
 runCrashCell(const RecordedWorkload &recorded, HwDesign design,
@@ -21,6 +109,7 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
     result.model = model;
     result.workload =
         recorded.workload ? recorded.workload->name() : "?";
+    result.pointsRequested = config.pointBudget;
 
     InstrumentorParams ip;
     ip.design = design;
@@ -48,86 +137,38 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
     if (config.pointBudget == 0)
         return result;
 
-    // Reference run: enumerate candidate crash points. Persisted
-    // state only changes at ADR admissions, so the admission ticks
-    // cover every distinct post-crash image; engine completion ticks
-    // and random ticks probe the same states via independent paths.
-    std::vector<Tick> points;
-    Tick endTick = 0;
-    {
-        auto ref = buildSystem();
-        AdmissionCallback admissions(
-            [&points](const PersistRecord &rec) {
-                points.push_back(rec.when);
-            });
-        ref->addObserver(&admissions);
-        endTick = ref->run();
-        result.hostEvents += ref->eventsServiced();
-        result.simOps +=
-            static_cast<std::uint64_t>(ref->totalCommitted());
-        for (CoreId i = 0; i < ref->numCores(); ++i) {
-            const std::vector<Tick> &ticks =
-                ref->core(i).persistEngine().completionTicks();
-            points.insert(points.end(), ticks.begin(), ticks.end());
-        }
-    }
-    std::sort(points.begin(), points.end());
-    points.erase(std::unique(points.begin(), points.end()),
-                 points.end());
-    if (points.size() > config.pointBudget) {
-        std::vector<Tick> sampled;
-        sampled.reserve(config.pointBudget);
-        for (unsigned i = 0; i < config.pointBudget; ++i)
-            sampled.push_back(
-                points[i * points.size() / config.pointBudget]);
-        points.swap(sampled);
-    }
-    // Random ticks between admissions hit the same persisted states,
-    // so a budget beyond the enumerated points buys nothing — clamp it
-    // to keep oversized SW_CRASH_POINTS values from exploding the run.
-    const std::size_t effectiveBudget =
-        std::min<std::size_t>(config.pointBudget, points.size());
-    Rng rng(config.seed);
-    if (endTick > 0)
-        for (std::size_t i = 0; i < effectiveBudget / 4 + 1; ++i)
-            points.push_back(rng.nextRange(1, endTick));
-    std::sort(points.begin(), points.end());
-    points.erase(std::unique(points.begin(), points.end()),
-                 points.end());
-
-    // Injection run: identical schedule; the snapshot callbacks are
-    // pure observers, so timing is not perturbed.
-    auto sys = buildSystem();
-    PmoSanitizer sanitizer;
-    if (config.pmosan.value_or(envConfig().pmosan.value_or(false)))
-        sys->addObserver(&sanitizer);
+    const bool forked =
+        config.fork.value_or(envConfig().crashFork.value_or(false));
+    const bool pmosan =
+        config.pmosan.value_or(envConfig().pmosan.value_or(false));
     RecoveryManager recovery{ip.layout};
     const unsigned programThreads = recorded.params.numThreads;
+    // The paged scan is what makes forking cheap; the two-run oracle
+    // stays on the faithful per-word scan so the CI differential gate
+    // also cross-checks the two scans against each other.
+    const RecoveryScan scan =
+        forked ? RecoveryScan::Paged : RecoveryScan::Faithful;
 
-    auto inject = [&](Tick when) {
+    // Evaluate one crash point against @p machine's persisted view.
+    // Pure: clones the image, recovers the clone, checks the oracle
+    // and the workload invariants; @p machine is never written.
+    auto evaluate = [&](const MemoryImage &machine, Tick when) {
+        PointOutcome outcome;
+        outcome.when = when;
         MemoryImage snapshot;
         if (config.tornWords >= wordsPerLine) {
-            snapshot = sys->memory().clonePersisted();
+            snapshot = machine.clonePersisted();
         } else {
             // Tear the final admission: keep the first tornWords of
             // its written words, revert the rest to their prior
             // persisted state.
-            std::uint8_t written = sys->memory().lastAdmissionMask();
-            std::uint8_t admit = 0;
-            unsigned kept = 0;
-            for (unsigned i = 0;
-                 i < wordsPerLine && kept < config.tornWords; ++i) {
-                if (written & (1u << i)) {
-                    admit |= static_cast<std::uint8_t>(1u << i);
-                    ++kept;
-                }
-            }
-            snapshot = sys->memory().clonePersistedTorn(admit);
+            snapshot = machine.clonePersistedTorn(tornAdmitMask(
+                machine.lastAdmissionMask(), config.tornWords));
         }
         std::vector<bool> committed =
             oracle.committedRegions(snapshot);
-        RecoveryReport report =
-            recovery.recover(snapshot, programThreads);
+        outcome.report =
+            recovery.recover(snapshot, programThreads, scan);
 
         std::string err = oracle.checkRecovered(snapshot, committed);
         if (err.empty() && recorded.workload) {
@@ -136,54 +177,181 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
             };
             err = recorded.workload->checkInvariants(read);
         }
+        outcome.passed = err.empty();
+        outcome.violation = std::move(err);
+        return outcome;
+    };
 
+    // Fold an outcome into the cell result. Both modes fold in
+    // injection order (ascending ticks, end-of-run last), so the
+    // result — counters, stats samples, failure list — is identical
+    // between them by construction.
+    auto fold = [&](PointOutcome &&outcome) {
         ++result.pointsTested;
-        result.totalRolledBack += report.entriesRolledBack;
-        result.totalReplayed += report.redoEntriesReplayed;
+        result.totalRolledBack += outcome.report.entriesRolledBack;
+        result.totalReplayed += outcome.report.redoEntriesReplayed;
         if (stats) {
-            stats->rolledBack.sample(
-                static_cast<double>(report.entriesRolledBack));
-            stats->replayed.sample(
-                static_cast<double>(report.redoEntriesReplayed));
+            stats->rolledBack.sample(static_cast<double>(
+                outcome.report.entriesRolledBack));
+            stats->replayed.sample(static_cast<double>(
+                outcome.report.redoEntriesReplayed));
         }
-        if (err.empty()) {
+        if (outcome.passed) {
             ++result.pointsPassed;
             return;
         }
         CrashPointResult point;
-        point.when = when;
+        point.when = outcome.when;
         point.passed = false;
-        point.entriesRolledBack = report.entriesRolledBack;
-        point.redoEntriesReplayed = report.redoEntriesReplayed;
+        point.entriesRolledBack = outcome.report.entriesRolledBack;
+        point.redoEntriesReplayed =
+            outcome.report.redoEntriesReplayed;
         if (result.failures.size() < 32)
-            point.violation = std::move(err);
+            point.violation = std::move(outcome.violation);
         result.failures.push_back(std::move(point));
     };
 
-    for (Tick when : points)
-        sys->eventQueue().schedule(when,
-                                   [&inject, when] { inject(when); });
-    sys->run();
-    result.hostEvents += sys->eventsServiced();
-    result.simOps +=
-        static_cast<std::uint64_t>(sys->totalCommitted());
-    // The completed run is one more crash point: a failure after the
-    // last persist must recover to the final state.
-    inject(sys->finishTick());
-
-    if (!sanitizer.ok()) {
-        // A persist-order violation is a failure of the cell even when
-        // every snapshot happened to recover: it means an ordering the
-        // program asked for was not honored by the hardware model.
+    auto foldSanitizer = [&](const PmoSanitizer &sanitizer,
+                             Tick finishTick) {
+        if (sanitizer.ok())
+            return;
+        // A persist-order violation is a failure of the cell even
+        // when every snapshot happened to recover: it means an
+        // ordering the program asked for was not honored by the
+        // hardware model.
         CrashPointResult point;
         point.when = sanitizer.violations().empty()
-                         ? sys->finishTick()
+                         ? finishTick
                          : sanitizer.violations()[0].when;
         point.passed = false;
         ++result.pointsTested;
         if (result.failures.size() < 32)
             point.violation = sanitizer.report();
         result.failures.push_back(std::move(point));
+    };
+
+    if (forked) {
+        // Warm run: enumerate crash points AND capture the pre-image
+        // of every ADR admission. The admission observer fires right
+        // after persistLine(), so lastAdmissionUndo() is exactly this
+        // admission's delta.
+        std::vector<Tick> enumerated;
+        struct AdmitDelta
+        {
+            Tick when;
+            MemoryImage::AdmissionUndo undo;
+        };
+        std::vector<AdmitDelta> admits;
+        auto sys = buildSystem();
+        PmoSanitizer sanitizer;
+        if (pmosan)
+            sys->addObserver(&sanitizer);
+        AdmissionCallback admissions(
+            [&](const PersistRecord &rec) {
+                enumerated.push_back(rec.when);
+                admits.push_back(
+                    {rec.when, sys->memory().lastAdmissionUndo()});
+            });
+        sys->addObserver(&admissions);
+        Tick endTick = sys->run();
+        result.hostEvents += sys->eventsServiced();
+        result.simOps +=
+            static_cast<std::uint64_t>(sys->totalCommitted());
+        for (CoreId i = 0; i < sys->numCores(); ++i) {
+            const std::vector<Tick> &ticks =
+                sys->core(i).persistEngine().completionTicks();
+            enumerated.insert(enumerated.end(), ticks.begin(),
+                              ticks.end());
+        }
+        const Tick finishTick = sys->finishTick();
+
+        CrashPointPlan plan =
+            planCrashPoints(std::move(enumerated), endTick, config);
+        result.pointsInjected =
+            static_cast<unsigned>(plan.points.size()) + 1;
+
+        // The end-of-run point needs no rewind: evaluate it on the
+        // final image directly (folded last, as in two-run mode).
+        PointOutcome endOutcome =
+            evaluate(sys->memory(), finishTick);
+
+        // Fork the final image and rewind the admission chain,
+        // newest first. At each planned point T the reconstructed
+        // persisted view holds every admission with when <= T —
+        // identical to what a Stat-priority injection at T observes
+        // in the two-run mode.
+        MemoryImage machine = sys->memory();
+        sys.reset();
+        std::vector<PointOutcome> outcomes;
+        outcomes.reserve(plan.points.size());
+        for (auto it = plan.points.rbegin();
+             it != plan.points.rend(); ++it) {
+            const Tick when = *it;
+            while (!admits.empty() && admits.back().when > when) {
+                machine.undoAdmission(admits.back().undo);
+                admits.pop_back();
+            }
+            machine.setLastAdmission(
+                admits.empty() ? MemoryImage::AdmissionUndo{}
+                               : admits.back().undo);
+            outcomes.push_back(evaluate(machine, when));
+        }
+        for (auto it = outcomes.rbegin(); it != outcomes.rend();
+             ++it)
+            fold(std::move(*it));
+        fold(std::move(endOutcome));
+        foldSanitizer(sanitizer, finishTick);
+    } else {
+        // Reference run: enumerate candidate crash points. Persisted
+        // state only changes at ADR admissions, so the admission
+        // ticks cover every distinct post-crash image.
+        std::vector<Tick> enumerated;
+        Tick endTick = 0;
+        {
+            auto ref = buildSystem();
+            AdmissionCallback admissions(
+                [&enumerated](const PersistRecord &rec) {
+                    enumerated.push_back(rec.when);
+                });
+            ref->addObserver(&admissions);
+            endTick = ref->run();
+            result.hostEvents += ref->eventsServiced();
+            result.simOps +=
+                static_cast<std::uint64_t>(ref->totalCommitted());
+            for (CoreId i = 0; i < ref->numCores(); ++i) {
+                const std::vector<Tick> &ticks =
+                    ref->core(i).persistEngine().completionTicks();
+                enumerated.insert(enumerated.end(), ticks.begin(),
+                                  ticks.end());
+            }
+        }
+        CrashPointPlan plan =
+            planCrashPoints(std::move(enumerated), endTick, config);
+        result.pointsInjected =
+            static_cast<unsigned>(plan.points.size()) + 1;
+
+        // Injection run: identical schedule; the snapshot callbacks
+        // are pure observers, so timing is not perturbed. Injections
+        // run at Stat priority — after every same-tick admission
+        // (MemoryResponse) — pinning the "state at tick T" semantics
+        // the forked mode reconstructs.
+        auto sys = buildSystem();
+        PmoSanitizer sanitizer;
+        if (pmosan)
+            sys->addObserver(&sanitizer);
+        for (Tick when : plan.points)
+            sys->eventQueue().schedule(
+                when,
+                [&, when] { fold(evaluate(sys->memory(), when)); },
+                EventPriority::Stat);
+        sys->run();
+        result.hostEvents += sys->eventsServiced();
+        result.simOps +=
+            static_cast<std::uint64_t>(sys->totalCommitted());
+        // The completed run is one more crash point: a failure after
+        // the last persist must recover to the final state.
+        fold(evaluate(sys->memory(), sys->finishTick()));
+        foldSanitizer(sanitizer, sys->finishTick());
     }
 
     if (stats)

@@ -3,7 +3,10 @@
  * Crash-point fault-injection harness.
  *
  * For one (hardware design, persistency model, workload) cell the
- * harness runs the full timing stack twice:
+ * harness evaluates the Figure 6 recovery protocol at a planned set
+ * of crash points, in one of two modes:
+ *
+ * Two-run mode (the oracle, default):
  *
  *  1. A reference run enumerates injectable crash points: every PM
  *     admission (the persist trace), every persist-engine flush
@@ -14,11 +17,24 @@
  *     same states through an independent path.
  *  2. An injection run re-executes the identical schedule and, at
  *     each selected crash point, snapshots the persisted image (the
- *     state a real power failure would leave), runs the Figure 6
- *     recovery protocol on the snapshot, and validates the result
- *     against the CrashOracle plus the workload's own structural
- *     invariants. The snapshot is discarded afterwards, so the run
- *     itself is never perturbed.
+ *     state a real power failure would leave), runs recovery on the
+ *     snapshot, and validates the result against the CrashOracle
+ *     plus the workload's own structural invariants. The snapshot is
+ *     discarded afterwards, so the run itself is never perturbed.
+ *
+ * Forked mode (SW_CRASH_FORK=1 / CrashHarnessConfig::fork): ONE warm
+ * run both enumerates the points and captures the pre-image of every
+ * ADR admission (MemoryImage::AdmissionUndo). The harness then forks
+ * the final image and rewinds it admission by admission, newest
+ * first, evaluating each planned point on the reconstructed persisted
+ * state — so only recovery re-executes per point:
+ * O(run + points x recovery) instead of O(points x run). A crash
+ * point "at tick T" means the persisted state after every admission
+ * with when <= T in both modes (injection runs at EventPriority::Stat,
+ * admissions at MemoryResponse), and the point plan is shared, so
+ * verdicts are bit-identical between the modes at a fixed seed; the
+ * two-run mode is retained as the slow trusted oracle (CI diffs the
+ * two JSON outputs).
  *
  * The NON-ATOMIC design is expected to fail these checks (it omits
  * the log/update persist ordering); the harness records its
@@ -46,8 +62,10 @@ struct CrashHarnessConfig
     /**
      * Target number of injected crash points per cell. Enumerated
      * points (admissions + completions) are sampled evenly down to
-     * this budget; an additional budget/4 + 1 random ticks are drawn
-     * from the Rng. 0 disables injection entirely.
+     * this budget, always keeping the first and last; additional
+     * random ticks are drawn from the Rng and deduplicated against
+     * the selection (see planCrashPoints()). 0 disables injection
+     * entirely.
      */
     unsigned pointBudget = 32;
     /** Seed for random crash-tick selection. */
@@ -70,7 +88,46 @@ struct CrashHarnessConfig
      * point. Unset defers to SW_PMOSAN.
      */
     std::optional<bool> pmosan;
+    /**
+     * Forked-snapshot exploration: rewind one warm run's final image
+     * instead of re-simulating per point (see the file comment).
+     * Unset defers to SW_CRASH_FORK; the default is two-run mode.
+     */
+    std::optional<bool> fork;
 };
+
+/**
+ * The crash points selected for one cell, shared by both harness
+ * modes so their injections are identical by construction.
+ */
+struct CrashPointPlan
+{
+    /**
+     * Sorted, distinct injection ticks. The end-of-run state is
+     * always evaluated in addition to these.
+     */
+    std::vector<Tick> points;
+    /** The budget the caller asked for (pointBudget). */
+    unsigned requested = 0;
+    /** Distinct enumerated candidates before sampling. */
+    std::size_t enumerated = 0;
+};
+
+/**
+ * Select the injected crash points for one cell from the enumerated
+ * candidate ticks (admissions + completions, duplicates allowed).
+ *
+ * Enumerated points beyond the budget are sampled evenly, always
+ * retaining the first AND last enumerated points — the fully
+ * committed end-of-enumeration state must never be skipped. Random
+ * top-up ticks (budget/4 + 1) probe the same states through an
+ * independent path; they are drawn only when enumeration found
+ * anything at all, and deduplicated against the selected points so
+ * every tick in the plan is a distinct injection.
+ */
+CrashPointPlan planCrashPoints(std::vector<Tick> enumerated,
+                               Tick endTick,
+                               const CrashHarnessConfig &config);
 
 /** Outcome of one injected crash point. */
 struct CrashPointResult
@@ -90,6 +147,16 @@ struct CrashCellResult
     std::string workload;
     unsigned pointsTested = 0;
     unsigned pointsPassed = 0;
+    /** The crash-point budget the cell was asked for (pointBudget). */
+    unsigned pointsRequested = 0;
+    /**
+     * Distinct injections actually performed: the planned points
+     * plus the end-of-run check. Can sit below pointsRequested when
+     * enumeration found fewer states or random top-ups collided with
+     * enumerated ticks (they are deduplicated, not silently
+     * double-counted).
+     */
+    unsigned pointsInjected = 0;
     /** Violations observed (all points kept; messages capped). */
     std::vector<CrashPointResult> failures;
     std::uint64_t totalRolledBack = 0;

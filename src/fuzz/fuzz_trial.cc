@@ -86,16 +86,19 @@ struct TrialRig
     }
 };
 
-} // namespace
-
+/**
+ * Run one system under @p adv with crash-recovery injection at every
+ * admission and after completion. The shared core of the replay run
+ * (replaying adversary, faithful scan) and of the forked fast path
+ * (recording adversary, paged scan).
+ */
 FuzzReplayOutcome
-replayDecisions(const FuzzTrialContext &ctx, const DecisionLog &log,
-                unsigned tornWords)
+runWithInjection(const FuzzTrialContext &ctx, DrainAdversary &adv,
+                 unsigned tornWords, RecoveryScan scan)
 {
     FuzzReplayOutcome outcome;
     TrialRig rig(ctx);
 
-    DrainAdversary adv = DrainAdversary::replaying(log);
     auto sys = rig.buildSystem(ctx, &adv);
     RecoveryManager recovery{rig.ip.layout};
     const unsigned programThreads = ctx.recorded.params.numThreads;
@@ -121,7 +124,7 @@ replayDecisions(const FuzzTrialContext &ctx, const DecisionLog &log,
         }
         std::vector<bool> committed =
             rig.oracle.committedRegions(snapshot);
-        recovery.recover(snapshot, programThreads);
+        recovery.recover(snapshot, programThreads, scan);
 
         std::string err = rig.oracle.checkRecovered(snapshot, committed);
         if (err.empty() && ctx.recorded.workload) {
@@ -177,6 +180,17 @@ replayDecisions(const FuzzTrialContext &ctx, const DecisionLog &log,
     return outcome;
 }
 
+} // namespace
+
+FuzzReplayOutcome
+replayDecisions(const FuzzTrialContext &ctx, const DecisionLog &log,
+                unsigned tornWords)
+{
+    DrainAdversary adv = DrainAdversary::replaying(log);
+    return runWithInjection(ctx, adv, tornWords,
+                            RecoveryScan::Faithful);
+}
+
 FuzzTrialResult
 runFuzzTrial(const FuzzTrialSpec &spec)
 {
@@ -185,6 +199,66 @@ runFuzzTrial(const FuzzTrialSpec &spec)
     FuzzTrialResult result;
     result.workloadSeed = ctx.workloadSeed;
     result.adversarySeed = ctx.adversarySeed;
+
+    // Torn-word mask for every injection of this trial: half the
+    // trials keep admissions whole, the rest tear the final line
+    // after 1..7 words. Drawn from its own seed stream, so both
+    // trial modes see the same mask.
+    Rng torn(ctx.tornSeed);
+    result.tornWords =
+        torn.chance(0.5) ? wordsPerLine
+                         : static_cast<unsigned>(
+                               torn.nextRange(1, wordsPerLine - 1));
+
+    const bool forked =
+        spec.fork.value_or(envConfig().crashFork.value_or(false));
+    if (forked) {
+        // Forked fast path: ONE recording run with injection
+        // attached. The injection observers are pure (they clone the
+        // image and recover the clone), so the adversary sees the
+        // schedule of a recording-only run and logs the identical
+        // decisions; the paged recovery scan keeps the per-admission
+        // checks cheap. A passing trial is done after this single
+        // run — roughly half the classic wall-clock.
+        AdversaryParams ap = spec.adversary;
+        ap.seed = ctx.adversarySeed;
+        DrainAdversary adv = DrainAdversary::recording(ap);
+        FuzzReplayOutcome fast = runWithInjection(
+            ctx, adv, result.tornWords, RecoveryScan::Paged);
+        result.decisions = adv.log();
+        result.queries = adv.queriesSeen();
+        result.hostEvents += fast.hostEvents;
+        result.simOps += fast.simOps;
+        if (!fast.failed) {
+            result.pointsChecked = fast.pointsChecked;
+            result.pointsFailed = fast.pointsFailed;
+            result.traceHash = fast.traceHash;
+            return result;
+        }
+        // Confirm the failure through the oracle path: replay the
+        // recorded log from tick 0 with the faithful scan, exactly
+        // what the shrinker will do. The divergence check below
+        // compares against the fast run's trace.
+        FuzzReplayOutcome outcome = replayDecisions(
+            ctx, result.decisions, result.tornWords);
+        result.failed = outcome.failed;
+        result.violation = outcome.violation;
+        result.crashTick = outcome.crashTick;
+        result.pointsChecked = outcome.pointsChecked;
+        result.pointsFailed = outcome.pointsFailed;
+        result.traceHash = outcome.traceHash;
+        result.hostEvents += outcome.hostEvents;
+        result.simOps += outcome.simOps;
+        if (outcome.traceHash != fast.traceHash) {
+            result.replayDiverged = true;
+            result.failed = true;
+            if (result.violation.empty())
+                result.violation =
+                    "replay divergence: persist trace of the replay "
+                    "run does not match the recording run";
+        }
+        return result;
+    }
 
     // Recording run: execute under a fresh adversarial schedule, no
     // injection, capture the decision log and the persist trace.
@@ -205,15 +279,6 @@ runFuzzTrial(const FuzzTrialSpec &spec)
         result.simOps +=
             static_cast<std::uint64_t>(sys->totalCommitted());
     }
-
-    // Torn-word mask for every injection of this trial: half the
-    // trials keep admissions whole, the rest tear the final line
-    // after 1..7 words.
-    Rng torn(ctx.tornSeed);
-    result.tornWords =
-        torn.chance(0.5) ? wordsPerLine
-                         : static_cast<unsigned>(
-                               torn.nextRange(1, wordsPerLine - 1));
 
     FuzzReplayOutcome outcome =
         replayDecisions(ctx, result.decisions, result.tornWords);

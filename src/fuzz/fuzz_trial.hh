@@ -56,6 +56,18 @@ struct FuzzTrialSpec
      * path as recovery violations. Unset defers to SW_PMOSAN.
      */
     std::optional<bool> pmosan;
+    /**
+     * Forked-trial fast path: run the recording pass WITH injection
+     * attached (the observers are pure, so the schedule is the one a
+     * recording-only run produces) and the cheap paged recovery
+     * scan, skipping the replay for passing trials. A failing trial
+     * falls back to the classic record+replay pair — faithful scan,
+     * divergence check — so campaign failures remain replayable from
+     * (seed, log) and shrinkable exactly as in classic mode. The
+     * trade-off: passing trials skip the replay-divergence check.
+     * Unset defers to SW_CRASH_FORK.
+     */
+    std::optional<bool> fork;
 };
 
 /** A trial spec with its derived seeds and recorded workload. */

@@ -195,6 +195,24 @@ class WordStore
 class MemoryImage
 {
   public:
+    /**
+     * Pre-image of one ADR admission: which words the admission
+     * wrote, and what each of them held in the persisted view just
+     * before. Recorded by persistLine() for torn-cacheline injection
+     * (clonePersistedTorn()); the forked crash harness additionally
+     * collects one per admission so a final image can be rewound
+     * admission by admission (undoAdmission()).
+     */
+    struct AdmissionUndo
+    {
+        Addr lineAddr = 0;
+        /** Words the admission wrote. */
+        std::uint8_t writtenMask = 0;
+        /** Of those, words that had a prior persisted value. */
+        std::uint8_t prevValidMask = 0;
+        std::array<std::uint64_t, wordsPerLine> prevWords{};
+    };
+
     /** Architectural store: called when a store reaches the L1. */
     void
     writeArch(Addr addr, std::uint64_t value)
@@ -359,6 +377,66 @@ class MemoryImage
         return lastAdmission.writtenMask;
     }
 
+    /** Pre-image of the most recent ADR admission. */
+    const AdmissionUndo &
+    lastAdmissionUndo() const
+    {
+        return lastAdmission;
+    }
+
+    /**
+     * Overwrite the remembered last admission. The forked crash
+     * harness rewinds a final image admission by admission; after
+     * each rewind the previous admission in the chain becomes the
+     * "most recent" one, so torn clones at the rewound point tear
+     * the right line.
+     */
+    void
+    setLastAdmission(const AdmissionUndo &undo)
+    {
+        lastAdmission = undo;
+    }
+
+    /**
+     * Revert one admission in BOTH views: every word @p undo wrote
+     * goes back to its pre-admission persisted value (or to the
+     * never-written background). Only meaningful on an image whose
+     * views coincide with the persisted state at the time of the
+     * admission — i.e. while rewinding a completed run's final image
+     * newest-admission-first; undoing out of order restores stale
+     * pre-images.
+     */
+    void
+    undoAdmission(const AdmissionUndo &undo)
+    {
+        for (unsigned i = 0; i < wordsPerLine; ++i) {
+            if (!(undo.writtenMask & (1u << i)))
+                continue;
+            Addr wa = undo.lineAddr + i * wordBytes;
+            if (undo.prevValidMask & (1u << i)) {
+                persisted.set(wa, undo.prevWords[i]);
+                arch.set(wa, undo.prevWords[i]);
+            } else {
+                persisted.erase(wa);
+                arch.erase(wa);
+            }
+        }
+    }
+
+    /**
+     * @return the persisted-view page holding @p addr, or nullptr if
+     * no word of that page ever persisted. Page-granular access for
+     * scans that would otherwise pay a hash probe per word (the
+     * recovery log scan); absent pages and unoccupied slots read as
+     * zero through WordStore::get(), so a caller that treats a null
+     * page as all-zero words sees exactly readPersisted()'s values.
+     */
+    const WordStore::Page *
+    persistedPage(Addr addr) const
+    {
+        return persisted.findPage(wordAlign(addr));
+    }
+
     /** Walk every persisted word (unordered). */
     void
     forEachPersisted(
@@ -371,17 +449,6 @@ class MemoryImage
     std::size_t persistedWords() const { return persisted.size(); }
 
   private:
-    /** Pre-image of the most recent admission, for torn injection. */
-    struct AdmissionUndo
-    {
-        Addr lineAddr = 0;
-        /** Words the admission wrote. */
-        std::uint8_t writtenMask = 0;
-        /** Of those, words that had a prior persisted value. */
-        std::uint8_t prevValidMask = 0;
-        std::array<std::uint64_t, wordsPerLine> prevWords{};
-    };
-
     WordStore arch;
     WordStore persisted;
     AdmissionUndo lastAdmission;

@@ -25,8 +25,59 @@ RecoveryManager::readEntry(const MemoryImage &image, CoreId tid,
     return view;
 }
 
+void
+RecoveryManager::gatherPaged(
+    const MemoryImage &image, CoreId tid,
+    const std::function<void(const EntryView &)> &consider) const
+{
+    // Entry lines never span pages (pageBytes % lineBytes == 0), so
+    // the region decomposes into page-sized runs of consecutive
+    // slots. An absent page is all zero background — every slot in
+    // it reads as LogType::Free — and is skipped without touching
+    // its 64 would-be entries; a present page serves all field reads
+    // straight from its word array, with unoccupied slots already
+    // holding the zero that readPersisted() would return.
+    constexpr unsigned wordsPerEntry = lineBytes / wordBytes;
+    std::uint64_t slot = 0;
+    while (slot < layout.entriesPerThread) {
+        Addr lineAddr = layout.entryAddr(tid, slot);
+        Addr pageOffset = lineAddr & (WordStore::pageBytes - 1);
+        std::uint64_t run =
+            (WordStore::pageBytes - pageOffset) / lineBytes;
+        run = std::min<std::uint64_t>(
+            run, layout.entriesPerThread - slot);
+        const WordStore::Page *page = image.persistedPage(lineAddr);
+        if (!page) {
+            slot += run;
+            continue;
+        }
+        unsigned wordSlot = WordStore::slotOf(lineAddr);
+        for (std::uint64_t i = 0; i < run;
+             ++i, ++slot, wordSlot += wordsPerEntry) {
+            const std::uint64_t *words = &page->words[wordSlot];
+            EntryView view;
+            view.type = static_cast<LogType>(
+                words[log_field::type / wordBytes]);
+            if (view.type == LogType::Free)
+                continue;
+            view.seq = words[log_field::seq / wordBytes];
+            view.addr = words[log_field::addr / wordBytes];
+            view.value = words[log_field::value / wordBytes];
+            view.valid = words[log_field::valid / wordBytes] != 0;
+            view.commitMarker =
+                words[log_field::commitMarker / wordBytes] != 0;
+            view.globalSeq =
+                words[log_field::globalSeq / wordBytes];
+            view.slot = slot;
+            view.tid = tid;
+            consider(view);
+        }
+    }
+}
+
 RecoveryReport
-RecoveryManager::recover(MemoryImage &image, unsigned numThreads) const
+RecoveryManager::recover(MemoryImage &image, unsigned numThreads,
+                         RecoveryScan scan) const
 {
     RecoveryReport report;
     std::vector<EntryView> allLive;
@@ -40,14 +91,10 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads) const
         // Gather live entries: one pass over the whole buffer.
         std::vector<EntryView> live;
         std::uint64_t committedUpTo = 0; // seq+1 of CM entry, if any
-        for (std::uint64_t slot = 0; slot < layout.entriesPerThread;
-             ++slot) {
-            EntryView entry = readEntry(image, tid, slot);
-            if (entry.type == LogType::Free)
-                continue;
+        auto consider = [&](const EntryView &entry) {
             // Stale lap content: ignore.
             if (entry.seq < head)
-                continue;
+                return;
             // A live entry's monotonic seq must map back to the slot
             // it occupies; the writer guarantees that, so a mismatch
             // means the entry line itself tore at the crash — it was
@@ -56,14 +103,25 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads) const
             // designs the update it guards cannot be durable yet,
             // and on NON-ATOMIC the orphaned update is exactly what
             // the oracle must catch.
-            if (entry.seq % layout.entriesPerThread != slot) {
+            if (entry.seq % layout.entriesPerThread != entry.slot) {
                 ++report.tornEntriesSkipped;
-                continue;
+                return;
             }
             if (entry.commitMarker && entry.seq + 1 > committedUpTo)
                 committedUpTo = entry.seq + 1;
             if (entry.valid)
                 live.push_back(entry);
+        };
+
+        if (scan == RecoveryScan::Faithful) {
+            for (std::uint64_t slot = 0;
+                 slot < layout.entriesPerThread; ++slot) {
+                EntryView entry = readEntry(image, tid, slot);
+                if (entry.type != LogType::Free)
+                    consider(entry);
+            }
+        } else {
+            gatherPaged(image, tid, consider);
         }
 
         // Step 2 (Figure 6(b)): a crash during commit left a marker;

@@ -23,6 +23,7 @@
 #define RUNTIME_RECOVERY_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mem/memory_image.hh"
@@ -62,6 +63,32 @@ struct RecoveryReport
 };
 
 /**
+ * How recover() reads the per-thread log buffers. Both scans observe
+ * identical values for every entry field — WordStore::get() reads
+ * absent pages and unoccupied slots as zero, exactly the background
+ * the paged scan assumes — so they produce identical reports; they
+ * differ only in cost.
+ */
+enum class RecoveryScan
+{
+    /**
+     * One readPersisted() hash probe per field of every slot. The
+     * slow, trusted reference; the two-run crash harness and the
+     * fuzz replay oracle stay on it.
+     */
+    Faithful,
+    /**
+     * Page-cursor scan: walk each thread's log region a persisted
+     * page at a time, skipping absent pages (8 KiB of Free slots)
+     * outright and reading entry fields straight out of the page
+     * array. This is what makes forked crash exploration cheap —
+     * recovery dominates the per-point cost, and the scan dominates
+     * recovery.
+     */
+    Paged,
+};
+
+/**
  * The recovery process. Stateless aside from its layout.
  */
 class RecoveryManager
@@ -73,7 +100,9 @@ class RecoveryManager
      * Recover @p image in place after a crash. Reads the persisted
      * view; writes restored values durably.
      */
-    RecoveryReport recover(MemoryImage &image, unsigned numThreads) const;
+    RecoveryReport recover(MemoryImage &image, unsigned numThreads,
+                           RecoveryScan scan =
+                               RecoveryScan::Faithful) const;
 
   private:
     struct EntryView
@@ -94,6 +123,15 @@ class RecoveryManager
 
     EntryView readEntry(const MemoryImage &image, CoreId tid,
                         std::uint64_t slot) const;
+
+    /**
+     * RecoveryScan::Paged gather: walk @p tid's log region one
+     * persisted page at a time and hand every non-Free entry to
+     * @p consider.
+     */
+    void gatherPaged(
+        const MemoryImage &image, CoreId tid,
+        const std::function<void(const EntryView &)> &consider) const;
 
     LogLayout layout;
 };

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace strand
 {
@@ -140,6 +141,103 @@ EventQueue::runUntil(Tick limit)
     }
     if (now < limit)
         now = limit;
+}
+
+EventQueue::Snapshot
+EventQueue::snapshot() const
+{
+    Snapshot snap;
+    snap.now = now;
+    snap.nextSeq = nextSeq;
+    snap.liveEvents = liveEvents;
+    snap.servicedEvents = servicedEvents;
+    snap.compactionRuns = compactionRuns;
+
+    snap.records.reserve(arena.size());
+    std::unordered_map<const Record *, std::size_t> indexOf;
+    indexOf.reserve(arena.size());
+    std::size_t index = 0;
+    for (const Record &rec : arena) {
+        indexOf.emplace(&rec, index++);
+        Snapshot::RecordState state;
+        state.when = rec.when;
+        state.priority = rec.priority;
+        state.seq = rec.seq;
+        state.state = static_cast<std::uint8_t>(rec.state);
+        state.recurring = rec.recurring;
+        // Recurring callbacks stay with their owning Recurring and
+        // are reused on restore; a fired one-shot's callback has
+        // already been moved out, so only scheduled one-shots carry
+        // one worth copying.
+        if (!rec.recurring && rec.state == State::Scheduled)
+            state.callback = rec.callback;
+        snap.records.push_back(std::move(state));
+    }
+    snap.freeList.reserve(freeList.size());
+    for (const Record *rec : freeList)
+        snap.freeList.push_back(indexOf.at(rec));
+    return snap;
+}
+
+void
+EventQueue::restore(const Snapshot &snap)
+{
+    panicIf(arena.size() < snap.records.size(),
+            "event queue arena shrank across a snapshot");
+    std::vector<Record *> byIndex;
+    byIndex.reserve(arena.size());
+    for (Record &rec : arena)
+        byIndex.push_back(&rec);
+
+    now = snap.now;
+    nextSeq = snap.nextSeq;
+    liveEvents = snap.liveEvents;
+    servicedEvents = snap.servicedEvents;
+    compactionRuns = snap.compactionRuns;
+
+    heap.clear();
+    for (std::size_t i = 0; i < snap.records.size(); ++i) {
+        const Snapshot::RecordState &state = snap.records[i];
+        Record &rec = *byIndex[i];
+        // A record whose Recurring owner was created or destroyed
+        // after the capture cannot be rewound: the callback lives in
+        // (or died with) the owner. Restore only into the component
+        // graph the snapshot was taken from.
+        panicIf(rec.recurring != state.recurring,
+                "cannot restore: record {} changed recurring "
+                "ownership across the snapshot", i);
+        rec.when = state.when;
+        rec.priority = state.priority;
+        rec.seq = state.seq;
+        rec.state = static_cast<State>(state.state);
+        if (!state.recurring)
+            rec.callback = state.callback;
+        if (rec.state == State::Scheduled)
+            heap.push_back({rec.when, rec.priority, rec.seq, &rec});
+    }
+    freeList.clear();
+    for (std::size_t index : snap.freeList)
+        freeList.push_back(byIndex[index]);
+    // Records allocated after the capture are unknown to the
+    // snapshot: recycle them. They join the free list after the
+    // captured entries, which only changes which pooled record a
+    // future schedule() reuses — dispatch order is keyed on (when,
+    // priority, seq), never on record identity.
+    for (std::size_t i = snap.records.size(); i < byIndex.size();
+         ++i) {
+        Record &rec = *byIndex[i];
+        panicIf(rec.recurring,
+                "cannot restore: a recurring event was bound after "
+                "the snapshot");
+        rec.state = State::Free;
+        rec.callback = nullptr;
+        freeList.push_back(&rec);
+    }
+    // The comparator is a strict total order (seq is unique), so the
+    // rebuilt heap pops in exactly the captured dispatch order.
+    std::make_heap(heap.begin(), heap.end(), Later{});
+    panicIf(heap.size() != static_cast<std::size_t>(liveEvents),
+            "snapshot live-event count does not match its records");
 }
 
 EventQueue::Recurring::~Recurring()

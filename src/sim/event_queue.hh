@@ -236,6 +236,56 @@ class EventQueue
      */
     void runUntil(Tick limit);
 
+    /** @name Snapshot support (forked crash exploration) @{ */
+
+    /**
+     * A point-in-time capture of the queue: the clock and counters,
+     * every arena record's dispatch key and state, and the free-list
+     * order. One-shot callbacks are captured by copy; recurring
+     * records stay owned by their live Recurring objects, whose
+     * callbacks are constructed once and never move — so a restore
+     * is only valid against the SAME component graph the capture was
+     * taken from (restore() panics when a record's recurring
+     * ownership changed across the capture).
+     */
+    struct Snapshot
+    {
+        struct RecordState
+        {
+            Tick when = 0;
+            int priority = 0;
+            std::uint64_t seq = 0;
+            /** Handle::State, stored raw (the enum is private). */
+            std::uint8_t state = 0;
+            bool recurring = false;
+            /** Copied for scheduled one-shots; empty otherwise. */
+            Callback callback;
+        };
+
+        Tick now = 0;
+        std::uint64_t nextSeq = 0;
+        std::uint64_t liveEvents = 0;
+        std::uint64_t servicedEvents = 0;
+        std::uint64_t compactionRuns = 0;
+        /** One entry per arena record, in allocation order. */
+        std::vector<RecordState> records;
+        /** Free list as arena indices, preserving pop order. */
+        std::vector<std::size_t> freeList;
+    };
+
+    /** Capture the queue. The queue itself is not perturbed. */
+    Snapshot snapshot() const;
+
+    /**
+     * Rewind the queue to @p snap. Records allocated after the
+     * capture are recycled onto the free list; the dispatch heap is
+     * rebuilt from the restored records (the comparator is a strict
+     * total order, so the pop sequence is exactly the captured one).
+     */
+    void restore(const Snapshot &snap);
+
+    /** @} */
+
     /** @name Arena and heap observability (tests, simperf) @{ */
 
     /** Records ever allocated; stable once the pool has warmed up. */

@@ -10,6 +10,7 @@
 #ifndef SIM_RANDOM_HH
 #define SIM_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -46,6 +47,25 @@ class Rng
 
     /** @return true with probability @p p. */
     bool chance(double p) { return nextDouble() < p; }
+
+    /** @name Snapshot support (forked crash exploration) @{ */
+
+    /** Capture the full generator state. */
+    std::array<std::uint64_t, 4>
+    saveState() const
+    {
+        return {state[0], state[1], state[2], state[3]};
+    }
+
+    /** Rewind to a state captured with saveState(). */
+    void
+    restoreState(const std::array<std::uint64_t, 4> &saved)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            state[i] = saved[i];
+    }
+
+    /** @} */
 
   private:
     std::uint64_t state[4];

@@ -13,14 +13,21 @@
 #include <string>
 
 #include "sim/event_queue.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace strand
 {
 
-/** A named simulation component. */
-class SimObject : public stats::StatGroup
+/**
+ * A named simulation component. Every SimObject is Snapshotable so
+ * forked crash exploration can capture/restore whole component
+ * trees; the defaults here panic with the instance name, keeping the
+ * fail-loudly contract while pointing at the component that has not
+ * audited its state yet.
+ */
+class SimObject : public stats::StatGroup, public Snapshotable
 {
   public:
     /**
@@ -36,6 +43,18 @@ class SimObject : public stats::StatGroup
 
     EventQueue &eventQueue() { return eq; }
     Tick curTick() const { return eq.curTick(); }
+
+    void
+    saveState(SimSnapshot &) const override
+    {
+        panic("{} does not support snapshot capture", groupName());
+    }
+
+    void
+    restoreState(const SimSnapshot &) override
+    {
+        panic("{} does not support snapshot restore", groupName());
+    }
 
   protected:
     EventQueue &eq;

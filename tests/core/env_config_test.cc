@@ -42,6 +42,7 @@ TEST(EnvConfig, UnsetKnobsLeaveDefaults)
     EXPECT_FALSE(config.fuzzTrials.has_value());
     EXPECT_FALSE(config.fuzzSeed.has_value());
     EXPECT_FALSE(config.pmosan.has_value());
+    EXPECT_FALSE(config.crashFork.has_value());
     EXPECT_EQ(config.outDir, "bench/out");
 }
 
@@ -56,6 +57,18 @@ TEST(EnvConfig, PmosanParsesAsBool)
                  std::invalid_argument);
 }
 
+TEST(EnvConfig, CrashForkParsesAsBool)
+{
+    EXPECT_EQ(parse({{"SW_CRASH_FORK", "1"}}).crashFork, true);
+    EXPECT_EQ(parse({{"SW_CRASH_FORK", "0"}}).crashFork, false);
+    EXPECT_FALSE(parse({}).crashFork.has_value());
+    // Only 0/1 are accepted; anything else dies loudly.
+    EXPECT_THROW(parse({{"SW_CRASH_FORK", "2"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_CRASH_FORK", "fork"}}),
+                 std::invalid_argument);
+}
+
 TEST(EnvConfig, KnobRegistryCoversEveryKnob)
 {
     // The --help table is generated from envKnobs(); a knob missing
@@ -65,7 +78,7 @@ TEST(EnvConfig, KnobRegistryCoversEveryKnob)
         "SW_OPS",         "SW_THREADS",   "SW_CRASH_POINTS",
         "SW_JOBS",        "SW_TORN_WORDS", "SW_CRASH_SEED",
         "SW_FUZZ_TRIALS", "SW_FUZZ_SEED", "SW_PMOSAN",
-        "SW_OUT_DIR",
+        "SW_CRASH_FORK",  "SW_OUT_DIR",
     };
     std::vector<std::string> actual;
     for (const EnvKnob &knob : envKnobs())

@@ -236,6 +236,8 @@ TEST(ResultSink, SchemaTwoGolden)
     crash.tornWords = 1;
     crash.crash.pointsTested = 5;
     crash.crash.pointsPassed = 4;
+    crash.crash.pointsRequested = 6;
+    crash.crash.pointsInjected = 5;
     crash.crash.totalRolledBack = 2;
     crash.crash.totalReplayed = 0;
     CrashPointResult failure;
@@ -295,6 +297,8 @@ TEST(ResultSink, SchemaTwoGolden)
         "torn_words": 1,
         "points_tested": 5,
         "points_passed": 4,
+        "points_requested": 6,
+        "points_injected": 5,
         "rolled_back": 2,
         "replayed": 0,
         "failures": [

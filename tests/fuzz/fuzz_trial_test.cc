@@ -85,6 +85,61 @@ TEST(FuzzTrial, ReplayingOneLogIsReproducible)
     EXPECT_FALSE(sub.failed) << sub.violation;
 }
 
+TEST(FuzzTrial, ForkedFastPathMatchesClassicOnPassingTrials)
+{
+    // The forked fast path runs the recording pass with injection
+    // attached and the paged recovery scan. The injection observers
+    // are pure, so the adversary's schedule — and with it every
+    // field a campaign consumes — must match the classic
+    // record-then-replay pair exactly.
+    FuzzTrialSpec classicSpec = lightSpec();
+    classicSpec.fork = false;
+    FuzzTrialSpec forkedSpec = lightSpec();
+    forkedSpec.fork = true;
+
+    FuzzTrialResult classic = runFuzzTrial(classicSpec);
+    FuzzTrialResult forked = runFuzzTrial(forkedSpec);
+
+    ASSERT_FALSE(classic.failed) << classic.violation;
+    EXPECT_FALSE(forked.failed) << forked.violation;
+    EXPECT_EQ(forked.decisions, classic.decisions);
+    EXPECT_EQ(forked.queries, classic.queries);
+    EXPECT_EQ(forked.tornWords, classic.tornWords);
+    EXPECT_EQ(forked.traceHash, classic.traceHash);
+    EXPECT_EQ(forked.pointsChecked, classic.pointsChecked);
+    EXPECT_EQ(forked.pointsFailed, classic.pointsFailed);
+    EXPECT_FALSE(forked.replayDiverged);
+
+    // The speedup mechanism: one simulation run instead of two.
+    EXPECT_LT(forked.hostEvents, classic.hostEvents);
+    EXPECT_LT(forked.simOps, classic.simOps);
+}
+
+TEST(FuzzTrial, ForkedFailingTrialFallsBackToClassicReplay)
+{
+    // A failing forked trial re-runs through the classic replay
+    // path, so the reported failure is the oracle's — replayable
+    // from (seed, log) and shrinkable exactly as in classic mode.
+    FuzzTrialSpec classicSpec = lightSpec();
+    classicSpec.design = HwDesign::NonAtomic;
+    classicSpec.fork = false;
+    FuzzTrialSpec forkedSpec = classicSpec;
+    forkedSpec.fork = true;
+
+    FuzzTrialResult classic = runFuzzTrial(classicSpec);
+    FuzzTrialResult forked = runFuzzTrial(forkedSpec);
+
+    ASSERT_TRUE(classic.failed);
+    EXPECT_TRUE(forked.failed);
+    EXPECT_FALSE(forked.replayDiverged);
+    EXPECT_EQ(forked.violation, classic.violation);
+    EXPECT_EQ(forked.crashTick, classic.crashTick);
+    EXPECT_EQ(forked.decisions, classic.decisions);
+    EXPECT_EQ(forked.traceHash, classic.traceHash);
+    EXPECT_EQ(forked.pointsChecked, classic.pointsChecked);
+    EXPECT_EQ(forked.pointsFailed, classic.pointsFailed);
+}
+
 TEST(FuzzTrial, NonAtomicViolationsAreFound)
 {
     FuzzTrialSpec spec = lightSpec();

@@ -262,6 +262,144 @@ TEST(WordStore, TornCloneMatchesWordMapSemanticsOnPagedStore)
     EXPECT_FALSE(img.persistedContains(line + 16));
 }
 
+TEST(WordStore, TornMaskSpanningPageBoundaryRevertsBothSides)
+{
+    // Admissions on the last line of one page and the first line of
+    // the next: the torn-word revert walks prevValid/prevWords for a
+    // line whose page neighbours hold earlier admissions. The
+    // boundary must not leak reverts into the adjacent page, and the
+    // erase path must vacate the first/last slot of a page cleanly.
+    MemoryImage img;
+    const Addr boundary = pmBase + 3 * WordStore::pageBytes;
+    const Addr lastLine = boundary - lineBytes;
+    const Addr firstLine = boundary;
+
+    // Earlier admission fills the last line of the low page.
+    for (unsigned w = 0; w < wordsPerLine; ++w)
+        img.writeArch(lastLine + w * wordBytes, 100 + w);
+    img.persistLine(img.snapshotLine(lastLine));
+
+    // The torn admission sits on the first line of the high page:
+    // word 0 has a pre-image from an earlier admission, word 7 does
+    // not.
+    img.writeArch(firstLine + 0, 1);
+    img.persistLine(img.snapshotLine(firstLine));
+    img.writeArch(firstLine + 0, 2);
+    img.writeArch(firstLine + 7 * wordBytes, 3);
+    img.persistLine(img.snapshotLine(firstLine));
+    ASSERT_EQ(img.lastAdmissionMask(), 0b1000'0001u);
+
+    // Admit nothing of the final line: word 0 reverts to its
+    // pre-image, word 7 is erased from the high page's first slots.
+    MemoryImage torn = img.clonePersistedTorn(0);
+    EXPECT_EQ(torn.readPersisted(firstLine + 0), 1u);
+    EXPECT_FALSE(torn.persistedContains(firstLine + 7 * wordBytes));
+    // The low page — the other side of the boundary — is untouched.
+    for (unsigned w = 0; w < wordsPerLine; ++w)
+        EXPECT_EQ(torn.readPersisted(lastLine + w * wordBytes),
+                  100u + w);
+    EXPECT_EQ(torn.persistedWords(), wordsPerLine + 1u);
+
+    // Mirror image: tear an admission on the LAST line of the low
+    // page with the high page already populated.
+    MemoryImage mirror;
+    mirror.writeArch(firstLine, 55);
+    mirror.persistLine(mirror.snapshotLine(firstLine));
+    mirror.writeArch(lastLine + 7 * wordBytes, 9);
+    mirror.persistLine(mirror.snapshotLine(lastLine));
+    MemoryImage mirrorTorn = mirror.clonePersistedTorn(0);
+    EXPECT_FALSE(
+        mirrorTorn.persistedContains(lastLine + 7 * wordBytes));
+    EXPECT_EQ(mirrorTorn.readPersisted(firstLine), 55u);
+    EXPECT_EQ(mirrorTorn.persistedWords(), 1u);
+}
+
+TEST(MemoryImage, UndoAdmissionRestoresPreAdmissionImage)
+{
+    // The forked harness rewinds a completed run's image by undoing
+    // admissions newest-first. One step of that: fork the image
+    // mid-admission (pre-image recorded, line admitted), undo, and
+    // land exactly on the pre-admission persisted state.
+    MemoryImage img;
+    img.writeArch(pmLine + 0, 1);
+    img.persistLine(img.snapshotLine(pmLine));
+    MemoryImage before = img; // fork: pre-admission state
+
+    img.writeArch(pmLine + 0, 2);
+    img.writeArch(pmLine + 8, 3);
+    img.persistLine(img.snapshotLine(pmLine)); // the admission
+    MemoryImage::AdmissionUndo undo = img.lastAdmissionUndo();
+
+    MemoryImage rewound = img; // fork: post-admission state
+    rewound.undoAdmission(undo);
+    EXPECT_EQ(rewound.readPersisted(pmLine + 0), 1u);
+    EXPECT_FALSE(rewound.persistedContains(pmLine + 8));
+    EXPECT_EQ(rewound.persistedWords(), before.persistedWords());
+    // The source fork is untouched by the rewind.
+    EXPECT_EQ(img.readPersisted(pmLine + 0), 2u);
+    EXPECT_EQ(img.readPersisted(pmLine + 8), 3u);
+}
+
+TEST(MemoryImage, UndoAdmissionsNewestFirstAcrossPages)
+{
+    // Three admissions on two pages, undone newest-first, must strip
+    // the image back to empty — including vacating a page whose only
+    // occupant came from an undone admission.
+    MemoryImage img;
+    const Addr lineA = pmBase + WordStore::pageBytes - lineBytes;
+    const Addr lineB = pmBase + WordStore::pageBytes;
+    std::vector<MemoryImage::AdmissionUndo> undos;
+
+    img.writeArch(lineA, 1);
+    img.persistLine(img.snapshotLine(lineA));
+    undos.push_back(img.lastAdmissionUndo());
+    img.writeArch(lineB, 2);
+    img.persistLine(img.snapshotLine(lineB));
+    undos.push_back(img.lastAdmissionUndo());
+    img.writeArch(lineA, 3);
+    img.persistLine(img.snapshotLine(lineA));
+    undos.push_back(img.lastAdmissionUndo());
+
+    img.undoAdmission(undos[2]);
+    EXPECT_EQ(img.readPersisted(lineA), 1u);
+    img.undoAdmission(undos[1]);
+    EXPECT_FALSE(img.persistedContains(lineB));
+    img.undoAdmission(undos[0]);
+    EXPECT_FALSE(img.persistedContains(lineA));
+    EXPECT_EQ(img.persistedWords(), 0u);
+}
+
+TEST(MemoryImage, SetLastAdmissionRebindsTornCloneAfterRewind)
+{
+    // After rewinding past an admission, the forked harness rebinds
+    // lastAdmission to the newest remaining undo so torn clones tear
+    // the RIGHT line — the same line a run crashed at that point
+    // would have torn.
+    MemoryImage img;
+    img.writeArch(pmLine + 0, 1);
+    img.writeArch(pmLine + 8, 2);
+    img.persistLine(img.snapshotLine(pmLine));
+    MemoryImage::AdmissionUndo first = img.lastAdmissionUndo();
+    MemoryImage atFirst = img; // oracle: image right after admission 1
+
+    img.writeArch(pmLine + 64, 9);
+    img.persistLine(img.snapshotLine(pmLine + 64));
+
+    MemoryImage rewound = img;
+    rewound.undoAdmission(rewound.lastAdmissionUndo());
+    rewound.setLastAdmission(first);
+    EXPECT_EQ(rewound.lastAdmissionMask(), atFirst.lastAdmissionMask());
+
+    MemoryImage tornRewound = rewound.clonePersistedTorn(0b01);
+    MemoryImage tornOracle = atFirst.clonePersistedTorn(0b01);
+    EXPECT_EQ(tornRewound.readPersisted(pmLine + 0),
+              tornOracle.readPersisted(pmLine + 0));
+    EXPECT_EQ(tornRewound.persistedContains(pmLine + 8),
+              tornOracle.persistedContains(pmLine + 8));
+    EXPECT_EQ(tornRewound.persistedWords(),
+              tornOracle.persistedWords());
+}
+
 TEST(MemoryImage, OverlappingPersistsLastWriterWins)
 {
     MemoryImage img;

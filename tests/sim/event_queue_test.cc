@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -278,6 +279,117 @@ TEST(EventQueue, CancelledCarcassesAreCompactedAndBounded)
     eq.schedule(2000000, [&] { fired = true; });
     eq.run();
     EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, SnapshotRestoreReplaysIdenticalDrain)
+{
+    // Capture mid-run, drain to completion, rewind, drain again: the
+    // second drain must reproduce the first event-for-event,
+    // including same-tick priority/insertion ordering and events
+    // scheduled from inside callbacks.
+    EventQueue eq;
+    std::vector<std::pair<Tick, int>> trace;
+    auto emit = [&](int id) {
+        trace.push_back({eq.curTick(), id});
+    };
+    eq.schedule(100, [&] {
+        emit(1);
+        eq.scheduleIn(50, [&] { emit(4); });
+    });
+    eq.schedule(200, [&] { emit(2); }, EventPriority::Stat);
+    eq.schedule(200, [&] { emit(3); },
+                EventPriority::MemoryResponse);
+    eq.schedule(300, [&] { emit(5); });
+
+    eq.serviceOne(); // fire the tick-100 event only
+    EventQueue::Snapshot snap = eq.snapshot();
+    const std::uint64_t servicedAtSnap = eq.serviced();
+
+    eq.run();
+    std::vector<std::pair<Tick, int>> first(
+        trace.begin() + 1, trace.end());
+
+    eq.restore(snap);
+    EXPECT_EQ(eq.curTick(), 100u);
+    EXPECT_EQ(eq.serviced(), servicedAtSnap);
+    EXPECT_EQ(eq.pending(), 4u);
+    trace.clear();
+    eq.run();
+    EXPECT_EQ(trace, first);
+    EXPECT_EQ(trace, (std::vector<std::pair<Tick, int>>{
+                         {150, 4}, {200, 3}, {200, 2}, {300, 5}}));
+}
+
+TEST(EventQueue, SnapshotRestoreRewindsRecurringEvents)
+{
+    // A Recurring's record is owned by the component and survives
+    // restore in place: rewinding re-arms it at the captured tick
+    // and the re-drain fires it the captured number of times.
+    EventQueue eq;
+    EventQueue::Recurring ev;
+    int fires = 0;
+    // The stop condition reads the simulated clock, which restore
+    // rewinds (a host-side counter would not be).
+    ev.init(eq, [&] {
+        ++fires;
+        if (eq.curTick() < 700)
+            ev.reschedule(100);
+    }, EventPriority::CpuTick);
+    ev.schedule(0);
+    for (int i = 0; i < 3; ++i)
+        eq.serviceOne();
+    EventQueue::Snapshot snap = eq.snapshot();
+    ASSERT_EQ(fires, 3);
+
+    eq.run();
+    EXPECT_EQ(fires, 8);
+
+    eq.restore(snap);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 300u);
+    eq.run();
+    EXPECT_EQ(fires, 13); // five more fires, exactly as before
+}
+
+TEST(EventQueue, RestoreRecyclesPostSnapshotRecords)
+{
+    // Events scheduled after the capture are unknown to the
+    // snapshot: restore must cancel them and recycle their records
+    // into the pool without growing the arena.
+    EventQueue eq;
+    int late = 0;
+    eq.schedule(10, [] {});
+    EventQueue::Snapshot snap = eq.snapshot();
+    for (int i = 0; i < 32; ++i)
+        eq.schedule(20 + i, [&] { ++late; });
+    const std::size_t arena = eq.arenaRecords();
+
+    eq.restore(snap);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.arenaRecords(), arena);
+    EXPECT_EQ(eq.freeRecords(), arena - 1);
+    eq.run();
+    EXPECT_EQ(late, 0);
+
+    // The recycled records are reusable for a fresh wave.
+    for (int i = 0; i < 32; ++i)
+        eq.scheduleIn(1 + i, [&] { ++late; });
+    EXPECT_EQ(eq.arenaRecords(), arena);
+    eq.run();
+    EXPECT_EQ(late, 32);
+}
+
+TEST(EventQueue, RestoreAfterPostSnapshotRecurringBindPanics)
+{
+    // A Recurring bound after the capture owns a record the snapshot
+    // cannot rewind — restoring into a mutated component graph is a
+    // hard error, not silent corruption.
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    EventQueue::Snapshot snap = eq.snapshot();
+    EventQueue::Recurring ev;
+    ev.init(eq, [] {});
+    EXPECT_THROW(eq.restore(snap), std::logic_error);
 }
 
 TEST(EventQueue, ManyEventsStaySorted)
