@@ -93,6 +93,10 @@ main(int argc, char **argv)
                           PersistencyModel::Sfr, probePoints);
         fork.variant = "fork512";
         fork.crashFork = true;
+        // The probe times the forked-snapshot payoff alone; the
+        // mid-run determinism self-check (about one extra run tail)
+        // stays on for every matrix cell above.
+        fork.crashVerifyMidrunFork = false;
     }
 
     SweepResult result = runSweep(spec);

@@ -19,6 +19,12 @@
  *                   baseline ratio (host speed cancels out).
  *   fig7_cell       one fig7-shaped timing cell end to end, the
  *                   integrated number the sweeps are made of.
+ *   midrun_fork     full-machine mid-run snapshot forking: one warm
+ *                   run captured at its 64th ADR admission, then
+ *                   repeated System::restore() + tail re-execution.
+ *                   Simulation-bound like fig7_cell, so the CI guard
+ *                   compares the two sections' RATIO against the
+ *                   recorded reference (host speed cancels out).
  *
  * Everything is seeded and sized by constants, so the *work* is
  * identical run to run; only the wall-clock varies. Results land in
@@ -38,7 +44,9 @@
 #include "bench/bench_util.hh"
 #include "core/experiment.hh"
 #include "core/env_config.hh"
+#include "core/observer_util.hh"
 #include "mem/memory_image.hh"
+#include "runtime/instrumentor.hh"
 #include "sim/event_queue.hh"
 
 using namespace strand;
@@ -229,6 +237,64 @@ runFig7Cell()
     return s;
 }
 
+Section
+runMidrunFork()
+{
+    // A fig7-shaped machine, captured whole at its 64th admission;
+    // each measured unit is one System::restore() plus the tail
+    // re-execution to completion — the cost a mid-run fork consumer
+    // (crash harness, branching fuzzer) pays per explored branch.
+    WorkloadParams params;
+    params.numThreads = 4;
+    params.opsPerThread = 80;
+    params.seed = 1;
+    RecordedWorkload rec = recordWorkload(WorkloadKind::Queue, params);
+    InstrumentorParams ip;
+    ip.design = HwDesign::StrandWeaver;
+    ip.model = PersistencyModel::Sfr;
+    Instrumentor instr(ip);
+    std::vector<OpStream> streams = instr.lower(rec.trace);
+    SystemConfig cfg;
+    cfg.numCores = static_cast<unsigned>(streams.size());
+    cfg.design = HwDesign::StrandWeaver;
+    cfg.layout = ip.layout;
+    System sys(cfg);
+    sys.seedImage(rec.preload);
+    sys.loadStreams(std::move(streams));
+
+    SimSnapshot snap;
+    unsigned admissions = 0;
+    AdmissionCallback capturer([&](const PersistRecord &r) {
+        if (++admissions != 64)
+            return;
+        sys.eventQueue().schedule(
+            r.when, [&] { snap = sys.snapshot(); },
+            EventPriority::Stat);
+    });
+    sys.addObserver(&capturer);
+    const Tick finish = sys.run();
+    sys.removeObserver(&capturer);
+    fatalIf(snap.size() == 0,
+            "midrun_fork: warm run admitted fewer than 64 lines");
+
+    constexpr unsigned iters = 60;
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < iters; ++i) {
+        sys.restore(snap);
+        Tick again = sys.run();
+        fatalIf(again != finish,
+                "midrun_fork: restored run diverged ({} != {})",
+                again, finish);
+    }
+    Section s{"midrun_fork", iters, msSince(t0), 0};
+    s.unitsPerSec = 1e3 * static_cast<double>(s.units) / s.wallMs;
+    std::printf("midrun_fork:     forks=%u keys=%zu snap_bytes=%zu "
+                "wall_ms=%.1f forks_per_sec=%.3g\n",
+                iters, snap.size(), snap.approxBytes(), s.wallMs,
+                s.unitsPerSec);
+    return s;
+}
+
 } // namespace
 
 int
@@ -245,6 +311,7 @@ main(int argc, char **argv)
     sections.push_back(runImageClone());
     sections.push_back(runForkSetup());
     sections.push_back(runFig7Cell());
+    sections.push_back(runMidrunFork());
 
     namespace fs = std::filesystem;
     fs::path dir(envConfig().outDir);

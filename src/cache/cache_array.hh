@@ -92,6 +92,28 @@ class CacheArray
     /** Invalidate a line if present. @return true if it was valid. */
     bool invalidate(Addr addr);
 
+    /** Full tag state captured by the hierarchy's snapshot. */
+    struct State
+    {
+        std::uint64_t useClock = 0;
+        std::vector<CacheLineInfo> lines;
+    };
+
+    /** Copy out the tag state (snapshot support). */
+    State snapshotState() const { return {useClock, lines}; }
+
+    /** Replace the tag state with a captured copy. Geometry is fixed
+     * at construction, so a snapshot only restores into the array it
+     * was taken from. */
+    void
+    restoreState(State state)
+    {
+        panicIf(state.lines.size() != lines.size(),
+                "cache array geometry changed across a snapshot");
+        useClock = state.useClock;
+        lines = std::move(state.lines);
+    }
+
     /** @return number of valid lines (linear scan; tests only). */
     std::uint64_t countValid() const;
 

@@ -680,6 +680,60 @@ Hierarchy::tryFlush(CoreId core, Addr addr,
 }
 
 // ---------------------------------------------------------------------
+// Snapshot support
+// ---------------------------------------------------------------------
+
+void
+Hierarchy::saveState(SimSnapshot &snap) const
+{
+    Snapshot s;
+    s.cores.reserve(cores.size());
+    for (const L1 &l1 : cores) {
+        L1State cs;
+        cs.array = l1.array.snapshotState();
+        cs.writebacks = l1.writebacks.snapshotEntries();
+        cs.mshrs = l1.mshrs;
+        cs.wbHeldUntil = l1.wbHeldUntil;
+        s.cores.push_back(std::move(cs));
+    }
+    s.l2 = l2.snapshotState();
+    s.l2MissesInFlight = l2MissesInFlight;
+    s.busyLines = busyLines;
+    // Packets are immutable once submitted, so the snapshot may share
+    // them with the live run.
+    s.lineSendQueues = lineSendQueues;
+    s.pendingL2Evicts = pendingL2Evicts;
+    s.parked = parked;
+    s.activeTransactions = activeTransactions;
+    s.nextPacketId = nextPacketId;
+    snap.put(snapshotName(), std::move(s));
+}
+
+void
+Hierarchy::restoreState(const SimSnapshot &snap)
+{
+    const Snapshot &s = snap.get<Snapshot>(snapshotName());
+    panicIf(s.cores.size() != cores.size(),
+            "hierarchy core count changed across a snapshot");
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        L1 &l1 = cores[i];
+        const L1State &cs = s.cores[i];
+        l1.array.restoreState(cs.array);
+        l1.writebacks.restoreEntries(cs.writebacks);
+        l1.mshrs = cs.mshrs;
+        l1.wbHeldUntil = cs.wbHeldUntil;
+    }
+    l2.restoreState(s.l2);
+    l2MissesInFlight = s.l2MissesInFlight;
+    busyLines = s.busyLines;
+    lineSendQueues = s.lineSendQueues;
+    pendingL2Evicts = s.pendingL2Evicts;
+    parked = s.parked;
+    activeTransactions = s.activeTransactions;
+    nextPacketId = s.nextPacketId;
+}
+
+// ---------------------------------------------------------------------
 // Introspection
 // ---------------------------------------------------------------------
 

@@ -169,6 +169,16 @@ class Hierarchy : public SimObject
                pendingL2Evicts.empty() && writebacksPending() == 0;
     }
 
+    /**
+     * Capture / restore the tag arrays, write-back buffers, MSHRs,
+     * parked transactions, and in-flight packet queues. The captured
+     * closures (MSHR waiters, clearances, parked attempts) reference
+     * only `this` and immutable values, so restore targets the same
+     * component graph the capture was taken from.
+     */
+    void saveState(SimSnapshot &snap) const override;
+    void restoreState(const SimSnapshot &snap) override;
+
     /** @name Introspection for tests @{ */
     CoherenceState l1State(CoreId core, Addr addr) const;
     bool l1Dirty(CoreId core, Addr addr) const;
@@ -288,6 +298,27 @@ class Hierarchy : public SimObject
         Clearance clearance;
     };
     std::deque<PendingEvict> pendingL2Evicts;
+
+    /** Volatile machine state captured by saveState(). */
+    struct L1State
+    {
+        CacheArray::State array;
+        std::deque<WritebackBuffer::Entry> writebacks;
+        std::unordered_map<Addr, L1::Mshr> mshrs;
+        Tick wbHeldUntil = 0;
+    };
+    struct Snapshot
+    {
+        std::vector<L1State> cores;
+        CacheArray::State l2;
+        unsigned l2MissesInFlight = 0;
+        std::unordered_set<Addr> busyLines;
+        std::unordered_map<Addr, std::deque<PacketPtr>> lineSendQueues;
+        std::deque<PendingEvict> pendingL2Evicts;
+        std::deque<Parked> parked;
+        unsigned activeTransactions = 0;
+        std::uint64_t nextPacketId = 1;
+    };
 
     std::deque<Parked> parked;
     std::function<void()> wakeCallback;

@@ -37,6 +37,19 @@ class WritebackBuffer
     /** Action performed when an entry drains (move data to L2). */
     using DrainFn = std::function<void(Addr, const LineData &)>;
 
+    /**
+     * One buffered write-back. Public so the hierarchy's snapshot can
+     * copy the FIFO; the clearance is a this-plus-values closure from
+     * the persist engine, so a copy stays valid when restored into
+     * the same component graph.
+     */
+    struct Entry
+    {
+        Addr lineAddr;
+        LineData data;
+        Clearance clearance;
+    };
+
     explicit WritebackBuffer(unsigned capacity) : capacity(capacity)
     {
         panicIf(capacity == 0, "write-back buffer needs capacity");
@@ -97,14 +110,19 @@ class WritebackBuffer
         return false;
     }
 
-  private:
-    struct Entry
-    {
-        Addr lineAddr;
-        LineData data;
-        Clearance clearance;
-    };
+    /** Copy out the buffered entries (snapshot support). */
+    std::deque<Entry> snapshotEntries() const { return entries; }
 
+    /** Replace the buffered entries with a captured copy. */
+    void
+    restoreEntries(std::deque<Entry> state)
+    {
+        panicIf(state.size() > capacity,
+                "restored write-back entries exceed capacity");
+        entries = std::move(state);
+    }
+
+  private:
     unsigned capacity;
     std::deque<Entry> entries;
 };

@@ -79,6 +79,8 @@ parseEnvConfig(const std::function<const char *(const char *)> &get)
         config.pmosan = *flag != 0;
     if (auto flag = parseUnsigned(get, "SW_CRASH_FORK", 0, 1))
         config.crashFork = *flag != 0;
+    config.fuzzForkBranch =
+        parseUnsigned(get, "SW_FUZZ_FORK_BRANCH", 0);
     if (const char *value = get("SW_OUT_DIR"); value && *value)
         config.outDir = value;
     return config;
@@ -107,6 +109,8 @@ envKnobs()
          "attach the online PMO-san persist-order checker"},
         {"SW_CRASH_FORK", "0/1", "0 (two-run)",
          "forked-snapshot crash exploration (one warm run)"},
+        {"SW_FUZZ_FORK_BRANCH", ">= 0", "0 (off)",
+         "extra schedule suffixes forked per fuzz trial"},
         {"SW_OUT_DIR", "path", "bench/out",
          "directory for JSON result files"},
     };

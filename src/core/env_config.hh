@@ -26,6 +26,12 @@
  *   SW_CRASH_FORK   forked-snapshot crash exploration: one warm run,
  *                   forked and rewound per crash point (0/1; default
  *                   off = two-run oracle mode)
+ *   SW_FUZZ_FORK_BRANCH
+ *                   forked fuzz branching: snapshot the machine at
+ *                   adversary decision sites and explore this many
+ *                   extra schedule suffixes per trial from the warm
+ *                   prefix (>= 0; default 0 = off; a non-zero value
+ *                   implies the forked trial path)
  *   SW_OUT_DIR      directory for JSON result files (default
  *                   bench/out)
  *
@@ -62,6 +68,7 @@ struct EnvConfig
     std::optional<std::uint64_t> fuzzSeed;
     std::optional<bool> pmosan;
     std::optional<bool> crashFork;
+    std::optional<unsigned> fuzzForkBranch;
     std::string outDir = "bench/out";
 };
 

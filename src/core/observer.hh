@@ -39,6 +39,8 @@ struct PersistRecord
     Tick when;
     CoreId requester;
     WriteOrigin origin;
+
+    bool operator==(const PersistRecord &) const = default;
 };
 
 /** Classification of a persist primitive for observer events. */

@@ -34,6 +34,9 @@ class TraceHasher final : public PersistObserver
 
     std::uint64_t value() const { return hash; }
 
+    /** Snapshot support: rewind to a value() captured earlier. */
+    void restoreValue(std::uint64_t v) { hash = v; }
+
   private:
     void
     mix(std::uint64_t value)

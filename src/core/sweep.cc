@@ -148,6 +148,7 @@ executeCell(const SweepCell &cell, CellResult &result)
         crashCfg.tornWords = cell.tornWords;
         crashCfg.experiment = cell.config;
         crashCfg.fork = cell.crashFork;
+        crashCfg.verifyMidrunFork = cell.crashVerifyMidrunFork;
         result.crash = runCrashCell(*cell.recorded, cell.design,
                                     cell.model, crashCfg);
     }

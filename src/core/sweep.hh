@@ -70,6 +70,13 @@ struct SweepCell
      */
     std::optional<bool> crashFork;
     /**
+     * Crash cells: run the forked mode's mid-run snapshot
+     * determinism self-check (see CrashHarnessConfig). On by
+     * default; the fork-speedup probe turns it off so its timing
+     * measures only the forked-snapshot payoff.
+     */
+    bool crashVerifyMidrunFork = true;
+    /**
      * Fuzz cells: the campaign configuration. The workload comes
      * from fuzz.base.kind (fuzz trials record their own workload per
      * trial seed, so `recorded` stays null); the effective campaign

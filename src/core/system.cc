@@ -41,8 +41,12 @@ System::System(const SystemConfig &config)
 
     coreFinish.assign(cfg.numCores, 0);
     for (CoreId i = 0; i < cfg.numCores; ++i) {
+        // Engines parent into the system stat tree under their core's
+        // name so every component has a unique dotted path — the
+        // snapshot layer keys component state by that path.
         auto engine = makePersistEngine(
-            cfg.design, "engine", eq, i, *caches, cfg.engine);
+            cfg.design, "cpu" + std::to_string(i) + ".engine", eq, i,
+            *caches, cfg.engine, this);
         engine->setObserverHub(&hub, i);
         cores.push_back(std::make_unique<Core>(
             "cpu" + std::to_string(i), eq, i, *caches,
@@ -146,6 +150,56 @@ System::startCores()
     coresStarted = true;
     for (auto &core : cores)
         core->start();
+}
+
+SimSnapshot
+System::snapshot() const
+{
+    SimSnapshot snap;
+    // Kernel state first: the queue capture carries every scheduled
+    // one-shot callback by copy and pins the clock.
+    snap.put("system.eq", eq.snapshot());
+    snap.put("system.image", image);
+    snap.put("system.locks", locks.snapshotLocks());
+    RunState rs;
+    rs.persists = persists;
+    rs.coreFinish = coreFinish;
+    rs.lastFinish = lastFinish;
+    rs.streamsLoaded = streamsLoaded;
+    rs.coresStarted = coresStarted;
+    snap.put("system.run", std::move(rs));
+    // Component graph, keyed by dotted instance name. Cores recurse
+    // into their persist engines (and strand buffer units).
+    pmCtrl->saveState(snap);
+    dramCtrl->saveState(snap);
+    caches->saveState(snap);
+    for (const auto &core : cores)
+        core->saveState(snap);
+    snap.put("system.stats", snapshotStats());
+    return snap;
+}
+
+void
+System::restore(const SimSnapshot &snap)
+{
+    eq.restore(snap.get<EventQueue::Snapshot>("system.eq"));
+    image = snap.get<MemoryImage>("system.image");
+    locks.restoreLocks(
+        snap.get<std::unordered_map<std::uint32_t, LockTable::Lock>>(
+            "system.locks"));
+    const RunState &rs = snap.get<RunState>("system.run");
+    persists = rs.persists;
+    coreFinish = rs.coreFinish;
+    lastFinish = rs.lastFinish;
+    streamsLoaded = rs.streamsLoaded;
+    coresStarted = rs.coresStarted;
+    pmCtrl->restoreState(snap);
+    dramCtrl->restoreState(snap);
+    caches->restoreState(snap);
+    for (auto &core : cores)
+        core->restoreState(snap);
+    restoreStats(
+        snap.get<stats::StatGroup::StatValues>("system.stats"));
 }
 
 double

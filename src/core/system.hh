@@ -21,6 +21,7 @@
 #include "cpu/core.hh"
 #include "persist/design.hh"
 #include "runtime/layout.hh"
+#include "sim/snapshot.hh"
 
 namespace strand
 {
@@ -149,6 +150,29 @@ class System : public stats::StatGroup
         return coreFinish.at(id);
     }
 
+    /** @name Full-machine mid-run snapshot @{ */
+
+    /**
+     * Capture the whole machine: the event-queue kernel state, the
+     * memory image, the lock table, run bookkeeping, every component
+     * in the graph (controllers, hierarchy, cores with their persist
+     * engines), and all statistics. The capture walks the graph by
+     * dotted instance name and is only valid for restore() on this
+     * same System instance — in-flight callbacks reference the live
+     * objects.
+     */
+    SimSnapshot snapshot() const;
+
+    /**
+     * Rewind the machine to @p snap. Determinism contract: restoring
+     * a mid-run capture and re-running reproduces the uninterrupted
+     * run bit-identically (same persist trace, finish ticks, and
+     * stats) at fixed seeds.
+     */
+    void restore(const SimSnapshot &snap);
+
+    /** @} */
+
   private:
     /** Start the cores exactly once across run()/runUntil() calls. */
     void startCores();
@@ -171,6 +195,16 @@ class System : public stats::StatGroup
         }
 
         std::vector<PersistRecord> &out;
+    };
+
+    /** Run bookkeeping captured by snapshot(). */
+    struct RunState
+    {
+        std::vector<PersistRecord> persists;
+        std::vector<Tick> coreFinish;
+        Tick lastFinish = 0;
+        bool streamsLoaded = false;
+        bool coresStarted = false;
     };
 
     SystemConfig cfg;

@@ -104,6 +104,15 @@ class Core : public ClockedObject
     /** Total persist-induced stall cycles (Figure 8 metric). */
     double persistStallCycles() const;
 
+    /**
+     * Capture / restore the pipeline (op-stream cursor, ROB, store
+     * and load queues, pending releases, sleep state) and recurse
+     * into the persist engine. The op stream itself is fixed input
+     * and is not captured; restore targets the same loaded system.
+     */
+    void saveState(SimSnapshot &snap) const override;
+    void restoreState(const SimSnapshot &snap) override;
+
     /** @name Statistics @{ */
     stats::Scalar numCycles;
     stats::Scalar opsDispatched;
@@ -195,6 +204,27 @@ class Core : public ClockedObject
         SeqNum seq;
     };
     std::deque<PendingRelease> pendingReleases;
+
+    /** Volatile machine state captured by saveState(). */
+    struct Snapshot
+    {
+        std::size_t pc = 0;
+        SeqNum nextSeq = 1;
+        std::deque<RobEntry> rob;
+        std::deque<SqEntry> storeQueue;
+        std::deque<LqEntry> loadQueue;
+        std::set<SeqNum> unissuedStores;
+        std::set<SeqNum> incompleteStores;
+        std::deque<PendingRelease> pendingReleases;
+        Tick computeBusyUntil = 0;
+        StallCause stallReason = StallCause::None;
+        bool isFinished = false;
+        bool started = false;
+        bool sleeping = false;
+        Tick sleptSince = 0;
+        StallCause sleepCause = StallCause::Idle;
+        std::uint64_t workDone = 0;
+    };
 
     /** Perform any pending releases whose ordering has resolved. */
     void serviceReleases();

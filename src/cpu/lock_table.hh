@@ -28,6 +28,13 @@ namespace strand
 class LockTable
 {
   public:
+    /** Per-lock state (plain data; snapshot support copies it). */
+    struct Lock
+    {
+        bool held = false;
+        std::uint64_t nextTicket = 0;
+    };
+
     /**
      * Attempt to acquire @p lockId with @p ticket.
      * @return true on success; false if earlier holders still exist.
@@ -78,13 +85,21 @@ class LockTable
         return it == locks.end() ? 0 : it->second.nextTicket;
     }
 
-  private:
-    struct Lock
+    /** Copy the full lock map (snapshot support). */
+    std::unordered_map<std::uint32_t, Lock>
+    snapshotLocks() const
     {
-        bool held = false;
-        std::uint64_t nextTicket = 0;
-    };
+        return locks;
+    }
 
+    /** Replace the lock map with a captured copy. Observers stay. */
+    void
+    restoreLocks(std::unordered_map<std::uint32_t, Lock> state)
+    {
+        locks = std::move(state);
+    }
+
+  private:
     std::unordered_map<std::uint32_t, Lock> locks;
     std::vector<std::function<void()>> releaseObservers;
 };

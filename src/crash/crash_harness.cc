@@ -246,11 +246,51 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
         PmoSanitizer sanitizer;
         if (pmosan)
             sys->addObserver(&sanitizer);
+
+        // Mid-run full-machine captures at power-of-two admission
+        // counts. Each capture is taken by a Stat-priority one-shot,
+        // after every same-tick admission and core tick has settled
+        // (and the capture event itself has been released, so it is
+        // not part of the snapshot). Only the last two are kept: the
+        // older one leaves a non-trivial tail to re-execute for the
+        // determinism check below. The extra events shift kernel seq
+        // numbers uniformly, which cannot reorder dispatch, so the
+        // warm run's trace — and the .cells output — is unperturbed.
+        struct MachineCapture
+        {
+            Tick when = 0;
+            SimSnapshot snap;
+            PmoSanitizer::State sanitizerState;
+        };
+        std::deque<MachineCapture> machineCaptures;
+        std::uint64_t admissionsSeen = 0;
+        bool capturing = config.verifyMidrunFork;
+        auto captureMachine = [&] {
+            if (!capturing)
+                return;
+            MachineCapture cap;
+            cap.when = sys->eventQueue().curTick();
+            cap.snap = sys->snapshot();
+            cap.sanitizerState = sanitizer.snapshotState();
+            inform("crash-fork capture @{}: {} keys, ~{} bytes",
+                   cap.when, cap.snap.size(),
+                   cap.snap.approxBytes());
+            machineCaptures.push_back(std::move(cap));
+            if (machineCaptures.size() > 2)
+                machineCaptures.pop_front();
+        };
+
         AdmissionCallback admissions(
             [&](const PersistRecord &rec) {
                 enumerated.push_back(rec.when);
                 admits.push_back(
                     {rec.when, sys->memory().lastAdmissionUndo()});
+                ++admissionsSeen;
+                if (capturing &&
+                    (admissionsSeen & (admissionsSeen - 1)) == 0)
+                    sys->eventQueue().schedule(rec.when,
+                                               captureMachine,
+                                               EventPriority::Stat);
             });
         sys->addObserver(&admissions);
         Tick endTick = sys->run();
@@ -264,6 +304,33 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
                               ticks.end());
         }
         const Tick finishTick = sys->finishTick();
+
+        // Determinism check: rewind the whole machine to the older
+        // capture and re-run the tail. The restored execution must be
+        // bit-identical to the uninterrupted one — same finish tick,
+        // same persist trace — or the forked results cannot be
+        // trusted. The admission observer is detached first so the
+        // replayed tail does not duplicate enumeration state; the
+        // sanitizer is rewound alongside and re-checks the tail.
+        if (!machineCaptures.empty()) {
+            capturing = false;
+            sys->removeObserver(&admissions);
+            const MachineCapture &cap = machineCaptures.front();
+            const std::vector<PersistRecord> reference =
+                sys->persistTrace();
+            inform("crash-fork restore @{} (finish {}): re-running "
+                   "tail for the determinism check",
+                   cap.when, finishTick);
+            sys->restore(cap.snap);
+            sanitizer.restoreState(cap.sanitizerState);
+            const Tick refork = sys->run();
+            panicIf(refork != finishTick,
+                    "mid-run fork diverged: restored run finished at "
+                    "{} instead of {}", refork, finishTick);
+            panicIf(sys->persistTrace() != reference,
+                    "mid-run fork diverged: restored persist trace "
+                    "does not match the uninterrupted run");
+        }
 
         CrashPointPlan plan =
             planCrashPoints(std::move(enumerated), endTick, config);

@@ -94,6 +94,17 @@ struct CrashHarnessConfig
      * Unset defers to SW_CRASH_FORK; the default is two-run mode.
      */
     std::optional<bool> fork;
+    /**
+     * In forked mode, additionally take full-machine snapshots at
+     * power-of-two admission counts during the warm run, then
+     * restore the older of the last two and re-run the tail,
+     * panicking unless finish tick and persist trace are
+     * bit-identical to the uninterrupted run (the mid-run fork
+     * determinism self-check, DESIGN.md §6). Costs roughly one
+     * extra run tail per cell; timing probes that only measure the
+     * forked-snapshot payoff turn it off.
+     */
+    bool verifyMidrunFork = true;
 };
 
 /**

@@ -50,6 +50,8 @@ DrainAdversary::consider(EventQueue &eq, FuzzSite site, CoreId core,
 
     if (delay > 0)
         eq.scheduleIn(delay, retry);
+    if (queryHook)
+        queryHook(totalQueries);
     return delay;
 }
 

@@ -87,6 +87,54 @@ class DrainAdversary
     /** Total consider() calls, over all sites and cores. */
     std::uint64_t queriesSeen() const { return totalQueries; }
 
+    /**
+     * Hook invoked after every consider() with the updated total
+     * query count. The branching fuzzer uses it to pick snapshot
+     * points at adversary decision sites; the hook must not re-enter
+     * consider().
+     */
+    void
+    setQueryHook(std::function<void(std::uint64_t)> hook)
+    {
+        queryHook = std::move(hook);
+    }
+
+    /**
+     * Restart the decision stream from @p seed (recording mode).
+     * Restored schedule branches call this so each branch explores a
+     * different suffix from the same warm prefix.
+     */
+    void
+    reseed(std::uint64_t seed)
+    {
+        rng = Rng(seed);
+    }
+
+    /** Mutable decision state captured by the fuzzer's snapshots
+     * (the replay plan and parameters are fixed wiring). */
+    struct State
+    {
+        std::array<std::uint64_t, 4> rng{};
+        DecisionLog decisions;
+        std::uint64_t totalQueries = 0;
+        std::map<std::pair<unsigned, CoreId>, std::uint64_t> counters;
+    };
+
+    State
+    snapshotState() const
+    {
+        return {rng.saveState(), decisions, totalQueries, counters};
+    }
+
+    void
+    restoreState(const State &s)
+    {
+        rng.restoreState(s.rng);
+        decisions = s.decisions;
+        totalQueries = s.totalQueries;
+        counters = s.counters;
+    }
+
   private:
     DrainAdversary() = default;
 
@@ -99,6 +147,7 @@ class DrainAdversary
     std::map<std::pair<unsigned, CoreId>, std::uint64_t> counters;
     /** Replay mode: (site, core, query) -> delay. */
     std::map<std::tuple<unsigned, CoreId, std::uint64_t>, Tick> plan;
+    std::function<void(std::uint64_t)> queryHook;
 };
 
 } // namespace strand

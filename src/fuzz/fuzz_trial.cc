@@ -1,5 +1,7 @@
 #include "fuzz/fuzz_trial.hh"
 
+#include <deque>
+
 #include "core/env_config.hh"
 #include "core/observer_util.hh"
 #include "crash/crash_oracle.hh"
@@ -87,14 +89,44 @@ struct TrialRig
 };
 
 /**
+ * Forked schedule branching: inputs and outcome of the extra suffix
+ * explorations run from mid-run machine snapshots.
+ */
+struct BranchProbe
+{
+    /** Suffixes to explore from the warm prefix (0 = off). */
+    unsigned branches = 0;
+    /** SplitMix stream base for the per-branch adversary seeds. */
+    std::uint64_t seedBase = 0;
+
+    unsigned branchesRun = 0;
+    bool failed = false;
+    /** 1-based index of the first failing branch. */
+    unsigned failingBranch = 0;
+    /** Full decision log of the failing branch (prefix + suffix). */
+    DecisionLog failingLog;
+    /** queriesSeen() at the end of the failing branch. */
+    std::uint64_t failingQueries = 0;
+    /** End-to-end persist-trace hash of the failing branch. */
+    std::uint64_t traceHash = 0;
+    /** Kernel events / committed ops spent on branch tails. */
+    std::uint64_t hostEvents = 0;
+    std::uint64_t simOps = 0;
+};
+
+/**
  * Run one system under @p adv with crash-recovery injection at every
  * admission and after completion. The shared core of the replay run
  * (replaying adversary, faithful scan) and of the forked fast path
- * (recording adversary, paged scan).
+ * (recording adversary, paged scan). A non-null @p probe with a
+ * branch budget additionally snapshots the machine at power-of-two
+ * adversary query counts and, when the main schedule passes, explores
+ * @c probe->branches reseeded suffixes from the older capture.
  */
 FuzzReplayOutcome
 runWithInjection(const FuzzTrialContext &ctx, DrainAdversary &adv,
-                 unsigned tornWords, RecoveryScan scan)
+                 unsigned tornWords, RecoveryScan scan,
+                 BranchProbe *probe = nullptr)
 {
     FuzzReplayOutcome outcome;
     TrialRig rig(ctx);
@@ -156,11 +188,10 @@ runWithInjection(const FuzzTrialContext &ctx, DrainAdversary &adv,
     sys->addObserver(&hasher);
     if (pmosanEnabled(ctx.spec))
         sys->addObserver(&sanitizer);
-    outcome.endTick = sys->run();
-    // A crash after the last persist must recover to the final state.
-    inject(outcome.endTick, false);
 
-    if (!sanitizer.ok()) {
+    auto foldSanitizer = [&] {
+        if (sanitizer.ok())
+            return;
         // Persist-order violations ride the same failure path as
         // recovery violations, so shrinking and .repro dumps apply.
         outcome.pointsFailed += 1;
@@ -171,12 +202,113 @@ runWithInjection(const FuzzTrialContext &ctx, DrainAdversary &adv,
                                     : sanitizer.violations()[0].when;
             outcome.violation = sanitizer.report();
         }
+    };
+
+    // Branching mode: capture the whole machine at power-of-two
+    // adversary query counts. The capture itself runs in a deferred
+    // Stat-priority one-shot, after every same-tick action has
+    // settled and with the capture event already released — a restore
+    // resumes exactly at the inter-event boundary. Only the last two
+    // captures are kept; branches fork from the older one, so a
+    // non-trivial suffix of the schedule remains to explore. The
+    // extra events shift kernel seq numbers uniformly, which cannot
+    // reorder dispatch, so the main schedule is unperturbed.
+    struct Capture
+    {
+        Tick when = 0;
+        SimSnapshot snap;
+        DrainAdversary::State adv;
+        PmoSanitizer::State san;
+        std::uint64_t hash = 0;
+        FuzzReplayOutcome outcome;
+        std::uint64_t serviced = 0;
+        std::uint64_t committed = 0;
+    };
+    std::deque<Capture> captures;
+    bool capturing = true;
+    if (probe && probe->branches > 0) {
+        adv.setQueryHook([&](std::uint64_t queries) {
+            if (!capturing || (queries & (queries - 1)) != 0)
+                return;
+            sys->eventQueue().schedule(
+                sys->eventQueue().curTick(),
+                [&] {
+                    if (!capturing)
+                        return;
+                    Capture cap;
+                    cap.when = sys->eventQueue().curTick();
+                    cap.snap = sys->snapshot();
+                    cap.adv = adv.snapshotState();
+                    cap.san = sanitizer.snapshotState();
+                    cap.hash = hasher.value();
+                    cap.outcome = outcome;
+                    cap.serviced = sys->eventsServiced();
+                    cap.committed = static_cast<std::uint64_t>(
+                        sys->totalCommitted());
+                    inform("fuzz-fork capture @{}: {} keys, ~{} "
+                           "bytes",
+                           cap.when, cap.snap.size(),
+                           cap.snap.approxBytes());
+                    captures.push_back(std::move(cap));
+                    if (captures.size() > 2)
+                        captures.pop_front();
+                },
+                EventPriority::Stat);
+        });
     }
+
+    outcome.endTick = sys->run();
+    // A crash after the last persist must recover to the final state.
+    inject(outcome.endTick, false);
+    foldSanitizer();
 
     outcome.traceHash = hasher.value();
     outcome.hostEvents = sys->eventsServiced();
     outcome.simOps =
         static_cast<std::uint64_t>(sys->totalCommitted());
+
+    if (probe && !captures.empty() && !outcome.failed) {
+        // The main schedule passed: rewind to the older capture and
+        // explore reseeded suffixes. Each branch restores machine,
+        // adversary, hasher, and sanitizer to the same warm prefix,
+        // then lets a fresh decision stream produce a different legal
+        // schedule tail. The first failing branch stops exploration;
+        // its full log is handed back for oracle confirmation.
+        capturing = false;
+        const Capture &cap = captures.front();
+        const FuzzReplayOutcome mainOutcome = outcome;
+        const DrainAdversary::State mainAdv = adv.snapshotState();
+        for (unsigned b = 1;
+             b <= probe->branches && !probe->failed; ++b) {
+            sys->restore(cap.snap);
+            adv.restoreState(cap.adv);
+            adv.reseed(mixSeed(probe->seedBase, b));
+            hasher.restoreValue(cap.hash);
+            sanitizer.restoreState(cap.san);
+            outcome = cap.outcome;
+            inform("fuzz-fork branch {} from @{}", b, cap.when);
+            outcome.endTick = sys->run();
+            inject(outcome.endTick, false);
+            foldSanitizer();
+            ++probe->branchesRun;
+            probe->hostEvents +=
+                sys->eventsServiced() - cap.serviced;
+            probe->simOps +=
+                static_cast<std::uint64_t>(sys->totalCommitted()) -
+                cap.committed;
+            if (outcome.failed) {
+                probe->failed = true;
+                probe->failingBranch = b;
+                probe->failingLog = adv.log();
+                probe->failingQueries = adv.queriesSeen();
+                probe->traceHash = hasher.value();
+            }
+        }
+        // Hand the main schedule's log and outcome back to the
+        // caller; the branches' state lives in the probe.
+        adv.restoreState(mainAdv);
+        outcome = mainOutcome;
+    }
     return outcome;
 }
 
@@ -210,8 +342,13 @@ runFuzzTrial(const FuzzTrialSpec &spec)
                          : static_cast<unsigned>(
                                torn.nextRange(1, wordsPerLine - 1));
 
+    // Branch exploration needs the single warm run's snapshots, so a
+    // non-zero branch count implies the forked trial path.
+    const unsigned forkBranches = spec.forkBranches.value_or(
+        envConfig().fuzzForkBranch.value_or(0));
     const bool forked =
-        spec.fork.value_or(envConfig().crashFork.value_or(false));
+        spec.fork.value_or(envConfig().crashFork.value_or(false)) ||
+        forkBranches > 0;
     if (forked) {
         // Forked fast path: ONE recording run with injection
         // attached. The injection observers are pure (they clone the
@@ -223,12 +360,53 @@ runFuzzTrial(const FuzzTrialSpec &spec)
         AdversaryParams ap = spec.adversary;
         ap.seed = ctx.adversarySeed;
         DrainAdversary adv = DrainAdversary::recording(ap);
-        FuzzReplayOutcome fast = runWithInjection(
-            ctx, adv, result.tornWords, RecoveryScan::Paged);
+        BranchProbe probe;
+        probe.branches = forkBranches;
+        // Branch seeds come from their own SplitMix stream so branch
+        // k never collides with the trial's workload/adversary/torn
+        // sub-seeds (streams 1..3).
+        probe.seedBase = mixSeed(ctx.adversarySeed, 0x5eed);
+        FuzzReplayOutcome fast =
+            runWithInjection(ctx, adv, result.tornWords,
+                             RecoveryScan::Paged, &probe);
         result.decisions = adv.log();
         result.queries = adv.queriesSeen();
-        result.hostEvents += fast.hostEvents;
-        result.simOps += fast.simOps;
+        result.hostEvents += fast.hostEvents + probe.hostEvents;
+        result.simOps += fast.simOps + probe.simOps;
+        result.branchesExplored = probe.branchesRun;
+        if (!fast.failed && probe.failed) {
+            // The main schedule passed but a forked suffix failed:
+            // confirm by replaying the branch's full decision log
+            // from tick zero with the faithful scan — the exact
+            // predicate the shrinker applies to sub-logs. The replay
+            // must also reproduce the restored-prefix execution's
+            // persist trace bit for bit; a mismatch means snapshot
+            // restore is not deterministic and is reported as its
+            // own failure class.
+            FuzzReplayOutcome confirm = replayDecisions(
+                ctx, probe.failingLog, result.tornWords);
+            result.decisions = probe.failingLog;
+            result.queries = probe.failingQueries;
+            result.failingBranch = probe.failingBranch;
+            result.failed = confirm.failed;
+            result.violation = confirm.violation;
+            result.crashTick = confirm.crashTick;
+            result.pointsChecked = confirm.pointsChecked;
+            result.pointsFailed = confirm.pointsFailed;
+            result.traceHash = confirm.traceHash;
+            result.hostEvents += confirm.hostEvents;
+            result.simOps += confirm.simOps;
+            if (confirm.traceHash != probe.traceHash) {
+                result.replayDiverged = true;
+                result.failed = true;
+                if (result.violation.empty())
+                    result.violation =
+                        "replay divergence: replaying the forked "
+                        "branch's decision log does not reproduce "
+                        "the restored-snapshot execution";
+            }
+            return result;
+        }
         if (!fast.failed) {
             result.pointsChecked = fast.pointsChecked;
             result.pointsFailed = fast.pointsFailed;

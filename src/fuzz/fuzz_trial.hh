@@ -68,6 +68,17 @@ struct FuzzTrialSpec
      * Unset defers to SW_CRASH_FORK.
      */
     std::optional<bool> fork;
+    /**
+     * Forked schedule branching (needs fork): snapshot the whole
+     * machine at adversary decision sites during the recording run,
+     * then explore this many extra schedule suffixes from the warm
+     * prefix, each under a reseeded adversary. A failing branch is
+     * confirmed by replaying its full decision log from tick zero —
+     * the exact predicate the shrinker uses — so branch failures
+     * shrink like main-schedule failures. Unset defers to
+     * SW_FUZZ_FORK_BRANCH.
+     */
+    std::optional<unsigned> forkBranches;
 };
 
 /** A trial spec with its derived seeds and recorded workload. */
@@ -118,6 +129,10 @@ struct FuzzTrialResult
     std::uint64_t traceHash = 0;
     /** True when record and replay persist traces diverged. */
     bool replayDiverged = false;
+    /** Extra schedule suffixes explored from mid-run snapshots. */
+    unsigned branchesExplored = 0;
+    /** 0 = the main schedule; else the 1-based failing branch. */
+    unsigned failingBranch = 0;
     /** Kernel events over record + replay runs (host observability). */
     std::uint64_t hostEvents = 0;
     /** Ops committed over record + replay runs (host observability). */

@@ -38,6 +38,19 @@ MemController::MemController(std::string name, EventQueue &eq,
       banks(params.banks)
 {
     fatalIf(params.banks == 0, "controller must have at least one bank");
+    // Build every pooled slot (and its recurring completion event)
+    // up front. Snapshot restore requires that no recurring event be
+    // bound after a capture, and the pools are bounded by the
+    // queue-entry limits anyway. Free-list order mimics on-demand
+    // growth: slot 0 is acquired first.
+    for (unsigned i = 0; i < params.readQueueEntries; ++i)
+        newReadSlot();
+    for (auto it = readSlots.rbegin(); it != readSlots.rend(); ++it)
+        freeReadSlots.push_back(it->get());
+    for (unsigned i = 0; i < params.writeQueueEntries; ++i)
+        newWriteSlot();
+    for (auto it = writeSlots.rbegin(); it != writeSlots.rend(); ++it)
+        freeWriteSlots.push_back(it->get());
 }
 
 MemController::Bank &
@@ -97,6 +110,14 @@ MemController::acquireReadSlot()
         freeReadSlots.pop_back();
         return slot;
     }
+    // Unreachable while tryRequest() bounds in-flight requests below
+    // the eagerly built pool; kept as a defensive fallback.
+    return newReadSlot();
+}
+
+MemController::ReadSlot *
+MemController::newReadSlot()
+{
     readSlots.push_back(std::make_unique<ReadSlot>());
     ReadSlot *slot = readSlots.back().get();
     slot->ev.init(eq, [this, slot] {
@@ -120,6 +141,14 @@ MemController::acquireWriteSlot()
         freeWriteSlots.pop_back();
         return slot;
     }
+    // Unreachable while tryRequest() bounds in-flight requests below
+    // the eagerly built pool; kept as a defensive fallback.
+    return newWriteSlot();
+}
+
+MemController::WriteSlot *
+MemController::newWriteSlot()
+{
     writeSlots.push_back(std::make_unique<WriteSlot>());
     WriteSlot *slot = writeSlots.back().get();
     slot->ev.init(eq, [this, slot] {
@@ -188,6 +217,63 @@ MemController::notifyRetry()
 {
     for (auto &cb : retryCallbacks)
         cb();
+}
+
+void
+MemController::saveState(SimSnapshot &snap) const
+{
+    Snapshot s;
+    s.banks = banks;
+    s.readsInFlight = readsInFlight;
+    s.writesInFlight = writesInFlight;
+    s.readPkts.reserve(readSlots.size());
+    for (const auto &slot : readSlots)
+        s.readPkts.push_back(slot->pkt);
+    s.writePkts.reserve(writeSlots.size());
+    s.writeInMedia.reserve(writeSlots.size());
+    for (const auto &slot : writeSlots) {
+        s.writePkts.push_back(slot->pkt);
+        s.writeInMedia.push_back(slot->inMedia);
+    }
+    auto indicesOf = [](const auto &pool, const auto &free) {
+        std::vector<std::size_t> out;
+        out.reserve(free.size());
+        for (const auto *slot : free) {
+            std::size_t index = 0;
+            while (pool[index].get() != slot)
+                ++index;
+            out.push_back(index);
+        }
+        return out;
+    };
+    s.freeReads = indicesOf(readSlots, freeReadSlots);
+    s.freeWrites = indicesOf(writeSlots, freeWriteSlots);
+    snap.put(snapshotName(), std::move(s));
+}
+
+void
+MemController::restoreState(const SimSnapshot &snap)
+{
+    const Snapshot &s = snap.get<Snapshot>(snapshotName());
+    panicIf(s.readPkts.size() != readSlots.size() ||
+                s.writePkts.size() != writeSlots.size(),
+            "{}: slot pool changed size across a snapshot",
+            snapshotName());
+    banks = s.banks;
+    readsInFlight = s.readsInFlight;
+    writesInFlight = s.writesInFlight;
+    for (std::size_t i = 0; i < readSlots.size(); ++i)
+        readSlots[i]->pkt = s.readPkts[i];
+    for (std::size_t i = 0; i < writeSlots.size(); ++i) {
+        writeSlots[i]->pkt = s.writePkts[i];
+        writeSlots[i]->inMedia = s.writeInMedia[i];
+    }
+    freeReadSlots.clear();
+    for (std::size_t index : s.freeReads)
+        freeReadSlots.push_back(readSlots[index].get());
+    freeWriteSlots.clear();
+    for (std::size_t index : s.freeWrites)
+        freeWriteSlots.push_back(writeSlots[index].get());
 }
 
 } // namespace strand

@@ -110,6 +110,14 @@ class MemController : public ClockedObject
         persistObserver = std::move(observer);
     }
 
+    /**
+     * Capture / restore the banks and the pooled in-flight request
+     * slots (by stable slot index; completion timing lives in the
+     * event queue's own snapshot).
+     */
+    void saveState(SimSnapshot &snap) const override;
+    void restoreState(const SimSnapshot &snap) override;
+
     /** @name Statistics @{ */
     stats::Scalar numReads;
     stats::Scalar numWrites;
@@ -147,8 +155,29 @@ class MemController : public ClockedObject
         EventQueue::Recurring ev;
     };
 
+    /** Build one pooled slot with its completion event bound. */
+    ReadSlot *newReadSlot();
+    WriteSlot *newWriteSlot();
+
     ReadSlot *acquireReadSlot();
     WriteSlot *acquireWriteSlot();
+
+    /** Volatile machine state captured by saveState(). Packets are
+     * immutable once submitted, so the snapshot shares them with the
+     * live run. */
+    struct Snapshot
+    {
+        std::vector<Bank> banks;
+        unsigned readsInFlight = 0;
+        unsigned writesInFlight = 0;
+        /** Per-slot in-flight packet (null for free slots). */
+        std::vector<PacketPtr> readPkts;
+        std::vector<PacketPtr> writePkts;
+        std::vector<bool> writeInMedia;
+        /** Free lists as slot indices, preserving pop order. */
+        std::vector<std::size_t> freeReads;
+        std::vector<std::size_t> freeWrites;
+    };
 
     Bank &bankFor(Addr addr);
 

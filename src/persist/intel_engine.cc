@@ -191,6 +191,25 @@ IntelEngine::queueOccupancy() const
     return queue.size();
 }
 
+void
+IntelEngine::saveState(SimSnapshot &snap) const
+{
+    Snapshot s;
+    s.base = baseState();
+    s.queue = queue;
+    s.lastRetiredSeq = lastRetiredSeq;
+    snap.put(snapshotName(), s);
+}
+
+void
+IntelEngine::restoreState(const SimSnapshot &snap)
+{
+    const Snapshot &s = snap.get<Snapshot>(snapshotName());
+    restoreBaseState(s.base);
+    queue = s.queue;
+    lastRetiredSeq = s.lastRetiredSeq;
+}
+
 Hierarchy::Clearance
 IntelEngine::recordDrainPoint()
 {

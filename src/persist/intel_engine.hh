@@ -62,6 +62,10 @@ class IntelEngine : public PersistEngine
     std::size_t queueOccupancy() const override;
     Hierarchy::Clearance recordDrainPoint() override;
 
+    /** Capture / restore the CLWB/SFENCE queue. */
+    void saveState(SimSnapshot &snap) const override;
+    void restoreState(const SimSnapshot &snap) override;
+
     /** @name Statistics @{ */
     stats::Scalar clwbsDispatched;
     stats::Scalar sfencesDispatched;
@@ -81,6 +85,14 @@ class IntelEngine : public PersistEngine
         Tick issuedAt = 0;
         /** Adversarial hold on this entry's issue (fuzzing). */
         Tick heldUntil = 0;
+    };
+
+    /** Volatile machine state captured by saveState(). */
+    struct Snapshot
+    {
+        BaseState base;
+        std::deque<Entry> queue;
+        SeqNum lastRetiredSeq = 0;
     };
 
     void issueEligible();

@@ -182,6 +182,32 @@ class PersistEngine : public SimObject
             wake();
     }
 
+    /**
+     * Base-class engine state every concrete engine folds into its
+     * own snapshot: the progress counter the core polls, and the
+     * crash harness's completion-tick recording.
+     */
+    struct BaseState
+    {
+        std::uint64_t progress = 0;
+        bool recordCompletions = false;
+        std::vector<Tick> completions;
+    };
+
+    BaseState
+    baseState() const
+    {
+        return {progress, recordCompletions, completions};
+    }
+
+    void
+    restoreBaseState(const BaseState &s)
+    {
+        progress = s.progress;
+        recordCompletions = s.recordCompletions;
+        completions = s.completions;
+    }
+
     StoreQueueView sq;
     std::function<void()> wake;
     std::uint64_t progress = 0;

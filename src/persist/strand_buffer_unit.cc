@@ -34,7 +34,7 @@ StrandBufferUnit::canAcceptClwb() const
 
 void
 StrandBufferUnit::pushClwb(Addr addr, std::uint64_t id,
-                           std::function<bool()> ready)
+                           SeqNum elderStoreSeq)
 {
     panicIf(!canAcceptClwb(), "strand buffer overflow");
     Buffer &buffer = buffers[ongoing];
@@ -42,7 +42,7 @@ StrandBufferUnit::pushClwb(Addr addr, std::uint64_t id,
     entry.kind = Kind::Clwb;
     entry.addr = addr;
     entry.id = id;
-    entry.ready = std::move(ready);
+    entry.elderStoreSeq = elderStoreSeq;
     entry.position = buffer.nextPosition++;
     buffer.entries.push_back(entry);
     issueFrom(buffer);
@@ -124,7 +124,8 @@ StrandBufferUnit::issueFrom(Buffer &buffer)
         }
         if (entry.hasIssued)
             continue;
-        if (entry.ready && !entry.ready())
+        if (entry.elderStoreSeq != 0 && elderCompleted &&
+            !elderCompleted(entry.elderStoreSeq))
             continue; // not flushable yet; later entries may proceed
         if (params.adversary) {
             // Fuzzing: entries in a barrier-free prefix (and in other
@@ -198,6 +199,31 @@ StrandBufferUnit::evaluate()
         retireCompleted(buffer);
         issueFrom(buffer);
     }
+}
+
+void
+StrandBufferUnit::saveState(SimSnapshot &snap) const
+{
+    // Entries are plain descriptors (elder-store gating is a SeqNum
+    // resolved against elderCompleted at issue time), so a wholesale
+    // copy captures everything. In-flight tryFlush callbacks live in
+    // the hierarchy/event queue and are captured there; they find
+    // their entry again by position.
+    Snapshot s;
+    s.buffers = buffers;
+    s.ongoing = ongoing;
+    snap.put(snapshotName(), s);
+}
+
+void
+StrandBufferUnit::restoreState(const SimSnapshot &snap)
+{
+    const Snapshot &s = snap.get<Snapshot>(snapshotName());
+    panicIf(s.buffers.size() != buffers.size(),
+            "{}: restore with a different buffer count",
+            snapshotName());
+    buffers = s.buffers;
+    ongoing = s.ongoing;
 }
 
 } // namespace strand

@@ -75,12 +75,26 @@ class StrandBufferUnit : public SimObject
     /**
      * Append a CLWB to the ongoing strand buffer.
      * @param id Token reported back through the completion callback.
-     * @param ready Optional predicate delaying the flush until the
-     * elder same-line store has written the L1 (the wait is
-     * per-line: other entries and buffers proceed).
+     * @param elderStoreSeq Seq of the elder same-line store that must
+     * write the L1 before this flush may start, or 0 for none. The
+     * wait is per-line: other entries and buffers proceed. Stored as
+     * a plain descriptor (not a captured closure) so buffered
+     * entries survive snapshot/restore; the owning engine installs
+     * the store-queue query once via setElderQuery().
      */
     void pushClwb(Addr addr, std::uint64_t id,
-                  std::function<bool()> ready = {});
+                  SeqNum elderStoreSeq = 0);
+
+    /**
+     * Install the store-completion query used to resolve buffered
+     * elder-store descriptors. Set once at engine construction;
+     * unset, elder-store gating is disabled.
+     */
+    void
+    setElderQuery(std::function<bool(SeqNum)> query)
+    {
+        elderCompleted = std::move(query);
+    }
 
     /** Append a persist barrier to the ongoing strand buffer. */
     void pushBarrier();
@@ -129,6 +143,10 @@ class StrandBufferUnit : public SimObject
     /** Issue any entries whose dependencies have resolved. */
     void evaluate();
 
+    /** Capture / restore buffered entries and the ongoing index. */
+    void saveState(SimSnapshot &snap) const override;
+    void restoreState(const SimSnapshot &snap) override;
+
     /** @name Statistics @{ */
     stats::Scalar clwbsIssued;
     stats::Scalar clwbsCompleted;
@@ -139,6 +157,7 @@ class StrandBufferUnit : public SimObject
     /** @} */
 
   private:
+    /** Plain data: snapshot/restore copies entries wholesale. */
     struct Entry
     {
         Kind kind = Kind::Clwb;
@@ -147,7 +166,9 @@ class StrandBufferUnit : public SimObject
         bool hasIssued = false;
         bool completed = false;
         Tick issuedAt = 0;
-        std::function<bool()> ready;
+        /** Elder same-line store gating the flush (0 = none);
+         * resolved against elderCompleted at issue time. */
+        SeqNum elderStoreSeq = 0;
         /** Monotonic position used by drain-point predicates. */
         std::uint64_t position = 0;
         /** Adversarial hold on this entry's issue (fuzzing). */
@@ -163,6 +184,13 @@ class StrandBufferUnit : public SimObject
         std::uint64_t nextPosition = 1;
     };
 
+    /** Volatile machine state captured by saveState(). */
+    struct Snapshot
+    {
+        std::vector<Buffer> buffers;
+        unsigned ongoing = 0;
+    };
+
     void issueFrom(Buffer &buffer);
     void retireCompleted(Buffer &buffer);
 
@@ -173,6 +201,7 @@ class StrandBufferUnit : public SimObject
     unsigned ongoing = 0;
     std::function<void(std::uint64_t, bool)> completionCallback;
     std::function<void(std::uint64_t)> startedCallback;
+    std::function<bool(SeqNum)> elderCompleted;
     /** Prebuilt adversary-hold retry; built once, borrowed per query. */
     EventQueue::Callback retryEvaluate;
 };

@@ -57,6 +57,12 @@ StrandEngine::StrandEngine(std::string name, EventQueue &eq, CoreId core,
     });
     sbu.setStartedCallback(
         [this](std::uint64_t seq) { onClwbStarted(seq); });
+    // Buffered entries carry their elder-store seq as a plain
+    // descriptor; the unit resolves it through this query at issue
+    // time (capture-friendly: no per-entry closures).
+    sbu.setElderQuery([this](SeqNum seq) {
+        return !sq.completed || sq.completed(seq);
+    });
     retryEvaluate = [this] { evaluate(); };
 }
 
@@ -291,18 +297,9 @@ StrandEngine::issueHead()
         entry.issued = true;
         noteProgress();
         switch (entry.type) {
-          case OpType::Clwb: {
-            std::function<bool()> ready;
-            if (entry.elderStoreSeq != 0 && sq.completed) {
-                SeqNum elder = entry.elderStoreSeq;
-                auto completedQuery = sq.completed;
-                ready = [completedQuery, elder] {
-                    return completedQuery(elder);
-                };
-            }
-            sbu.pushClwb(entry.addr, entry.seq, std::move(ready));
+          case OpType::Clwb:
+            sbu.pushClwb(entry.addr, entry.seq, entry.elderStoreSeq);
             break;
-          }
           case OpType::PersistBarrier:
           case OpType::Ofence:
             sbu.pushBarrier();
@@ -395,6 +392,29 @@ bool
 StrandEngine::sharesStoreQueue() const
 {
     return params.sharedStoreQueue;
+}
+
+void
+StrandEngine::saveState(SimSnapshot &snap) const
+{
+    Snapshot s;
+    s.base = baseState();
+    s.queue = queue;
+    s.issueBudget = issueBudget;
+    s.usedPort = usedPort;
+    snap.put(snapshotName(), s);
+    sbu.saveState(snap);
+}
+
+void
+StrandEngine::restoreState(const SimSnapshot &snap)
+{
+    const Snapshot &s = snap.get<Snapshot>(snapshotName());
+    restoreBaseState(s.base);
+    queue = s.queue;
+    issueBudget = s.issueBudget;
+    usedPort = s.usedPort;
+    sbu.restoreState(snap);
 }
 
 Hierarchy::Clearance

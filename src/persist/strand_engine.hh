@@ -90,6 +90,10 @@ class StrandEngine : public PersistEngine
     SeqNum oldestIncompleteSeq() const override;
     Hierarchy::Clearance recordDrainPoint() override;
 
+    /** Capture / restore the persist queue and the buffer unit. */
+    void saveState(SimSnapshot &snap) const override;
+    void restoreState(const SimSnapshot &snap) override;
+
     /** The strand buffer unit (exposed for tests and stats). */
     StrandBufferUnit &bufferUnit() { return sbu; }
 
@@ -114,6 +118,15 @@ class StrandEngine : public PersistEngine
         bool completed = false;
         /** Adversarial hold on this entry's issue (fuzzing). */
         Tick heldUntil = 0;
+    };
+
+    /** Volatile machine state captured by saveState(). */
+    struct Snapshot
+    {
+        BaseState base;
+        std::deque<Entry> queue;
+        unsigned issueBudget = ~0u;
+        bool usedPort = false;
     };
 
     /** True when the head entry's issue preconditions hold. */

@@ -109,6 +109,18 @@ class PmoSanitizer final : public PersistObserver
     std::uint64_t conflictEdgesSeen() const { return edgeCount; }
     /** @} */
 
+    /** @name Snapshot support (mid-run machine forks) @{ */
+
+    /**
+     * The checker is plain data, so capture is a straight copy of
+     * the tracking structures; the configuration is fixed wiring.
+     */
+    struct State;
+    State snapshotState() const;
+    void restoreState(const State &s);
+
+    /** @} */
+
   private:
     /** A tracked CLWB from dispatch to flush acknowledgement. */
     struct Persist
@@ -178,6 +190,39 @@ class PmoSanitizer final : public PersistObserver
     std::uint64_t admissionCount = 0;
     std::uint64_t edgeCount = 0;
 };
+
+/** Full mutable checker state; see PmoSanitizer::snapshotState(). */
+struct PmoSanitizer::State
+{
+    std::vector<Persist> arena;
+    std::vector<CoreState> coresState;
+    std::unordered_map<Addr, Tick> lastAdmit;
+    std::vector<Violation> found;
+    std::uint64_t totalViolations = 0;
+    std::uint64_t checkedCount = 0;
+    std::uint64_t admissionCount = 0;
+    std::uint64_t edgeCount = 0;
+};
+
+inline PmoSanitizer::State
+PmoSanitizer::snapshotState() const
+{
+    return {arena,          coresState,   lastAdmit, found,
+            totalViolations, checkedCount, admissionCount, edgeCount};
+}
+
+inline void
+PmoSanitizer::restoreState(const State &s)
+{
+    arena = s.arena;
+    coresState = s.coresState;
+    lastAdmit = s.lastAdmit;
+    found = s.found;
+    totalViolations = s.totalViolations;
+    checkedCount = s.checkedCount;
+    admissionCount = s.admissionCount;
+    edgeCount = s.edgeCount;
+}
 
 } // namespace strand
 

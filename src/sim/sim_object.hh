@@ -44,16 +44,15 @@ class SimObject : public stats::StatGroup, public Snapshotable
     EventQueue &eventQueue() { return eq; }
     Tick curTick() const { return eq.curTick(); }
 
-    void
-    saveState(SimSnapshot &) const override
+    /**
+     * Snapshot diagnostics carry the full dotted instance name, so
+     * the Snapshotable default panics point at the exact component
+     * that has not audited its state yet.
+     */
+    std::string
+    snapshotName() const override
     {
-        panic("{} does not support snapshot capture", groupName());
-    }
-
-    void
-    restoreState(const SimSnapshot &) override
-    {
-        panic("{} does not support snapshot restore", groupName());
+        return fullName();
     }
 
   protected:

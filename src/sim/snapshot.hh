@@ -30,6 +30,7 @@
 #include <any>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -51,6 +52,7 @@ class SimSnapshot
     {
         panicIf(slots.count(key) != 0,
                 "snapshot key '{}' captured twice", key);
+        bytes += key.size() + slotBytes(value);
         slots.emplace(key, std::move(value));
     }
 
@@ -75,8 +77,44 @@ class SimSnapshot
     /** Number of captured keys. */
     std::size_t size() const { return slots.size(); }
 
+    /** Every captured key, in sorted (map) order. */
+    std::vector<std::string>
+    keys() const
+    {
+        std::vector<std::string> out;
+        out.reserve(slots.size());
+        for (const auto &[key, value] : slots)
+            out.push_back(key);
+        return out;
+    }
+
+    /**
+     * Approximate size of the captured state in bytes: the static
+     * footprint of every stored value, plus the element payload of
+     * values that are sized containers (one nesting level deep).
+     * Good enough to tell a half-captured machine from a full one in
+     * a log line; not an allocator-accurate measurement.
+     */
+    std::size_t approxBytes() const { return bytes; }
+
   private:
+    template <typename T>
+    static std::size_t
+    slotBytes(const T &value)
+    {
+        if constexpr (requires {
+                          value.size();
+                          typename T::value_type;
+                      }) {
+            return sizeof(T) +
+                   value.size() * sizeof(typename T::value_type);
+        } else {
+            return sizeof(T);
+        }
+    }
+
     std::map<std::string, std::any> slots;
+    std::size_t bytes = 0;
 };
 
 /**
@@ -92,6 +130,14 @@ class Snapshotable
   public:
     virtual ~Snapshotable() = default;
 
+    /**
+     * Name used in snapshot diagnostics. SimObject routes this to
+     * its dotted instance name; adapter shims for non-SimObject
+     * state (EventQueue, Rng) override it with the key they capture
+     * under, so the default panics below always name the offender.
+     */
+    virtual std::string snapshotName() const = 0;
+
     /** Capture this component's state into @p snap. */
     virtual void saveState(SimSnapshot &snap) const;
     /** Restore this component's state from @p snap. */
@@ -101,13 +147,13 @@ class Snapshotable
 inline void
 Snapshotable::saveState(SimSnapshot &) const
 {
-    panic("component does not support snapshot capture");
+    panic("{} does not support snapshot capture", snapshotName());
 }
 
 inline void
 Snapshotable::restoreState(const SimSnapshot &)
 {
-    panic("component does not support snapshot restore");
+    panic("{} does not support snapshot restore", snapshotName());
 }
 
 } // namespace strand

@@ -133,4 +133,51 @@ StatGroup::visitStats(
         child->visitStats(visitor, full);
 }
 
+std::string
+StatGroup::fullName() const
+{
+    return parent ? parent->fullName() + "." + name : name;
+}
+
+StatGroup::StatValues
+StatGroup::snapshotStats() const
+{
+    StatValues values;
+    visitStats([&values](const std::string &full, const StatBase &stat) {
+        bool inserted =
+            values.emplace(full, stat.snapshotValues()).second;
+        panicIf(!inserted, "stat capture: duplicate full name {}", full);
+    });
+    return values;
+}
+
+void
+StatGroup::restoreStats(const StatValues &values)
+{
+    std::size_t restored = 0;
+    restoreStatsImpl(values, "", restored);
+    panicIf(restored != values.size(),
+            "stat restore into {}: {} captured stats have no "
+            "matching stat in the tree",
+            name, values.size() - restored);
+}
+
+void
+StatGroup::restoreStatsImpl(const StatValues &values,
+                            const std::string &prefix,
+                            std::size_t &restored)
+{
+    std::string full = prefix.empty() ? name + "." : prefix + name + ".";
+    for (StatBase *stat : statList) {
+        auto it = values.find(full + stat->name());
+        panicIf(it == values.end(),
+                "stat restore: no captured value for {}",
+                full + stat->name());
+        stat->restoreValues(it->second);
+        ++restored;
+    }
+    for (StatGroup *child : childList)
+        child->restoreStatsImpl(values, full, restored);
+}
+
 } // namespace strand::stats

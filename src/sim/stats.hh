@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -46,6 +47,12 @@ class StatBase
     /** Reset the statistic to its initial state. */
     virtual void reset() = 0;
 
+    /** Capture the raw values as doubles (snapshot support). */
+    virtual std::vector<double> snapshotValues() const = 0;
+
+    /** Restore a capture taken by snapshotValues() on this stat. */
+    virtual void restoreValues(const std::vector<double> &vals) = 0;
+
   private:
     std::string statName;
     std::string statDesc;
@@ -76,6 +83,20 @@ class Scalar : public StatBase
 
     void print(std::ostream &os, const std::string &prefix) const override;
     void reset() override { total = 0.0; }
+
+    std::vector<double>
+    snapshotValues() const override
+    {
+        return {total};
+    }
+
+    void
+    restoreValues(const std::vector<double> &vals) override
+    {
+        panicIf(vals.size() != 1, "scalar stat {} restore size mismatch",
+                name());
+        total = vals[0];
+    }
 
   private:
     double total = 0.0;
@@ -113,6 +134,16 @@ class Vector : public StatBase
     void print(std::ostream &os, const std::string &prefix) const override;
     void reset() override;
 
+    std::vector<double> snapshotValues() const override { return values; }
+
+    void
+    restoreValues(const std::vector<double> &vals) override
+    {
+        panicIf(vals.size() != values.size(),
+                "vector stat {} restore size mismatch", name());
+        values = vals;
+    }
+
   private:
     std::vector<double> values;
     std::vector<std::string> names;
@@ -143,6 +174,24 @@ class Histogram : public StatBase
     void print(std::ostream &os, const std::string &prefix) const override;
     void reset() override;
 
+    /** Sample counts stay far below 2^53, so the double is exact. */
+    std::vector<double>
+    snapshotValues() const override
+    {
+        return {static_cast<double>(count), total, minSeen, maxSeen};
+    }
+
+    void
+    restoreValues(const std::vector<double> &vals) override
+    {
+        panicIf(vals.size() != 4,
+                "histogram stat {} restore size mismatch", name());
+        count = static_cast<std::uint64_t>(vals[0]);
+        total = vals[1];
+        minSeen = vals[2];
+        maxSeen = vals[3];
+    }
+
   private:
     std::uint64_t count = 0;
     double total = 0.0;
@@ -165,6 +214,9 @@ class StatGroup
 
     const std::string &groupName() const { return name; }
 
+    /** Full dotted path of this group ("system.cpu0.engine"). */
+    std::string fullName() const;
+
     /** Dump this group and all children. */
     void printStats(std::ostream &os, const std::string &prefix = "") const;
 
@@ -177,8 +229,25 @@ class StatGroup
             &visitor,
         const std::string &prefix = "") const;
 
+    /** Raw stat values keyed by full dotted stat name. */
+    using StatValues = std::map<std::string, std::vector<double>>;
+
+    /** Capture every stat value in the subtree (snapshot support). */
+    StatValues snapshotStats() const;
+
+    /**
+     * Restore a capture taken by snapshotStats() on the same tree.
+     * Panics when the tree's stats and the captured keys differ —
+     * a capture from a different tree shape must fail loudly.
+     */
+    void restoreStats(const StatValues &values);
+
   private:
     friend class StatBase;
+
+    void restoreStatsImpl(const StatValues &values,
+                          const std::string &prefix,
+                          std::size_t &restored);
 
     void addStat(StatBase *stat) { statList.push_back(stat); }
     void addChild(StatGroup *child) { childList.push_back(child); }

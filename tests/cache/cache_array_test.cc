@@ -95,6 +95,36 @@ TEST(CacheArray, StateNames)
     EXPECT_STREQ(coherenceStateName(CoherenceState::Modified), "M");
 }
 
+TEST(CacheArray, SnapshotStateRoundTrips)
+{
+    CacheArray arr(256, 2); // 2 sets x 2 ways
+    arr.install(arr.victimFor(0), 0, CoherenceState::Modified);
+    arr.install(arr.victimFor(128), 128, CoherenceState::Shared);
+    arr.touch(*arr.findLine(0));
+    CacheArray::State state = arr.snapshotState();
+
+    // Mutate past the capture, then rewind.
+    arr.install(arr.victimFor(256), 256, CoherenceState::Exclusive);
+    arr.invalidate(0);
+    arr.restoreState(std::move(state));
+
+    EXPECT_EQ(arr.countValid(), 2u);
+    ASSERT_NE(arr.findLine(0), nullptr);
+    EXPECT_EQ(arr.findLine(0)->state, CoherenceState::Modified);
+    ASSERT_NE(arr.findLine(128), nullptr);
+    EXPECT_EQ(arr.findLine(256), nullptr);
+    // LRU clock is part of the capture: 128 is still the victim.
+    EXPECT_EQ(arr.victimFor(256).lineAddr, 128u);
+}
+
+TEST(CacheArray, RestoreRejectsChangedGeometry)
+{
+    CacheArray small(256, 2);
+    CacheArray big(1024, 2);
+    EXPECT_THROW(big.restoreState(small.snapshotState()),
+                 std::logic_error);
+}
+
 TEST(CacheArray, ConflictingLinesShareASet)
 {
     CacheArray arr(256, 2); // 2 sets x 2 ways

@@ -69,6 +69,19 @@ TEST(EnvConfig, CrashForkParsesAsBool)
                  std::invalid_argument);
 }
 
+TEST(EnvConfig, FuzzForkBranchParsesAsCount)
+{
+    EXPECT_EQ(parse({{"SW_FUZZ_FORK_BRANCH", "3"}}).fuzzForkBranch,
+              3u);
+    EXPECT_EQ(parse({{"SW_FUZZ_FORK_BRANCH", "0"}}).fuzzForkBranch,
+              0u); // 0 is valid: branching off
+    EXPECT_FALSE(parse({}).fuzzForkBranch.has_value());
+    EXPECT_THROW(parse({{"SW_FUZZ_FORK_BRANCH", "-1"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_FUZZ_FORK_BRANCH", "branchy"}}),
+                 std::invalid_argument);
+}
+
 TEST(EnvConfig, KnobRegistryCoversEveryKnob)
 {
     // The --help table is generated from envKnobs(); a knob missing
@@ -78,7 +91,7 @@ TEST(EnvConfig, KnobRegistryCoversEveryKnob)
         "SW_OPS",         "SW_THREADS",   "SW_CRASH_POINTS",
         "SW_JOBS",        "SW_TORN_WORDS", "SW_CRASH_SEED",
         "SW_FUZZ_TRIALS", "SW_FUZZ_SEED", "SW_PMOSAN",
-        "SW_CRASH_FORK",  "SW_OUT_DIR",
+        "SW_CRASH_FORK",  "SW_FUZZ_FORK_BRANCH", "SW_OUT_DIR",
     };
     std::vector<std::string> actual;
     for (const EnvKnob &knob : envKnobs())

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "fuzz/adversary.hh"
 #include "fuzz/decision.hh"
 #include "sim/event_queue.hh"
@@ -111,6 +114,59 @@ TEST(FuzzAdversary, ReplayAppliesExactlyTheLog)
     // A different site never matches the logged decisions.
     EXPECT_EQ(rep.consider(replayEq, FuzzSite::Writeback, 0, [] {}),
               0u);
+}
+
+TEST(FuzzAdversary, StateRoundTripReplaysTheSameSuffix)
+{
+    AdversaryParams params;
+    params.seed = 0xfeed;
+    params.deferChance = 0.5;
+    EventQueue eq;
+    DrainAdversary adv = DrainAdversary::recording(params);
+    for (unsigned q = 0; q < 32; ++q)
+        adv.consider(eq, FuzzSite::SbuIssue, q % 3, [] {});
+    DrainAdversary::State mid = adv.snapshotState();
+    const std::size_t prefix = mid.decisions.size();
+
+    auto drive = [&] {
+        for (unsigned q = 0; q < 32; ++q)
+            adv.consider(eq, FuzzSite::Writeback, q % 2, [] {});
+        return adv.log();
+    };
+    DecisionLog first = drive();
+    adv.restoreState(mid);
+    DecisionLog second = drive();
+    EXPECT_EQ(first, second)
+        << "restoring mid-run state must replay the identical "
+           "decision suffix";
+    EXPECT_EQ(adv.queriesSeen(), 64u);
+
+    // Reseeding from the same prefix explores a different suffix
+    // while the already-recorded prefix stays intact.
+    adv.restoreState(mid);
+    adv.reseed(0xb4a2c9);
+    DecisionLog branched = drive();
+    EXPECT_NE(branched, first);
+    ASSERT_GE(branched.size(), prefix);
+    EXPECT_TRUE(std::equal(branched.begin(),
+                           branched.begin() +
+                               static_cast<std::ptrdiff_t>(prefix),
+                           first.begin()))
+        << "a branch must keep the warm prefix's decisions";
+}
+
+TEST(FuzzAdversary, QueryHookSeesEveryQuery)
+{
+    AdversaryParams params;
+    params.seed = 0x11;
+    EventQueue eq;
+    DrainAdversary adv = DrainAdversary::recording(params);
+    std::vector<std::uint64_t> seen;
+    adv.setQueryHook(
+        [&](std::uint64_t queries) { seen.push_back(queries); });
+    for (unsigned q = 0; q < 5; ++q)
+        adv.consider(eq, FuzzSite::IntelIssue, 0, [] {});
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
 }
 
 TEST(FuzzAdversary, SubLogIsALegalSchedule)

@@ -140,6 +140,103 @@ TEST(FuzzTrial, ForkedFailingTrialFallsBackToClassicReplay)
     EXPECT_EQ(forked.pointsFailed, classic.pointsFailed);
 }
 
+TEST(FuzzTrial, ForkBranchingLeavesTheMainScheduleUntouched)
+{
+    // Branch suffixes are explored from restored machine snapshots
+    // AFTER the main schedule completes; nothing they do may leak
+    // into the fields a campaign consumes for the main schedule.
+    FuzzTrialSpec plain = lightSpec();
+    plain.fork = true;
+    plain.forkBranches = 0;
+    FuzzTrialSpec branched = lightSpec();
+    branched.fork = true;
+    branched.forkBranches = 3;
+
+    FuzzTrialResult base = runFuzzTrial(plain);
+    FuzzTrialResult withBranches = runFuzzTrial(branched);
+
+    ASSERT_FALSE(base.failed) << base.violation;
+    ASSERT_FALSE(withBranches.failed) << withBranches.violation;
+    EXPECT_EQ(withBranches.decisions, base.decisions);
+    EXPECT_EQ(withBranches.queries, base.queries);
+    EXPECT_EQ(withBranches.traceHash, base.traceHash);
+    EXPECT_EQ(withBranches.pointsChecked, base.pointsChecked);
+    EXPECT_EQ(withBranches.tornWords, base.tornWords);
+    EXPECT_EQ(withBranches.failingBranch, 0u);
+    EXPECT_EQ(base.branchesExplored, 0u);
+    EXPECT_EQ(withBranches.branchesExplored, 3u);
+    // Branch tails are real simulation work, visible in the host
+    // observability counters.
+    EXPECT_GT(withBranches.hostEvents, base.hostEvents);
+    EXPECT_GT(withBranches.simOps, base.simOps);
+}
+
+TEST(FuzzTrial, FailingBranchIsConfirmedThroughTheOraclePath)
+{
+    // A schedule-dependent bug that the main schedule misses but a
+    // forked suffix hits: the planted epoch bug at a hold rate low
+    // enough (2%) that the main schedule stays clean at this seed,
+    // while branch reseeding finds a failing suffix from the same
+    // warm prefix. The branch failure must come back confirmed by
+    // the tick-zero replay of its full decision log — the predicate
+    // the shrinker uses — with no divergence.
+    FuzzTrialSpec spec;
+    spec.kind = WorkloadKind::Queue;
+    spec.design = HwDesign::IntelX86;
+    spec.model = PersistencyModel::Txn;
+    spec.numThreads = 2;
+    spec.opsPerThread = 10;
+    spec.experiment.engine.plantedEpochBug = true;
+    spec.adversary.deferChance = 0.02;
+    spec.seed = 3;
+    spec.fork = true;
+
+    spec.forkBranches = 0;
+    FuzzTrialResult main0 = runFuzzTrial(spec);
+    ASSERT_FALSE(main0.failed)
+        << "precondition: the main schedule must pass at this seed: "
+        << main0.violation;
+
+    spec.forkBranches = 4;
+    FuzzTrialResult branched = runFuzzTrial(spec);
+    ASSERT_TRUE(branched.failed)
+        << "a forked suffix must catch the planted bug";
+    EXPECT_GT(branched.failingBranch, 0u);
+    EXPECT_FALSE(branched.replayDiverged)
+        << "replaying the branch log from tick zero must reproduce "
+           "the restored-snapshot execution";
+    EXPECT_FALSE(branched.violation.empty());
+    EXPECT_FALSE(branched.decisions.empty());
+    EXPECT_GT(branched.pointsFailed, 0u);
+    // Exploration stops at the first failing branch.
+    EXPECT_EQ(branched.branchesExplored, branched.failingBranch);
+
+    // The reported decision log IS the reproducer: replaying it
+    // classically (the shrinker's predicate) fails the same way.
+    FuzzTrialContext ctx = makeTrialContext(spec);
+    FuzzReplayOutcome replay = replayDecisions(
+        ctx, branched.decisions, branched.tornWords);
+    EXPECT_TRUE(replay.failed);
+    EXPECT_EQ(replay.traceHash, branched.traceHash);
+}
+
+TEST(FuzzTrial, ForkBranchingIsSeedDeterministic)
+{
+    FuzzTrialSpec spec = lightSpec();
+    spec.fork = true;
+    spec.forkBranches = 2;
+    FuzzTrialResult a = runFuzzTrial(spec);
+    FuzzTrialResult b = runFuzzTrial(spec);
+    EXPECT_EQ(a.decisions, b.decisions);
+    EXPECT_EQ(a.traceHash, b.traceHash);
+    EXPECT_EQ(a.branchesExplored, b.branchesExplored);
+    EXPECT_EQ(a.failingBranch, b.failingBranch);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.violation, b.violation);
+    EXPECT_EQ(a.hostEvents, b.hostEvents);
+    EXPECT_EQ(a.simOps, b.simOps);
+}
+
 TEST(FuzzTrial, NonAtomicViolationsAreFound)
 {
     FuzzTrialSpec spec = lightSpec();
