@@ -48,6 +48,16 @@ main(int argc, char **argv)
     const unsigned tornWords =
         envConfig().tornWords.value_or(wordsPerLine);
 
+    // Media-fault axis: seeded poison / bit-flip / partial-drain
+    // faults struck at every crash point of the "media" variant
+    // cells. On by default; explicit all-zero SW_MEDIA_* knobs turn
+    // the axis off.
+    MediaFaultConfig media;
+    media.poisonLines = envConfig().mediaPoison.value_or(1);
+    media.bitFlips = envConfig().mediaFlips.value_or(1);
+    media.dropAdmissions = envConfig().mediaDrop.value_or(2);
+    media.seed = envConfig().mediaSeed.value_or(0xed1a);
+
     SweepSpec spec;
     spec.name = "crash_matrix";
     for (WorkloadKind kind : {WorkloadKind::Queue,
@@ -70,6 +80,25 @@ main(int argc, char **argv)
             redo.config.logStyle = LogStyle::Redo;
             redo.variant = "redo";
             redo.tornWords = tornWords;
+
+            if (!media.any())
+                continue;
+            // The same coordinates again under media faults: the
+            // recoverable cells must salvage every point (verdict
+            // FULL or DEGRADED — never silent corruption).
+            for (PersistencyModel model : allModels) {
+                SweepCell &cell = spec.addCrash(recorded, design,
+                                                model, points);
+                cell.tornWords = tornWords;
+                cell.media = media;
+                cell.variant = "media";
+            }
+            SweepCell &redoMedia = spec.addCrash(
+                recorded, design, PersistencyModel::Txn, points);
+            redoMedia.config.logStyle = LogStyle::Redo;
+            redoMedia.variant = "redo-media";
+            redoMedia.tornWords = tornWords;
+            redoMedia.media = media;
         }
     }
 
@@ -107,49 +136,78 @@ main(int argc, char **argv)
     if (tornWords < wordsPerLine)
         std::printf(", torn lines: %u/%u words admitted", tornWords,
                     wordsPerLine);
+    if (media.any())
+        std::printf(", media: poison<=%u flips<=%u drop<=%u",
+                    media.poisonLines, media.bitFlips,
+                    media.dropAdmissions);
     std::printf(")\n\n");
-    std::printf("%-10s %-16s %-7s %9s %9s %11s %10s\n", "workload",
-                "design", "model", "tested", "passed", "rolledback",
-                "replayed");
-    bench::rule(78);
+    std::printf("%-10s %-16s %-12s %9s %9s %11s %10s %6s %6s\n",
+                "workload", "design", "model", "tested", "passed",
+                "rolledback", "replayed", "full", "degr");
+    bench::rule(94);
 
     unsigned unexpectedFailures = 0;
     unsigned nonAtomicViolations = 0;
+    unsigned hopsGapPoints = 0;
     std::string lastWorkload;
     for (const CellResult &cell : result.cells) {
         if (!lastWorkload.empty() && cell.workload != lastWorkload)
             std::printf("\n");
         lastWorkload = cell.workload;
 
-        const char *label = cell.variant.empty()
-                                ? persistencyModelName(cell.model)
-                                : cell.variant.c_str();
+        std::string labelText =
+            cell.variant.empty() ? persistencyModelName(cell.model)
+                                 : cell.variant;
+        if (cell.variant == "media") {
+            labelText = std::string(
+                            persistencyModelName(cell.model)) +
+                        "+media";
+        }
+        const char *label = labelText.c_str();
         if (!cell.ok) {
-            std::printf("%-10s %-16s %-7s %9s %9s %11s %10s  "
-                        "<-- PANIC: %s\n",
+            std::printf("%-10s %-16s %-12s %9s %9s %11s %10s %6s "
+                        "%6s  <-- PANIC: %s\n",
                         cell.workload.c_str(),
                         hwDesignName(cell.design), label, "-", "-",
-                        "-", "-", cell.error.c_str());
+                        "-", "-", "-", "-", cell.error.c_str());
             ++unexpectedFailures;
             continue;
         }
 
         const CrashCellResult &crash = cell.crash;
         bool expectedFail = cell.design == HwDesign::NonAtomic;
-        std::printf("%-10s %-16s %-7s %9u %9u %11llu %10llu%s\n",
+        // HOPS's CLWB-based emulation carries a known whole-line /
+        // epoch-batching modeling gap (see EXPERIMENTS.md "Fuzz
+        // campaigns"): it does not strictly order a log entry's
+        // admission before its guarded update's, so an amplified
+        // partial ADR drain can cut the entry while the update
+        // survives. Reported but tolerated, exactly as the fuzz
+        // campaign tolerates plain-hops trials.
+        bool tolerateFail =
+            cell.design == HwDesign::Hops &&
+            (cell.variant == "media" || cell.variant == "redo-media");
+        std::printf("%-10s %-16s %-12s %9u %9u %11llu %10llu %6u "
+                    "%6u%s\n",
                     cell.workload.c_str(), hwDesignName(cell.design),
                     label, crash.pointsTested, crash.pointsPassed,
                     static_cast<unsigned long long>(
                         crash.totalRolledBack),
                     static_cast<unsigned long long>(
                         crash.totalReplayed),
+                    crash.verdictFull, crash.verdictDegraded,
                     crash.allPassed()
                         ? ""
-                        : (expectedFail ? "  (expected)"
-                                        : "  <-- FAIL"));
+                        : (expectedFail
+                               ? "  (expected)"
+                               : (tolerateFail
+                                      ? "  (known modeling gap)"
+                                      : "  <-- FAIL")));
         if (!crash.allPassed()) {
             if (expectedFail) {
                 nonAtomicViolations +=
+                    crash.pointsTested - crash.pointsPassed;
+            } else if (tolerateFail) {
+                hopsGapPoints +=
                     crash.pointsTested - crash.pointsPassed;
             } else {
                 ++unexpectedFailures;
@@ -165,6 +223,10 @@ main(int argc, char **argv)
     std::printf("\nnon-atomic violations detected: %u "
                 "(the oracle has teeth)\n",
                 nonAtomicViolations);
+    if (hopsGapPoints > 0)
+        std::printf("hops media-fault modeling-gap points: %u "
+                    "(pass at default fault amplitudes)\n",
+                    hopsGapPoints);
 
     // Speedup probe: identical work, verdicts must agree bit for bit;
     // the wall-clock ratio is the forked-snapshot payoff.

@@ -77,6 +77,16 @@ main(int argc, char **argv)
     const std::uint64_t seed = benchFuzzSeed();
     const std::string reproDir = envConfig().outDir + "/repro";
 
+    // Media-fault fuzzing is opt-in here (unlike crash_matrix, where
+    // the axis defaults on): set any SW_MEDIA_* count and every
+    // trial's injections gain adversary-driven poison/flip/drop
+    // opportunities, recorded in the decision log and shrunk by
+    // ddmin like schedule holds.
+    MediaFaultConfig media;
+    media.poisonLines = envConfig().mediaPoison.value_or(0);
+    media.bitFlips = envConfig().mediaFlips.value_or(0);
+    media.dropAdmissions = envConfig().mediaDrop.value_or(0);
+
     SweepSpec spec;
     spec.name = "fuzz_campaign";
     for (WorkloadKind kind : {WorkloadKind::Queue,
@@ -97,6 +107,7 @@ main(int argc, char **argv)
                 // checker attached.
                 if (benchPmosan())
                     campaign.base.pmosan = true;
+                campaign.base.media = media;
                 campaign.trials = trials;
                 campaign.seed = seed;
                 campaign.reproDir = reproDir;

@@ -81,6 +81,12 @@ parseEnvConfig(const std::function<const char *(const char *)> &get)
         config.crashFork = *flag != 0;
     config.fuzzForkBranch =
         parseUnsigned(get, "SW_FUZZ_FORK_BRANCH", 0);
+    // Media-fault intensities are per crash point; the admission
+    // ring is 8 deep, so more than 8 of anything cannot land.
+    config.mediaPoison = parseUnsigned(get, "SW_MEDIA_POISON", 0, 8);
+    config.mediaFlips = parseUnsigned(get, "SW_MEDIA_FLIPS", 0, 8);
+    config.mediaDrop = parseUnsigned(get, "SW_MEDIA_DROP", 0, 8);
+    config.mediaSeed = parseSeed(get, "SW_MEDIA_SEED");
     if (const char *value = get("SW_OUT_DIR"); value && *value)
         config.outDir = value;
     return config;
@@ -111,6 +117,14 @@ envKnobs()
          "forked-snapshot crash exploration (one warm run)"},
         {"SW_FUZZ_FORK_BRANCH", ">= 0", "0 (off)",
          "extra schedule suffixes forked per fuzz trial"},
+        {"SW_MEDIA_POISON", "0..8", "bench default",
+         "max poisoned lines injected per crash point"},
+        {"SW_MEDIA_FLIPS", "0..8", "bench default",
+         "max in-line bit flips injected per crash point"},
+        {"SW_MEDIA_DROP", "0..8", "bench default",
+         "max trailing ADR admissions dropped per crash point"},
+        {"SW_MEDIA_SEED", "u64 (0x hex ok)", "fixed default",
+         "seed of the media-fault stream"},
         {"SW_OUT_DIR", "path", "bench/out",
          "directory for JSON result files"},
     };

@@ -32,6 +32,15 @@
  *                   extra schedule suffixes per trial from the warm
  *                   prefix (>= 0; default 0 = off; a non-zero value
  *                   implies the forked trial path)
+ *   SW_MEDIA_POISON max poisoned (uncorrectable) lines injected per
+ *                   crash point (0..8; crash_matrix default 1)
+ *   SW_MEDIA_FLIPS  max in-line bit flips injected per crash point
+ *                   (0..8; crash_matrix default 1)
+ *   SW_MEDIA_DROP   max trailing ADR admissions dropped per crash
+ *                   point — partial drain (0..8; crash_matrix
+ *                   default 2)
+ *   SW_MEDIA_SEED   seed of the media-fault stream (any u64;
+ *                   0x-prefixed hex accepted)
  *   SW_OUT_DIR      directory for JSON result files (default
  *                   bench/out)
  *
@@ -69,6 +78,10 @@ struct EnvConfig
     std::optional<bool> pmosan;
     std::optional<bool> crashFork;
     std::optional<unsigned> fuzzForkBranch;
+    std::optional<unsigned> mediaPoison;
+    std::optional<unsigned> mediaFlips;
+    std::optional<unsigned> mediaDrop;
+    std::optional<std::uint64_t> mediaSeed;
     std::string outDir = "bench/out";
 };
 

@@ -216,6 +216,39 @@ writeCrash(JsonWriter &json, const CellResult &cell)
                   jsonNumber(std::uint64_t(crash.pointsInjected)));
     json.fieldRaw("rolled_back", jsonNumber(crash.totalRolledBack));
     json.fieldRaw("replayed", jsonNumber(crash.totalReplayed));
+    // RecoveryReport surface: what recovery itself concluded at the
+    // injected points, not just whether the oracle agreed.
+    json.fieldRaw("torn_entries_skipped",
+                  jsonNumber(crash.totalTornSkipped));
+    json.fieldRaw("corrupt_quarantined",
+                  jsonNumber(crash.totalCorruptQuarantined));
+    json.fieldRaw("poisoned_quarantined",
+                  jsonNumber(crash.totalPoisonedQuarantined));
+    json.fieldRaw("quarantined_addrs",
+                  jsonNumber(crash.totalQuarantinedAddrs));
+    json.item("verdicts");
+    json.open('{');
+    json.fieldRaw("full", jsonNumber(std::uint64_t(crash.verdictFull)));
+    json.fieldRaw("degraded",
+                  jsonNumber(std::uint64_t(crash.verdictDegraded)));
+    json.fieldRaw("failed",
+                  jsonNumber(std::uint64_t(crash.verdictFailed)));
+    json.close('}');
+    json.item("media");
+    if (!cell.media.any()) {
+        json.out += "null";
+    } else {
+        json.open('{');
+        json.fieldRaw("poison_lines", jsonNumber(std::uint64_t(
+                                          cell.media.poisonLines)));
+        json.fieldRaw("bit_flips",
+                      jsonNumber(std::uint64_t(cell.media.bitFlips)));
+        json.fieldRaw("drop_admissions",
+                      jsonNumber(std::uint64_t(
+                          cell.media.dropAdmissions)));
+        json.fieldRaw("seed", jsonNumber(cell.media.seed));
+        json.close('}');
+    }
     json.item("failures");
     if (crash.failures.empty()) {
         json.out += "[]";
@@ -335,7 +368,7 @@ sweepJson(const SweepResult &result, bool includeHost)
     JsonWriter json;
     json.open('{');
     json.field("bench", result.name);
-    json.fieldRaw("schema", "2");
+    json.fieldRaw("schema", "3");
     json.item("cells");
     if (result.cells.empty()) {
         json.out += "[]";

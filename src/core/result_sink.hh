@@ -4,10 +4,10 @@
  * BENCH_*.json trajectory tooling diff across revisions, plus the
  * generic pivot-table renderer the figure benches print with.
  *
- * JSON schema (version 2), one document per bench at
+ * JSON schema (version 3), one document per bench at
  * <SW_OUT_DIR>/<bench>.json (default bench/out/):
  *
- *   { "bench": "<name>", "schema": 2,
+ *   { "bench": "<name>", "schema": 3,
  *     "cells": [ ... ], "host": { ... } }
  *
  * Each cell carries its coordinates (workload, design, model,
@@ -27,6 +27,12 @@
  * wall_ms is measured host time and therefore NOT deterministic;
  * determinism gates must diff `.cells` (jq) or render with
  * includeHost=false rather than compare whole documents.
+ *
+ * Schema 3 surfaces the RecoveryReport in each crash cell:
+ * torn_entries_skipped, corrupt_quarantined, poisoned_quarantined,
+ * quarantined_addrs, a per-point verdict tally
+ * {full, degraded, failed}, and the cell's media-fault configuration
+ * (null when the fault model is off).
  */
 
 #ifndef CORE_RESULT_SINK_HH
@@ -41,7 +47,7 @@ namespace strand
 {
 
 /**
- * Render @p result as the schema-2 JSON document.
+ * Render @p result as the schema-3 JSON document.
  * @param includeHost emit the (nondeterministic) `host` block; pass
  *        false to get a fully deterministic document for byte
  *        comparisons.

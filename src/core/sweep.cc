@@ -146,6 +146,7 @@ executeCell(const SweepCell &cell, CellResult &result)
         crashCfg.seed = benchCrashSeed(crashCfg.seed);
         crashCfg.logStyle = cell.config.logStyle;
         crashCfg.tornWords = cell.tornWords;
+        crashCfg.media = cell.media;
         crashCfg.experiment = cell.config;
         crashCfg.fork = cell.crashFork;
         crashCfg.verifyMidrunFork = cell.crashVerifyMidrunFork;
@@ -184,6 +185,7 @@ runSweep(const SweepSpec &spec)
         out.key = cell.key();
         out.baseline = cell.baseline;
         out.tornWords = cell.tornWords;
+        out.media = cell.media;
     }
 
     auto runOne = [&](std::size_t i) {

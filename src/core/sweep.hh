@@ -63,6 +63,12 @@ struct SweepCell
     /** Crash cells: torn-line injection (see CrashHarnessConfig). */
     unsigned tornWords = wordsPerLine;
     /**
+     * Crash cells: media-fault injection at every crash point
+     * (poison, bit flips, partial ADR drain — see media_faults.hh).
+     * All-zero (the default) disables the fault model.
+     */
+    MediaFaultConfig media;
+    /**
      * Crash cells: pin the harness mode (forked vs two-run)
      * regardless of SW_CRASH_FORK; unset defers to the knob. Used by
      * the crash_matrix fork-speedup probe cells, which must compare
@@ -130,6 +136,8 @@ struct CellResult
     CrashCellResult crash;
     /** Crash cells: torn-word setting (>= wordsPerLine: whole lines). */
     unsigned tornWords = wordsPerLine;
+    /** Crash cells: the media-fault configuration (any() false: off). */
+    MediaFaultConfig media;
     /** Fuzz cells. */
     FuzzCellResult fuzz;
 

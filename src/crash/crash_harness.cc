@@ -165,13 +165,33 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
             snapshot = machine.clonePersistedTorn(tornAdmitMask(
                 machine.lastAdmissionMask(), config.tornWords));
         }
+        // Media faults strike the frozen snapshot — the moment the
+        // power failed — before the oracle classifies regions, so
+        // the oracle reasons over exactly the state recovery sees.
+        if (config.media.any()) {
+            applyMediaFaults(snapshot, machine.recentAdmissions(),
+                             config.media, ip.layout, when);
+        }
         std::vector<bool> committed =
             oracle.committedRegions(snapshot);
+        RecoveryOptions options;
+        options.verifyChecksums = config.verifyChecksums;
         outcome.report =
-            recovery.recover(snapshot, programThreads, scan);
+            recovery.recover(snapshot, programThreads, scan, options);
 
-        std::string err = oracle.checkRecovered(snapshot, committed);
-        if (err.empty() && recorded.workload) {
+        std::string err;
+        if (outcome.report.verdict == RecoveryVerdict::Failed) {
+            err = "recovery FAILED: metadata area poisoned";
+        } else {
+            err = oracle.checkRecovered(snapshot, committed,
+                                        &outcome.report);
+        }
+        // Structural invariants assume every region was resolved;
+        // a degraded recovery deliberately leaves quarantined
+        // threads' regions unresolved, so only FULL verdicts are
+        // held to them (media off always yields FULL).
+        if (err.empty() && recorded.workload &&
+            outcome.report.verdict == RecoveryVerdict::Full) {
             auto read = [&snapshot](Addr addr) {
                 return snapshot.readPersisted(addr);
             };
@@ -190,6 +210,24 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
         ++result.pointsTested;
         result.totalRolledBack += outcome.report.entriesRolledBack;
         result.totalReplayed += outcome.report.redoEntriesReplayed;
+        result.totalTornSkipped += outcome.report.tornEntriesSkipped;
+        result.totalCorruptQuarantined +=
+            outcome.report.corruptEntriesQuarantined;
+        result.totalPoisonedQuarantined +=
+            outcome.report.poisonedEntriesQuarantined;
+        result.totalQuarantinedAddrs +=
+            outcome.report.quarantinedAddrs.size();
+        switch (outcome.report.verdict) {
+          case RecoveryVerdict::Full:
+            ++result.verdictFull;
+            break;
+          case RecoveryVerdict::Degraded:
+            ++result.verdictDegraded;
+            break;
+          case RecoveryVerdict::Failed:
+            ++result.verdictFailed;
+            break;
+        }
         if (stats) {
             stats->rolledBack.sample(static_cast<double>(
                 outcome.report.entriesRolledBack));
@@ -361,6 +399,21 @@ runCrashCell(const RecordedWorkload &recorded, HwDesign design,
             machine.setLastAdmission(
                 admits.empty() ? MemoryImage::AdmissionUndo{}
                                : admits.back().undo);
+            // Media faults draw partial-drain and content targets
+            // from the admission ring; restore the ring a crash at
+            // this tick would have left so both harness modes pick
+            // identical fault candidates.
+            if (config.media.any()) {
+                AdmissionRing ring;
+                std::size_t start =
+                    admits.size() > MemoryImage::admissionRingDepth
+                        ? admits.size() -
+                              MemoryImage::admissionRingDepth
+                        : 0;
+                for (std::size_t i = start; i < admits.size(); ++i)
+                    ring.push_back(admits[i].undo);
+                machine.setRecentAdmissions(std::move(ring));
+            }
             outcomes.push_back(evaluate(machine, when));
         }
         for (auto it = outcomes.rbegin(); it != outcomes.rend();

@@ -51,6 +51,7 @@
 
 #include "core/experiment.hh"
 #include "crash/crash_oracle.hh"
+#include "crash/media_faults.hh"
 #include "sim/stats.hh"
 
 namespace strand
@@ -94,6 +95,21 @@ struct CrashHarnessConfig
      * Unset defers to SW_CRASH_FORK; the default is two-run mode.
      */
     std::optional<bool> fork;
+    /**
+     * Media-fault injection applied to every crash-point snapshot
+     * (poisoned lines, bit flips, partial ADR drain — see
+     * media_faults.hh). Faults are a pure function of (media.seed,
+     * crash tick), so forked and two-run verdicts stay
+     * bit-identical. All-zero (the default) disables the model and
+     * preserves the historical behavior exactly.
+     */
+    MediaFaultConfig media;
+    /**
+     * Verify log-entry checksums during recovery. Off reproduces
+     * the un-checksummed layout (see RecoveryOptions); the crash
+     * oracle then catches recovery trusting flipped entries.
+     */
+    bool verifyChecksums = true;
     /**
      * In forked mode, additionally take full-machine snapshots at
      * power-of-two admission counts during the warm run, then
@@ -172,6 +188,19 @@ struct CrashCellResult
     std::vector<CrashPointResult> failures;
     std::uint64_t totalRolledBack = 0;
     std::uint64_t totalReplayed = 0;
+    /** Torn entries dropped by the publication gate, all points. */
+    std::uint64_t totalTornSkipped = 0;
+    /** Checksum-failing / structurally impossible entries
+     * quarantined, all points. */
+    std::uint64_t totalCorruptQuarantined = 0;
+    /** Poisoned log lines quarantined, all points. */
+    std::uint64_t totalPoisonedQuarantined = 0;
+    /** Residual unreadable heap words reported, all points. */
+    std::uint64_t totalQuarantinedAddrs = 0;
+    /** Per-point RecoveryVerdict tallies (injected points only). */
+    unsigned verdictFull = 0;
+    unsigned verdictDegraded = 0;
+    unsigned verdictFailed = 0;
     /** Kernel events serviced over both runs (host observability). */
     std::uint64_t hostEvents = 0;
     /** Ops committed over both runs (host observability). */

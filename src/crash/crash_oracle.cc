@@ -74,8 +74,15 @@ CrashOracle::committedRegions(const MemoryImage &snapshot) const
 
 std::string
 CrashOracle::checkRecovered(const MemoryImage &recovered,
-                            const std::vector<bool> &committed) const
+                            const std::vector<bool> &committed,
+                            const RecoveryReport *report) const
 {
+    auto threadQuarantined = [&](CoreId tid) {
+        return report &&
+               std::binary_search(report->quarantinedThreads.begin(),
+                                  report->quarantinedThreads.end(),
+                                  tid);
+    };
     for (const auto &[addr, history] : writes) {
         if (excluded.count(addr))
             continue;
@@ -91,6 +98,25 @@ CrashOracle::checkRecovered(const MemoryImage &recovered,
 
         std::uint64_t actual = recovered.readPersisted(addr);
         if (actual != expected) {
+            // Degraded-but-consistent excusals: recovery explicitly
+            // declared this address unreadable, or a quarantined
+            // thread touched it (its fenced-off log makes the
+            // address's outcome unknowable, not wrong).
+            if (report &&
+                std::binary_search(report->quarantinedAddrs.begin(),
+                                   report->quarantinedAddrs.end(),
+                                   wordAlign(addr))) {
+                continue;
+            }
+            bool touchedByQuarantined = false;
+            for (const WriteRec &write : history) {
+                if (threadQuarantined(regions[write.region].owner)) {
+                    touchedByQuarantined = true;
+                    break;
+                }
+            }
+            if (touchedByQuarantined)
+                continue;
             return sformat(
                 "addr {}: recovered {}, expected {} ({})",
                 addr, actual, expected,

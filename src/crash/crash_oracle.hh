@@ -34,6 +34,7 @@
 
 #include "mem/memory_image.hh"
 #include "runtime/instrumentor.hh"
+#include "runtime/recovery.hh"
 #include "runtime/trace.hh"
 
 namespace strand
@@ -64,11 +65,24 @@ class CrashOracle
     /**
      * Check a recovered image against the expected per-address
      * values implied by @p committed.
+     *
+     * With a RecoveryReport, the oracle distinguishes "degraded but
+     * consistent" from silent corruption: a mismatch is excused iff
+     * recovery explicitly quarantined the address (residual poisoned
+     * heap line) or every value in the address's history comes from
+     * threads recovery quarantined (their logs were fenced off, so
+     * their regions' outcomes are declared unknown rather than
+     * wrong). A FULL verdict quarantines nothing, so recovery
+     * claiming success over corrupted data still fails here — the
+     * teeth behind the checksum regression test.
+     *
      * @return empty string if consistent, else a description of the
      * first violation.
      */
-    std::string checkRecovered(const MemoryImage &recovered,
-                               const std::vector<bool> &committed) const;
+    std::string
+    checkRecovered(const MemoryImage &recovered,
+                   const std::vector<bool> &committed,
+                   const RecoveryReport *report = nullptr) const;
 
     /** Regions known to the oracle (globalSeq order). */
     std::size_t numRegions() const { return regions.size(); }

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Seeded, deterministic media-fault model applied to crash-point
+ * snapshots.
+ *
+ * Crash injection so far assumed a perfect PM device: whatever the
+ * ADR domain admitted, recovery reads back bit for bit. Real devices
+ * fail in three additional ways, modeled here and applied to the
+ * frozen snapshot at crash time:
+ *
+ *  - Partial ADR drain: the ADR buffer holds the last few admitted
+ *    lines; on power failure only K of them land. Modeled by undoing
+ *    the newest admissions from MemoryImage's admission ring.
+ *  - Poisoned lines: an uncorrectable media error marks a whole line
+ *    unreadable. Modeled by MemoryImage::poisonLine(), which also
+ *    scrambles the content so code trusting it fails loudly.
+ *  - Bit flips: silent single-bit corruption inside a line, the
+ *    failure class only the per-entry checksum can catch.
+ *
+ * Faults are a pure function of (seed, crash tick): the forked and
+ * two-run crash harnesses draw identical faults at the same point,
+ * keeping their verdicts bit-identical. The fuzz adversary drives
+ * the same primitives from recorded decisions instead, so ddmin can
+ * shrink a failing fault set to a 1-minimal reproducer.
+ *
+ * Fault targeting is deliberately bounded:
+ *  - only lines of ring admissions are candidates (the blast radius
+ *    of a power failure is the in-flight tail, not cold storage);
+ *  - the metadata area is never targeted, so the sweep exercises
+ *    FULL/DEGRADED salvage rather than trivially FAILED verdicts;
+ *  - bit flips never target an entry's seq word (a flip there is
+ *    indistinguishable from a torn admission, which the publication
+ *    gate already covers) or its valid/commitMarker words (mutable
+ *    commit state is uncheckummable by design — see log_field).
+ */
+
+#ifndef CRASH_MEDIA_FAULTS_HH
+#define CRASH_MEDIA_FAULTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_image.hh"
+#include "runtime/layout.hh"
+
+namespace strand
+{
+
+/** Per-crash-point media-fault intensities (all off by default). */
+struct MediaFaultConfig
+{
+    /** Max poisoned lines per crash point (uniform 0..N draw). */
+    unsigned poisonLines = 0;
+    /** Max in-line bit flips per crash point. */
+    unsigned bitFlips = 0;
+    /** Max trailing ADR admissions dropped per crash point. */
+    unsigned dropAdmissions = 0;
+    /** Seed of the fault stream (remixed with the crash tick). */
+    std::uint64_t seed = 0xed1a;
+
+    bool
+    any() const
+    {
+        return poisonLines || bitFlips || dropAdmissions;
+    }
+};
+
+/** What applyMediaFaults() actually did at one crash point. */
+struct MediaFaultOutcome
+{
+    unsigned dropped = 0;
+    unsigned flipped = 0;
+    unsigned poisoned = 0;
+};
+
+using AdmissionRing = std::vector<MemoryImage::AdmissionUndo>;
+
+/**
+ * Partial-drain primitive: undo the newest not-yet-dropped ring
+ * admission on @p snapshot. @p dropped counts prior drops and is
+ * advanced; empty-mask admissions still consume a ring slot (they
+ * occupied an ADR buffer entry). @return false once the ring is
+ * exhausted.
+ */
+bool mediaDropNewest(MemoryImage &snapshot, const AdmissionRing &ring,
+                     unsigned &dropped);
+
+/**
+ * Bit-flip primitive: flip one bit of one surviving ring admission's
+ * line, all choices derived from @p entropy. Targets only log-entry
+ * lines and only checksummed words (see the file comment).
+ * @return false when no candidate line exists.
+ */
+bool mediaFlipBit(MemoryImage &snapshot, const AdmissionRing &ring,
+                  unsigned dropped, const LogLayout &layout,
+                  std::uint64_t entropy);
+
+/**
+ * Poison primitive: poison one surviving ring admission's line
+ * (log-entry or heap; never metadata), chosen by @p entropy.
+ * @return false when no candidate line exists.
+ */
+bool mediaPoisonLine(MemoryImage &snapshot, const AdmissionRing &ring,
+                     unsigned dropped, const LogLayout &layout,
+                     std::uint64_t entropy);
+
+/**
+ * Seeded applier used by the crash harness: draw fault counts and
+ * entropy from an Rng keyed by (config.seed, @p when) and apply
+ * drops, then flips, then poison. Deterministic per crash point and
+ * identical across harness modes.
+ */
+MediaFaultOutcome applyMediaFaults(MemoryImage &snapshot,
+                                   const AdmissionRing &ring,
+                                   const MediaFaultConfig &config,
+                                   const LogLayout &layout, Tick when);
+
+} // namespace strand
+
+#endif // CRASH_MEDIA_FAULTS_HH

@@ -10,6 +10,7 @@ DrainAdversary::recording(const AdversaryParams &params)
     adv.record = true;
     adv.params = params;
     adv.rng = Rng(params.seed);
+    adv.mediaRng = Rng(params.seed ^ 0x3ed1a5eedULL);
     return adv;
 }
 
@@ -53,6 +54,26 @@ DrainAdversary::consider(EventQueue &eq, FuzzSite site, CoreId core,
     if (queryHook)
         queryHook(totalQueries);
     return delay;
+}
+
+std::optional<std::uint64_t>
+DrainAdversary::considerMedia(FuzzSite site, CoreId core)
+{
+    std::uint64_t query =
+        counters[{static_cast<unsigned>(site), core}]++;
+    if (record) {
+        if (decisions.size() >= params.maxDecisions ||
+            !mediaRng.chance(params.mediaChance)) {
+            return std::nullopt;
+        }
+        std::uint64_t entropy = mediaRng.next();
+        decisions.push_back({site, core, query, entropy});
+        return entropy;
+    }
+    auto it = plan.find({static_cast<unsigned>(site), core, query});
+    if (it == plan.end())
+        return std::nullopt;
+    return it->second;
 }
 
 } // namespace strand

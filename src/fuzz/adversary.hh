@@ -50,6 +50,8 @@ struct AdversaryParams
     Tick maxDelay = nsToTicks(3000);
     /** Stop perturbing (allow everything) after this many holds. */
     std::size_t maxDecisions = 4096;
+    /** Probability a considerMedia() opportunity fires its fault. */
+    double mediaChance = 0.15;
 };
 
 /**
@@ -80,6 +82,20 @@ class DrainAdversary
      */
     Tick consider(EventQueue &eq, FuzzSite site, CoreId core,
                   const std::function<void()> &retry);
+
+    /**
+     * Consult the adversary at a media-fault opportunity (@p site
+     * must be one of the Media* sites). @return the fault's entropy
+     * word when it should fire, nullopt to skip. Recording mode draws
+     * the fire/skip choice and the entropy from a dedicated media
+     * Rng (so the schedule stream is untouched by media fuzzing) and
+     * logs fired faults with the entropy in the delay field; replay
+     * fires exactly the logged queries. Media queries do not count
+     * toward queriesSeen() and never invoke the query hook — they are
+     * crash-time events, not schedule points.
+     */
+    std::optional<std::uint64_t> considerMedia(FuzzSite site,
+                                               CoreId core = 0);
 
     /** Decisions recorded (recording mode) or applied (replay). */
     const DecisionLog &log() const { return decisions; }
@@ -115,6 +131,7 @@ class DrainAdversary
     struct State
     {
         std::array<std::uint64_t, 4> rng{};
+        std::array<std::uint64_t, 4> mediaRng{};
         DecisionLog decisions;
         std::uint64_t totalQueries = 0;
         std::map<std::pair<unsigned, CoreId>, std::uint64_t> counters;
@@ -123,13 +140,15 @@ class DrainAdversary
     State
     snapshotState() const
     {
-        return {rng.saveState(), decisions, totalQueries, counters};
+        return {rng.saveState(), mediaRng.saveState(), decisions,
+                totalQueries, counters};
     }
 
     void
     restoreState(const State &s)
     {
         rng.restoreState(s.rng);
+        mediaRng.restoreState(s.mediaRng);
         decisions = s.decisions;
         totalQueries = s.totalQueries;
         counters = s.counters;
@@ -141,6 +160,8 @@ class DrainAdversary
     bool record = false;
     AdversaryParams params;
     Rng rng{0};
+    /** Media-fault stream, independent of the schedule stream. */
+    Rng mediaRng{0};
     DecisionLog decisions;
     std::uint64_t totalQueries = 0;
     /** Next query number per (site, core). */

@@ -18,6 +18,12 @@ fuzzSiteName(FuzzSite site)
         return "sbu-issue";
       case FuzzSite::Writeback:
         return "writeback";
+      case FuzzSite::MediaPoison:
+        return "media-poison";
+      case FuzzSite::MediaFlip:
+        return "media-flip";
+      case FuzzSite::MediaDrop:
+        return "media-drop";
     }
     return "?";
 }

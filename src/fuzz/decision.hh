@@ -27,16 +27,27 @@
 namespace strand
 {
 
-/** The schedule points the adversary may perturb. */
+/**
+ * The schedule points the adversary may perturb, plus the media-fault
+ * decision sites it may fire at crash-injection points. Media sites
+ * reuse the decision-log machinery — one logged decision means "apply
+ * this fault at the query-th opportunity", the delay field carries
+ * the fault's entropy instead of a hold duration, and removing a
+ * decision merely skips that fault — so ddmin shrinks fault sets
+ * exactly like schedules.
+ */
 enum class FuzzSite : std::uint8_t
 {
     IntelIssue,  ///< IntelEngine: CLWB issue within an epoch.
     StrandIssue, ///< StrandEngine: persist-queue head issue to the SBU.
     SbuIssue,    ///< StrandBufferUnit: CLWB flush issue from a buffer.
     Writeback,   ///< Hierarchy: draining an eligible L1 write-back.
+    MediaPoison, ///< Crash point: poison one in-flight line.
+    MediaFlip,   ///< Crash point: flip one bit of a log-entry line.
+    MediaDrop,   ///< Crash point: drop the newest ADR admission.
 };
 
-inline constexpr unsigned numFuzzSites = 4;
+inline constexpr unsigned numFuzzSites = 7;
 
 const char *fuzzSiteName(FuzzSite site);
 

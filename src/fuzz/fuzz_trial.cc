@@ -154,12 +154,56 @@ runWithInjection(const FuzzTrialContext &ctx, DrainAdversary &adv,
             }
             snapshot = sys->memory().clonePersistedTorn(admit);
         }
+        // Media faults strike the frozen snapshot before the oracle
+        // computes committed regions, so the oracle reasons over
+        // exactly the image recovery sees. Each fault class asks the
+        // adversary per opportunity; fired decisions carry their
+        // entropy in the log, so replay and ddmin apply them exactly.
+        if (ctx.spec.media.any()) {
+            const AdmissionRing ring =
+                sys->memory().recentAdmissions();
+            unsigned dropped = 0;
+            for (unsigned i = 0;
+                 i < ctx.spec.media.dropAdmissions; ++i) {
+                if (!adv.considerMedia(FuzzSite::MediaDrop))
+                    continue;
+                if (!mediaDropNewest(snapshot, ring, dropped))
+                    break;
+            }
+            for (unsigned i = 0; i < ctx.spec.media.bitFlips; ++i) {
+                if (auto entropy =
+                        adv.considerMedia(FuzzSite::MediaFlip)) {
+                    mediaFlipBit(snapshot, ring, dropped,
+                                 rig.ip.layout, *entropy);
+                }
+            }
+            for (unsigned i = 0; i < ctx.spec.media.poisonLines;
+                 ++i) {
+                if (auto entropy =
+                        adv.considerMedia(FuzzSite::MediaPoison)) {
+                    mediaPoisonLine(snapshot, ring, dropped,
+                                    rig.ip.layout, *entropy);
+                }
+            }
+        }
         std::vector<bool> committed =
             rig.oracle.committedRegions(snapshot);
-        recovery.recover(snapshot, programThreads, scan);
+        RecoveryOptions ropts;
+        ropts.verifyChecksums = ctx.spec.verifyChecksums;
+        RecoveryReport report =
+            recovery.recover(snapshot, programThreads, scan, ropts);
 
-        std::string err = rig.oracle.checkRecovered(snapshot, committed);
-        if (err.empty() && ctx.recorded.workload) {
+        std::string err;
+        if (report.verdict == RecoveryVerdict::Failed)
+            err = "recovery FAILED: metadata area poisoned";
+        else
+            err = rig.oracle.checkRecovered(snapshot, committed,
+                                            &report);
+        // Structural invariants only bind un-degraded recoveries: a
+        // quarantined region legitimately leaves the structure
+        // partial ("degraded but consistent").
+        if (err.empty() && report.verdict == RecoveryVerdict::Full &&
+            ctx.recorded.workload) {
             auto read = [&snapshot](Addr addr) {
                 return snapshot.readPersisted(addr);
             };
@@ -346,9 +390,12 @@ runFuzzTrial(const FuzzTrialSpec &spec)
     // non-zero branch count implies the forked trial path.
     const unsigned forkBranches = spec.forkBranches.value_or(
         envConfig().fuzzForkBranch.value_or(0));
+    // Media fuzzing also implies it: the classic recording run has no
+    // injection attached, so media opportunities would never be seen
+    // (and never logged) outside the forked path.
     const bool forked =
         spec.fork.value_or(envConfig().crashFork.value_or(false)) ||
-        forkBranches > 0;
+        forkBranches > 0 || spec.media.any();
     if (forked) {
         // Forked fast path: ONE recording run with injection
         // attached. The injection observers are pure (they clone the

@@ -30,6 +30,7 @@
 #include <optional>
 
 #include "core/experiment.hh"
+#include "crash/media_faults.hh"
 #include "fuzz/adversary.hh"
 
 namespace strand
@@ -68,6 +69,24 @@ struct FuzzTrialSpec
      * Unset defers to SW_CRASH_FORK.
      */
     std::optional<bool> fork;
+    /**
+     * Media-fault fuzzing: per-crash-point maxima for the three
+     * fault classes. Unlike the crash harness's seeded applier, the
+     * fuzzer decides each fault opportunity through the adversary's
+     * decision log (sites media-poison / media-flip / media-drop), so
+     * fault sets shrink with ddmin like schedules. config.seed is
+     * unused here — entropy rides in the decisions. Any non-zero
+     * class forces the forked trial path: the classic recording run
+     * has no injection attached, so it would never see (and thus
+     * never log) a media opportunity.
+     */
+    MediaFaultConfig media;
+    /**
+     * Verify per-entry checksums during recovery. Off replays the
+     * pre-checksum layout's behavior — the regression mode proving
+     * silent corruption slips through unchecksummed recovery.
+     */
+    bool verifyChecksums = true;
     /**
      * Forked schedule branching (needs fork): snapshot the whole
      * machine at adversary decision sites during the recording run,

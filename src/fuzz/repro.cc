@@ -84,6 +84,19 @@ serializeRepro(const FuzzRepro &repro)
                   repro.spec.seed);
     out << buf;
     out << "tornwords " << repro.tornWords << "\n";
+    // Media keys appear only for media-fuzzed trials, keeping the
+    // stable key set for ordinary reproducers. The class maxima are
+    // part of the trial identity: they fix how many media queries
+    // each injection makes, which the decision log's query numbers
+    // depend on.
+    if (repro.spec.media.any()) {
+        out << "mediapoison " << repro.spec.media.poisonLines << "\n";
+        out << "mediaflips " << repro.spec.media.bitFlips << "\n";
+        out << "mediadrop " << repro.spec.media.dropAdmissions
+            << "\n";
+    }
+    if (!repro.spec.verifyChecksums)
+        out << "checksums 0\n";
     out << "decisions\n";
     out << serializeDecisions(repro.decisions);
     return out.str();
@@ -164,6 +177,17 @@ parseRepro(const std::string &text, std::string *error)
         } else if (key == "tornwords") {
             repro.tornWords =
                 static_cast<unsigned>(std::stoul(value));
+        } else if (key == "mediapoison") {
+            repro.spec.media.poisonLines =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (key == "mediaflips") {
+            repro.spec.media.bitFlips =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (key == "mediadrop") {
+            repro.spec.media.dropAdmissions =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (key == "checksums") {
+            repro.spec.verifyChecksums = value != "0";
         } else {
             return fail("line " + std::to_string(lineNo) +
                         ": unknown key '" + key + "'");

@@ -17,7 +17,9 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/address_map.hh"
 #include "sim/logging.hh"
@@ -269,8 +271,10 @@ class MemoryImage
         lastAdmission.lineAddr = data.lineAddr;
         lastAdmission.writtenMask = data.validMask;
         lastAdmission.prevValidMask = 0;
-        if (data.validMask == 0)
+        if (data.validMask == 0) {
+            pushAdmission(lastAdmission);
             return;
+        }
         WordStore::Page &page = persisted.touchPage(data.lineAddr);
         unsigned base = WordStore::slotOf(data.lineAddr);
         for (unsigned i = 0; i < wordsPerLine; ++i) {
@@ -283,6 +287,7 @@ class MemoryImage
             }
             persisted.setSlot(page, base + i, data.words[i]);
         }
+        pushAdmission(lastAdmission);
     }
 
     /**
@@ -296,6 +301,13 @@ class MemoryImage
     {
         arch.set(wordAlign(addr), value);
         persisted.set(wordAlign(addr), value);
+        // Poison is deliberately NOT cleared here: it marks the whole
+        // line's ECC block uncorrectable, and a single-word overwrite
+        // leaves the line's other words scrambled. Clearing on partial
+        // writes would let rollback "repair" one word of a poisoned
+        // line and silently expose the rest — the exact corruption
+        // class recovery must quarantine instead (its residual-poison
+        // pass fences every still-poisoned line).
     }
 
     /** @return the persisted value of the word at @p addr. */
@@ -424,6 +436,93 @@ class MemoryImage
     }
 
     /**
+     * Media-fault model: how many trailing ADR admissions the image
+     * remembers for partial-drain injection. Matches the depth a
+     * small ADR buffer could lose on power failure; the fault model
+     * never reaches further back than this.
+     */
+    static constexpr std::size_t admissionRingDepth = 8;
+
+    /**
+     * The last admissionRingDepth ADR admissions, oldest first.
+     * Includes empty-mask admissions so the ring lines up one-to-one
+     * with the forked harness's admission callback stream (required
+     * for fork/two-run fault parity).
+     */
+    const std::vector<AdmissionUndo> &
+    recentAdmissions() const
+    {
+        return admissionRing;
+    }
+
+    /**
+     * Replace the remembered admission ring. The forked crash
+     * harness rewinds a final image admission by admission and must
+     * restore the ring a mid-run crash point would have seen, so
+     * partial-drain faults pick from the same candidates in both
+     * harness modes.
+     */
+    void
+    setRecentAdmissions(std::vector<AdmissionUndo> ring)
+    {
+        admissionRing = std::move(ring);
+        while (admissionRing.size() > admissionRingDepth)
+            admissionRing.erase(admissionRing.begin());
+    }
+
+    /**
+     * Media fault: mark the line holding @p addr as poisoned
+     * (uncorrectable media error) and deterministically scramble its
+     * occupied persisted words. Reads of a poisoned line fault on
+     * real hardware; the scramble guarantees that any code path that
+     * *trusts* poisoned content instead of quarantining it produces
+     * observably wrong values rather than silently correct ones.
+     */
+    void
+    poisonLine(Addr addr)
+    {
+        Addr line = lineAlign(addr);
+        poisoned.insert(line);
+        for (unsigned i = 0; i < wordsPerLine; ++i) {
+            Addr wa = line + i * wordBytes;
+            if (persisted.contains(wa)) {
+                std::uint64_t junk = 0xbadbadbadbad0000ULL ^ wa;
+                persisted.set(wa, junk);
+                arch.set(wa, junk);
+            }
+        }
+    }
+
+    /** @return true when @p addr's line is poisoned and unrepaired. */
+    bool
+    isPoisoned(Addr addr) const
+    {
+        return poisoned.count(lineAlign(addr)) != 0;
+    }
+
+    /** Poisoned, not-yet-repaired line addresses, ascending. */
+    const std::set<Addr> &
+    poisonedLines() const
+    {
+        return poisoned;
+    }
+
+    /**
+     * Media fault: flip bits of one persisted word in place (silent
+     * corruption — no poison flag, no trace). Both views change so a
+     * post-crash reader sees the flipped value everywhere; a word
+     * never written before simply becomes occupied holding the mask.
+     */
+    void
+    corruptWord(Addr addr, std::uint64_t xorMask)
+    {
+        Addr wa = wordAlign(addr);
+        std::uint64_t value = persisted.get(wa) ^ xorMask;
+        persisted.set(wa, value);
+        arch.set(wa, value);
+    }
+
+    /**
      * @return the persisted-view page holding @p addr, or nullptr if
      * no word of that page ever persisted. Page-granular access for
      * scans that would otherwise pay a hash probe per word (the
@@ -449,9 +548,22 @@ class MemoryImage
     std::size_t persistedWords() const { return persisted.size(); }
 
   private:
+    void
+    pushAdmission(const AdmissionUndo &undo)
+    {
+        if (admissionRing.size() >= admissionRingDepth)
+            admissionRing.erase(admissionRing.begin());
+        admissionRing.push_back(undo);
+    }
+
     WordStore arch;
     WordStore persisted;
     AdmissionUndo lastAdmission;
+    /** Trailing admissions, oldest first (partial-drain faults). */
+    std::vector<AdmissionUndo> admissionRing;
+    /** Poisoned (uncorrectable) line addresses; ordered for
+     * deterministic iteration by recovery's quarantine pre-pass. */
+    std::set<Addr> poisoned;
 };
 
 } // namespace strand

@@ -106,7 +106,13 @@ Instrumentor::emitLogEntry(OpStream &out, ThreadState &state, CoreId tid,
                             static_cast<std::uint64_t>(type)));
     push(out, Op::store(base + log_field::addr, addr));
     push(out, Op::store(base + log_field::value, value));
-    push(out, Op::store(base + log_field::size, wordBytes));
+    // Integrity checksum over the immutable words; recovery verifies
+    // it on published entries to catch media bit flips (commit and
+    // invalidation touch only the uncovered valid/commitMarker words,
+    // so the checksum stays true for the entry's whole lifetime).
+    push(out, Op::store(base + log_field::checksum,
+                        entryChecksum(static_cast<std::uint64_t>(type),
+                                      addr, value, globalSeq, idx)));
     push(out, Op::store(base + log_field::commitMarker, 0));
     // The entry sequence distinguishes live entries from stale laps.
     push(out, Op::store(base + log_field::seq, idx));

@@ -10,8 +10,11 @@
  *  - the persistent heap used by workload data structures.
  *
  * Log entries occupy one cache line with one 8-byte word per field:
- * Type, Addr, Value, Size, Valid, CommitMarker (the paper's entry
- * format). The tail pointer lives only in volatile state.
+ * Type, Addr, Value, Checksum, Valid, CommitMarker (the paper's entry
+ * format, with the Size word repurposed as an integrity checksum —
+ * every entry is exactly one 8-byte word of payload, so the field
+ * carried no information). The tail pointer lives only in volatile
+ * state.
  */
 
 #ifndef RUNTIME_LAYOUT_HH
@@ -44,7 +47,16 @@ namespace log_field
 constexpr Addr type = 0;
 constexpr Addr addr = 8;
 constexpr Addr value = 16;
-constexpr Addr size = 24;
+/**
+ * Integrity checksum over the entry's immutable words (type, addr,
+ * value, globalSeq, seq) — see entryChecksum(). valid and
+ * commitMarker are deliberately NOT covered: both are flipped
+ * in place by single-word stores after publication (commit,
+ * invalidation), and folding them in would require a read-modify-
+ * write of the checksum word alongside — destroying the single-store
+ * crash atomicity those transitions rely on.
+ */
+constexpr Addr checksum = 24;
 constexpr Addr valid = 32;
 constexpr Addr commitMarker = 40;
 /** Global creation order (scalar clock, consistent with
@@ -65,6 +77,45 @@ constexpr Addr globalSeq = 48;
  */
 constexpr Addr seq = 56;
 } // namespace log_field
+
+/** One fold step of the entry checksum: xor, then a 64-bit mix. */
+constexpr std::uint64_t
+mixChecksumWord(std::uint64_t hash, std::uint64_t word)
+{
+    hash ^= word;
+    hash *= 0xff51afd7ed558ccdULL;
+    hash ^= hash >> 33;
+    return hash;
+}
+
+/**
+ * Checksum over a log entry's immutable words, stored in the entry's
+ * Checksum field at publication and verified by recovery. A media
+ * bit flip in any covered word (or in the checksum itself) breaks
+ * the equation and the entry is quarantined instead of trusted.
+ *
+ * Plain tears never reach this check: the seq word is admitted last
+ * (prefix tearing, see log_field::seq), so a torn entry already
+ * fails the seq<->slot publication gate. A checksum mismatch on a
+ * gate-passing entry is therefore evidence of media corruption, not
+ * of an interrupted write.
+ *
+ * The init constant is nonzero so an all-zero entry does not
+ * checksum to its own (zero) checksum word.
+ */
+constexpr std::uint64_t
+entryChecksum(std::uint64_t type, std::uint64_t addr,
+              std::uint64_t value, std::uint64_t globalSeq,
+              std::uint64_t seq)
+{
+    std::uint64_t hash = 0x5ca1ab1e0ddba11ULL;
+    hash = mixChecksumWord(hash, type);
+    hash = mixChecksumWord(hash, addr);
+    hash = mixChecksumWord(hash, value);
+    hash = mixChecksumWord(hash, globalSeq);
+    hash = mixChecksumWord(hash, seq);
+    return hash;
+}
 
 /** Geometry of the per-thread logs and the heap. */
 struct LogLayout
@@ -120,6 +171,42 @@ struct LogLayout
     }
 
     Addr heapEnd() const { return pmBase + pmSize; }
+
+    /**
+     * Media-fault region classification: the metadata area (head
+     * pointers + commit frontier) is the single point whose loss
+     * recovery cannot degrade around, so a poisoned line here means
+     * a FAILED verdict.
+     */
+    bool
+    isMetadataLine(Addr lineAddr) const
+    {
+        return lineAddr >= pmBase &&
+               lineAddr < frontierAddr() + lineBytes;
+    }
+
+    /** @return true when @p lineAddr falls in a per-thread log. */
+    bool
+    isLogLine(Addr lineAddr) const
+    {
+        return lineAddr >= pmBase + 0x10000 && lineAddr < heapBase();
+    }
+
+    bool
+    isHeapLine(Addr lineAddr) const
+    {
+        return lineAddr >= heapBase() && lineAddr < heapEnd();
+    }
+
+    /** Owning thread of a log-region line (isLogLine() required). */
+    CoreId
+    logThreadOf(Addr lineAddr) const
+    {
+        panicIf(!isLogLine(lineAddr),
+                "address {:#x} is not in a log region", lineAddr);
+        return static_cast<CoreId>((lineAddr - (pmBase + 0x10000)) /
+                                   (entriesPerThread * lineBytes));
+    }
 
   private:
     void

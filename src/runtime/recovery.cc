@@ -5,6 +5,20 @@
 namespace strand
 {
 
+const char *
+recoveryVerdictName(RecoveryVerdict verdict)
+{
+    switch (verdict) {
+      case RecoveryVerdict::Full:
+        return "FULL";
+      case RecoveryVerdict::Degraded:
+        return "DEGRADED";
+      case RecoveryVerdict::Failed:
+        return "FAILED";
+    }
+    return "?";
+}
+
 RecoveryManager::EntryView
 RecoveryManager::readEntry(const MemoryImage &image, CoreId tid,
                            std::uint64_t slot) const
@@ -16,12 +30,22 @@ RecoveryManager::readEntry(const MemoryImage &image, CoreId tid,
         image.readPersisted(base + log_field::type));
     view.addr = image.readPersisted(base + log_field::addr);
     view.value = image.readPersisted(base + log_field::value);
+    view.checksum = image.readPersisted(base + log_field::checksum);
     view.valid = image.readPersisted(base + log_field::valid) != 0;
     view.commitMarker =
         image.readPersisted(base + log_field::commitMarker) != 0;
     view.globalSeq = image.readPersisted(base + log_field::globalSeq);
     view.slot = slot;
     view.tid = tid;
+    // A Free type with any nonzero sibling word is impossible both
+    // for fresh slots (all-zero background) and for tears (the type
+    // word is admitted first, and a used slot's type never returns
+    // to Free — invalidation clears only the valid word).
+    view.freeAnomaly =
+        view.type == LogType::Free &&
+        ((view.seq | view.addr | view.value | view.checksum |
+          view.globalSeq) != 0 ||
+         view.valid || view.commitMarker);
     return view;
 }
 
@@ -58,16 +82,26 @@ RecoveryManager::gatherPaged(
             EntryView view;
             view.type = static_cast<LogType>(
                 words[log_field::type / wordBytes]);
-            if (view.type == LogType::Free)
-                continue;
             view.seq = words[log_field::seq / wordBytes];
             view.addr = words[log_field::addr / wordBytes];
             view.value = words[log_field::value / wordBytes];
+            view.checksum = words[log_field::checksum / wordBytes];
             view.valid = words[log_field::valid / wordBytes] != 0;
             view.commitMarker =
                 words[log_field::commitMarker / wordBytes] != 0;
             view.globalSeq =
                 words[log_field::globalSeq / wordBytes];
+            if (view.type == LogType::Free) {
+                // All-zero is a genuinely never-used slot; anything
+                // else is the free-slot anomaly (see readEntry) and
+                // must reach consider() like any other damage.
+                if ((view.seq | view.addr | view.value |
+                     view.checksum | view.globalSeq) == 0 &&
+                    !view.valid && !view.commitMarker) {
+                    continue;
+                }
+                view.freeAnomaly = true;
+            }
             view.slot = slot;
             view.tid = tid;
             consider(view);
@@ -77,21 +111,55 @@ RecoveryManager::gatherPaged(
 
 RecoveryReport
 RecoveryManager::recover(MemoryImage &image, unsigned numThreads,
-                         RecoveryScan scan) const
+                         RecoveryScan scan,
+                         const RecoveryOptions &options) const
 {
     RecoveryReport report;
     std::vector<EntryView> allLive;
+
+    // Media-fault pre-pass: classify every poisoned line before any
+    // interpretation. The metadata area is unrecoverable (head
+    // pointers and the commit frontier have no redundancy), poisoned
+    // log lines quarantine their owning thread, and poisoned heap
+    // lines are fenced off after rollback.
+    std::vector<bool> threadQuarantined(numThreads, false);
+    for (Addr line : image.poisonedLines()) {
+        if (layout.isMetadataLine(line)) {
+            report.verdict = RecoveryVerdict::Failed;
+            return report;
+        }
+        if (layout.isLogLine(line)) {
+            ++report.poisonedEntriesQuarantined;
+            CoreId tid = layout.logThreadOf(line);
+            if (tid < numThreads)
+                threadQuarantined[tid] = true;
+        }
+    }
+
     std::uint64_t frontier =
         image.readPersisted(layout.frontierAddr());
 
     for (CoreId tid = 0; tid < numThreads; ++tid) {
+        if (threadQuarantined[tid]) {
+            report.quarantinedThreads.push_back(tid);
+            continue;
+        }
         std::uint64_t head =
             image.readPersisted(layout.headPtrAddr(tid));
 
         // Gather live entries: one pass over the whole buffer.
         std::vector<EntryView> live;
         std::uint64_t committedUpTo = 0; // seq+1 of CM entry, if any
+        bool corrupt = false;
         auto consider = [&](const EntryView &entry) {
+            // Structurally impossible Free slot: media corruption
+            // regardless of checksum verification (no tear produces
+            // it — the type word is admitted first).
+            if (entry.freeAnomaly) {
+                ++report.corruptEntriesQuarantined;
+                corrupt = true;
+                return;
+            }
             // Stale lap content: ignore.
             if (entry.seq < head)
                 return;
@@ -107,6 +175,20 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads,
                 ++report.tornEntriesSkipped;
                 return;
             }
+            // Publication gates passed: the entry fully persisted,
+            // so a checksum mismatch is media corruption, not an
+            // interrupted write. Quarantine the thread — a corrupt
+            // undo value must not be rolled back into the heap.
+            if (options.verifyChecksums &&
+                entry.checksum !=
+                    entryChecksum(
+                        static_cast<std::uint64_t>(entry.type),
+                        entry.addr, entry.value, entry.globalSeq,
+                        entry.seq)) {
+                ++report.corruptEntriesQuarantined;
+                corrupt = true;
+                return;
+            }
             if (entry.commitMarker && entry.seq + 1 > committedUpTo)
                 committedUpTo = entry.seq + 1;
             if (entry.valid)
@@ -117,11 +199,20 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads,
             for (std::uint64_t slot = 0;
                  slot < layout.entriesPerThread; ++slot) {
                 EntryView entry = readEntry(image, tid, slot);
-                if (entry.type != LogType::Free)
+                if (entry.type != LogType::Free || entry.freeAnomaly)
                     consider(entry);
             }
         } else {
             gatherPaged(image, tid, consider);
+        }
+
+        // Detected damage fences off the whole thread: its log
+        // cannot be trusted, so neither commit completion nor
+        // rollback runs. The thread's region survives as the crash
+        // left it — degraded, but never silently wrong.
+        if (corrupt) {
+            report.quarantinedThreads.push_back(tid);
+            continue;
         }
 
         // Step 2 (Figure 6(b)): a crash during commit left a marker;
@@ -221,6 +312,23 @@ RecoveryManager::recover(MemoryImage &image, unsigned numThreads,
         Addr base = layout.entryAddr(entry.tid, entry.slot);
         image.writeDurable(base + log_field::valid, 0);
     }
+
+    // Poisoned heap lines stay unreadable — a partial rollback
+    // rewrite repairs single words but not the line's ECC block —
+    // so hand their word addresses to the caller as quarantined.
+    for (Addr line : image.poisonedLines()) {
+        if (!layout.isHeapLine(line))
+            continue;
+        for (unsigned i = 0; i < wordsPerLine; ++i)
+            report.quarantinedAddrs.push_back(line + i * wordBytes);
+    }
+
+    report.verdict = (report.corruptEntriesQuarantined ||
+                      report.poisonedEntriesQuarantined ||
+                      !report.quarantinedThreads.empty() ||
+                      !report.quarantinedAddrs.empty())
+                         ? RecoveryVerdict::Degraded
+                         : RecoveryVerdict::Full;
     return report;
 }
 

@@ -17,6 +17,14 @@
  * Entries store their monotonic sequence number, so stale content
  * from previous laps around the circular buffer (seq < head) is
  * ignored regardless of its valid bit.
+ *
+ * Under the media-fault model recovery additionally degrades
+ * gracefully: entries whose checksum fails (bit flips), structurally
+ * impossible Free slots, and poisoned log lines quarantine the owning
+ * thread instead of being trusted or panicking; residual poisoned
+ * heap lines are reported as unreadable addresses. The
+ * RecoveryReport verdict (FULL / DEGRADED / FAILED) tells the caller
+ * which guarantee survives.
  */
 
 #ifndef RUNTIME_RECOVERY_HH
@@ -31,6 +39,43 @@
 
 namespace strand
 {
+
+/**
+ * Overall recovery outcome under the media-fault model.
+ *
+ * Recovery degrades gracefully instead of panicking: damage it can
+ * detect and fence off (checksum-failing entries, poisoned log
+ * lines, unrepaired poisoned heap lines) quarantines the affected
+ * thread or address range and yields Degraded; only loss of the
+ * metadata area — the one structure recovery cannot reconstruct or
+ * route around — yields Failed.
+ */
+enum class RecoveryVerdict
+{
+    /** No damage detected; every log entry was trusted. */
+    Full,
+    /** Damage detected and quarantined; the surviving state is
+     * consistent outside the quarantined threads/addresses. */
+    Degraded,
+    /** The metadata area (head pointers / commit frontier) was
+     * poisoned; recovery has no trustworthy starting point. */
+    Failed,
+};
+
+const char *recoveryVerdictName(RecoveryVerdict verdict);
+
+/** Caller-selectable recovery behavior. */
+struct RecoveryOptions
+{
+    /**
+     * Verify each published entry's checksum word and quarantine
+     * mismatches. Off reproduces the un-checksummed layout's
+     * failure mode — recovery trusting silently corrupted entries
+     * and "succeeding" over wrong data (pinned as a regression
+     * test; the crash oracle catches the resulting bad rollbacks).
+     */
+    bool verifyChecksums = true;
+};
 
 /** Outcome of one recovery pass. */
 struct RecoveryReport
@@ -55,6 +100,33 @@ struct RecoveryReport
      * either, making the drop safe.
      */
     std::uint64_t tornEntriesSkipped = 0;
+
+    /** Media-fault verdict; Full whenever no damage was detected. */
+    RecoveryVerdict verdict = RecoveryVerdict::Full;
+    /**
+     * Published entries quarantined for failing their checksum, plus
+     * structurally impossible slots (type reads Free while sibling
+     * words are nonzero — a state no tear can produce, since the
+     * type word is admitted first under prefix tearing).
+     */
+    std::uint64_t corruptEntriesQuarantined = 0;
+    /** Poisoned log-region lines (each holds one entry). */
+    std::uint64_t poisonedEntriesQuarantined = 0;
+    /**
+     * Threads whose logs held quarantined damage, ascending. Their
+     * entries are not trusted at all: no commit completion and no
+     * rollback — the thread's uncommitted region survives in
+     * whatever state the crash left, fenced off rather than half
+     * rolled back from corrupt undo values.
+     */
+    std::vector<CoreId> quarantinedThreads;
+    /**
+     * Word addresses on poisoned heap lines, ascending. Poison is
+     * sticky — rollback's single-word rewrites cannot repair a
+     * line's ECC block — so every poisoned heap line is fenced off
+     * here. Reads of these fault on real hardware.
+     */
+    std::vector<Addr> quarantinedAddrs;
 
     /** Rolled-back (addr, restoredValue) pairs, for diagnostics. */
     std::vector<std::pair<Addr, std::uint64_t>> rollbacks;
@@ -101,8 +173,8 @@ class RecoveryManager
      * view; writes restored values durably.
      */
     RecoveryReport recover(MemoryImage &image, unsigned numThreads,
-                           RecoveryScan scan =
-                               RecoveryScan::Faithful) const;
+                           RecoveryScan scan = RecoveryScan::Faithful,
+                           const RecoveryOptions &options = {}) const;
 
   private:
     struct EntryView
@@ -117,8 +189,13 @@ class RecoveryManager
         LogType type;
         Addr addr;
         std::uint64_t value;
+        /** The stored checksum word (not yet verified). */
+        std::uint64_t checksum;
         bool valid;
         bool commitMarker;
+        /** Type reads Free but sibling words are nonzero: media
+         * corruption, never a tear (type is admitted first). */
+        bool freeAnomaly = false;
     };
 
     EntryView readEntry(const MemoryImage &image, CoreId tid,

@@ -43,7 +43,30 @@ TEST(EnvConfig, UnsetKnobsLeaveDefaults)
     EXPECT_FALSE(config.fuzzSeed.has_value());
     EXPECT_FALSE(config.pmosan.has_value());
     EXPECT_FALSE(config.crashFork.has_value());
+    EXPECT_FALSE(config.mediaPoison.has_value());
+    EXPECT_FALSE(config.mediaFlips.has_value());
+    EXPECT_FALSE(config.mediaDrop.has_value());
+    EXPECT_FALSE(config.mediaSeed.has_value());
     EXPECT_EQ(config.outDir, "bench/out");
+}
+
+TEST(EnvConfig, MediaKnobsParseAndRangeCheck)
+{
+    EnvConfig config = parse({{"SW_MEDIA_POISON", "2"},
+                              {"SW_MEDIA_FLIPS", "0"},
+                              {"SW_MEDIA_DROP", "8"},
+                              {"SW_MEDIA_SEED", "0xed1a"}});
+    EXPECT_EQ(config.mediaPoison, 2u);
+    EXPECT_EQ(config.mediaFlips, 0u); // 0 is valid: class disabled
+    EXPECT_EQ(config.mediaDrop, 8u);  // ring depth is the ceiling
+    EXPECT_EQ(config.mediaSeed, 0xed1au);
+    // Counts beyond the admission-ring depth are meaningless.
+    EXPECT_THROW(parse({{"SW_MEDIA_POISON", "9"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_MEDIA_DROP", "-1"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_MEDIA_SEED", "0xzz"}}),
+                 std::invalid_argument);
 }
 
 TEST(EnvConfig, PmosanParsesAsBool)
@@ -91,7 +114,9 @@ TEST(EnvConfig, KnobRegistryCoversEveryKnob)
         "SW_OPS",         "SW_THREADS",   "SW_CRASH_POINTS",
         "SW_JOBS",        "SW_TORN_WORDS", "SW_CRASH_SEED",
         "SW_FUZZ_TRIALS", "SW_FUZZ_SEED", "SW_PMOSAN",
-        "SW_CRASH_FORK",  "SW_FUZZ_FORK_BRANCH", "SW_OUT_DIR",
+        "SW_CRASH_FORK",  "SW_FUZZ_FORK_BRANCH",
+        "SW_MEDIA_POISON", "SW_MEDIA_FLIPS", "SW_MEDIA_DROP",
+        "SW_MEDIA_SEED",  "SW_OUT_DIR",
     };
     std::vector<std::string> actual;
     for (const EnvKnob &knob : envKnobs())

@@ -188,7 +188,7 @@ TEST(Sweep, MissingBaselineMarksTheCellFailed)
               std::string::npos);
 }
 
-TEST(ResultSink, SchemaTwoGolden)
+TEST(ResultSink, SchemaThreeGolden)
 {
     // Hand-built result, exact bytes: any change to the document
     // layout or the number rendering must be deliberate (bump the
@@ -240,6 +240,16 @@ TEST(ResultSink, SchemaTwoGolden)
     crash.crash.pointsInjected = 5;
     crash.crash.totalRolledBack = 2;
     crash.crash.totalReplayed = 0;
+    crash.crash.totalTornSkipped = 3;
+    crash.crash.totalCorruptQuarantined = 1;
+    crash.crash.totalPoisonedQuarantined = 0;
+    crash.crash.totalQuarantinedAddrs = 0;
+    crash.crash.verdictFull = 4;
+    crash.crash.verdictDegraded = 1;
+    crash.crash.verdictFailed = 0;
+    crash.media.bitFlips = 1;
+    crash.media.dropAdmissions = 2;
+    crash.media.seed = 7;
     CrashPointResult failure;
     failure.when = 77;
     failure.violation = "lost \"x\"";
@@ -251,7 +261,7 @@ TEST(ResultSink, SchemaTwoGolden)
 
     const std::string expected = R"({
   "bench": "golden",
-  "schema": 2,
+  "schema": 3,
   "cells": [
     {
       "kind": "timing",
@@ -301,6 +311,21 @@ TEST(ResultSink, SchemaTwoGolden)
         "points_injected": 5,
         "rolled_back": 2,
         "replayed": 0,
+        "torn_entries_skipped": 3,
+        "corrupt_quarantined": 1,
+        "poisoned_quarantined": 0,
+        "quarantined_addrs": 0,
+        "verdicts": {
+          "full": 4,
+          "degraded": 1,
+          "failed": 0
+        },
+        "media": {
+          "poison_lines": 0,
+          "bit_flips": 1,
+          "drop_admissions": 2,
+          "seed": 7
+        },
         "failures": [
           {
             "tick": 77,
@@ -350,7 +375,7 @@ TEST(ResultSink, EmptySweepStillRendersADocument)
     SweepResult result;
     result.name = "empty";
     EXPECT_EQ(sweepJson(result),
-              "{\n  \"bench\": \"empty\",\n  \"schema\": 2,\n"
+              "{\n  \"bench\": \"empty\",\n  \"schema\": 3,\n"
               "  \"cells\": [],\n"
               "  \"host\": {\n"
               "    \"wall_ms\": 0,\n"

@@ -201,6 +201,115 @@ TEST(CrashHarness, TornCommitsAreFlaggedUnderNonAtomic)
     EXPECT_LT(cell.pointsPassed, cell.pointsTested);
 }
 
+TEST(CrashHarness, MediaFaultsKeepRecoverableDesignsSalvageable)
+{
+    // With poison / flips / partial drain struck at every crash
+    // point, a recoverable design must still pass every point: each
+    // verdict is FULL or DEGRADED (never FAILED — faults spare the
+    // metadata area by design), and degraded points reconcile
+    // against the oracle through the quarantine report.
+    RecordedWorkload recorded = record(WorkloadKind::Queue);
+    CrashHarnessConfig cfg = smallConfig(24);
+    cfg.media.poisonLines = 2;
+    cfg.media.bitFlips = 2;
+    cfg.media.dropAdmissions = 2;
+    for (PersistencyModel model :
+         {PersistencyModel::Txn, PersistencyModel::Sfr}) {
+        CrashCellResult cell = runCrashCell(
+            recorded, HwDesign::StrandWeaver, model, cfg);
+        EXPECT_GT(cell.pointsTested, 0u);
+        EXPECT_TRUE(cell.allPassed())
+            << persistencyModelName(model) << ": "
+            << (cell.failures.empty()
+                    ? "?"
+                    : cell.failures.front().violation);
+        EXPECT_EQ(cell.verdictFailed, 0u);
+        EXPECT_EQ(cell.verdictFull + cell.verdictDegraded,
+                  cell.pointsInjected);
+        // The fault model actually bit: some point was salvaged
+        // rather than fully recovered.
+        EXPECT_GT(cell.verdictDegraded, 0u);
+        EXPECT_GT(cell.totalPoisonedQuarantined +
+                      cell.totalCorruptQuarantined +
+                      cell.totalQuarantinedAddrs,
+                  0u);
+    }
+}
+
+TEST(CrashHarness, MediaVerdictsAreIdenticalAcrossHarnessModes)
+{
+    // Faults are a pure function of (media.seed, crash tick), so the
+    // forked rewind and the two-run oracle must reach bit-identical
+    // verdicts and quarantine tallies at the same plan.
+    RecordedWorkload recorded = record(WorkloadKind::Hashmap);
+    CrashHarnessConfig cfg = smallConfig(20);
+    cfg.media.poisonLines = 1;
+    cfg.media.bitFlips = 1;
+    cfg.media.dropAdmissions = 2;
+    cfg.fork = false;
+    CrashCellResult tworun = runCrashCell(
+        recorded, HwDesign::StrandWeaver, PersistencyModel::Atlas,
+        cfg);
+    cfg.fork = true;
+    CrashCellResult forked = runCrashCell(
+        recorded, HwDesign::StrandWeaver, PersistencyModel::Atlas,
+        cfg);
+
+    EXPECT_GT(tworun.pointsTested, 0u);
+    EXPECT_EQ(forked.pointsTested, tworun.pointsTested);
+    EXPECT_EQ(forked.pointsPassed, tworun.pointsPassed);
+    EXPECT_EQ(forked.pointsInjected, tworun.pointsInjected);
+    EXPECT_EQ(forked.verdictFull, tworun.verdictFull);
+    EXPECT_EQ(forked.verdictDegraded, tworun.verdictDegraded);
+    EXPECT_EQ(forked.verdictFailed, tworun.verdictFailed);
+    EXPECT_EQ(forked.totalRolledBack, tworun.totalRolledBack);
+    EXPECT_EQ(forked.totalReplayed, tworun.totalReplayed);
+    EXPECT_EQ(forked.totalTornSkipped, tworun.totalTornSkipped);
+    EXPECT_EQ(forked.totalCorruptQuarantined,
+              tworun.totalCorruptQuarantined);
+    EXPECT_EQ(forked.totalPoisonedQuarantined,
+              tworun.totalPoisonedQuarantined);
+    EXPECT_EQ(forked.totalQuarantinedAddrs,
+              tworun.totalQuarantinedAddrs);
+}
+
+TEST(CrashHarness, UncheckedRecoveryUnderFlipsIsCaughtByTheOracle)
+{
+    // The checksum regression pair at harness level: bit flips with
+    // verification OFF reproduce the un-checksummed layout, where
+    // recovery trusts flipped entries and rolls corrupt values into
+    // the heap — the oracle must flag that as silent corruption on
+    // at least one (seed, point). The SAME seeds with verification
+    // ON must pass every point.
+    RecordedWorkload recorded = record(WorkloadKind::Queue);
+    unsigned uncheckedFailures = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        CrashHarnessConfig cfg = smallConfig(24);
+        cfg.media.bitFlips = 2;
+        cfg.media.seed = seed;
+
+        cfg.verifyChecksums = false;
+        CrashCellResult unchecked = runCrashCell(
+            recorded, HwDesign::StrandWeaver, PersistencyModel::Txn,
+            cfg);
+        uncheckedFailures +=
+            unchecked.pointsTested - unchecked.pointsPassed;
+
+        cfg.verifyChecksums = true;
+        CrashCellResult checked = runCrashCell(
+            recorded, HwDesign::StrandWeaver, PersistencyModel::Txn,
+            cfg);
+        EXPECT_TRUE(checked.allPassed())
+            << "seed " << seed << ": "
+            << (checked.failures.empty()
+                    ? "?"
+                    : checked.failures.front().violation);
+    }
+    EXPECT_GT(uncheckedFailures, 0u)
+        << "flips with verification off must produce silent "
+           "corruption the oracle can see";
+}
+
 TEST(CrashExperiment, EnvKnobRunsInjectionInsideRunExperiment)
 {
     // SW_CRASH_POINTS wires injection into every validated

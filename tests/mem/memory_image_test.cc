@@ -400,6 +400,75 @@ TEST(MemoryImage, SetLastAdmissionRebindsTornCloneAfterRewind)
               tornOracle.persistedWords());
 }
 
+TEST(MemoryImage, AdmissionRingKeepsTheNewestAdmissions)
+{
+    // The ring models the ADR buffer: partial-drain media faults can
+    // only strike what was still in flight, so the image retains the
+    // last admissionRingDepth undos, oldest evicted first.
+    MemoryImage img;
+    const unsigned depth = MemoryImage::admissionRingDepth;
+    for (unsigned i = 0; i < depth + 4; ++i) {
+        img.writeArch(pmLine + i * lineBytes, i + 1);
+        img.persistLine(img.snapshotLine(pmLine + i * lineBytes));
+    }
+    const auto &ring = img.recentAdmissions();
+    ASSERT_EQ(ring.size(), depth);
+    EXPECT_EQ(ring.front().lineAddr, pmLine + 4 * lineBytes);
+    EXPECT_EQ(ring.back().lineAddr,
+              pmLine + (depth + 3) * lineBytes);
+
+    // Undoing ring entries newest-first (the partial-drain model)
+    // reconstructs earlier admission-boundary images exactly.
+    MemoryImage snapshot = img;
+    unsigned dropped = 0;
+    while (dropped < 2) {
+        snapshot.undoAdmission(ring[ring.size() - 1 - dropped]);
+        ++dropped;
+    }
+    EXPECT_FALSE(
+        snapshot.persistedContains(pmLine + (depth + 3) * lineBytes));
+    EXPECT_FALSE(
+        snapshot.persistedContains(pmLine + (depth + 2) * lineBytes));
+    EXPECT_EQ(snapshot.readPersisted(pmLine + (depth + 1) * lineBytes),
+              depth + 2);
+}
+
+TEST(MemoryImage, PoisonScramblesAndSticksThroughPartialRewrites)
+{
+    MemoryImage img;
+    img.writeDurable(pmLine, 7);
+    img.writeDurable(pmLine + 8, 9);
+    img.poisonLine(pmLine + 8); // any address in the line
+    EXPECT_TRUE(img.isPoisoned(pmLine));
+    EXPECT_TRUE(img.isPoisoned(pmLine + 56));
+    EXPECT_FALSE(img.isPoisoned(pmLine + lineBytes));
+    // Occupied words are scrambled so code that trusts them fails
+    // loudly instead of reading back clean values.
+    EXPECT_NE(img.readPersisted(pmLine), 7u);
+    EXPECT_NE(img.readPersisted(pmLine + 8), 9u);
+    ASSERT_EQ(img.poisonedLines().size(), 1u);
+    EXPECT_EQ(*img.poisonedLines().begin(), pmLine);
+
+    // Poison is sticky: a single-word durable rewrite repairs that
+    // word's content but not the line's ECC block, so the marker
+    // survives and recovery's residual pass still fences the line.
+    img.writeDurable(pmLine, 7);
+    EXPECT_EQ(img.readPersisted(pmLine), 7u);
+    EXPECT_TRUE(img.isPoisoned(pmLine));
+    EXPECT_NE(img.readPersisted(pmLine + 8), 9u);
+}
+
+TEST(MemoryImage, CorruptWordFlipsPersistedBits)
+{
+    MemoryImage img;
+    img.writeDurable(pmLine, 0xff);
+    img.corruptWord(pmLine, 1ull << 3);
+    EXPECT_EQ(img.readPersisted(pmLine), 0xffull ^ (1ull << 3));
+    // Flips are silent: no poison marker, nothing for the residual
+    // pass to fence — exactly the class only checksums can catch.
+    EXPECT_FALSE(img.isPoisoned(pmLine));
+}
+
 TEST(MemoryImage, OverlappingPersistsLastWriterWins)
 {
     MemoryImage img;

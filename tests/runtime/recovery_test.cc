@@ -30,7 +30,9 @@ class RecoveryFixture : public ::testing::Test
                          static_cast<std::uint64_t>(type));
         img.writeDurable(base + log_field::addr, addr);
         img.writeDurable(base + log_field::value, oldValue);
-        img.writeDurable(base + log_field::size, 8);
+        img.writeDurable(base + log_field::checksum,
+                         entryChecksum(static_cast<std::uint64_t>(type),
+                                       addr, oldValue, 0, idx));
         img.writeDurable(base + log_field::seq, idx);
         img.writeDurable(base + log_field::valid, valid ? 1 : 0);
         img.writeDurable(base + log_field::commitMarker, cm ? 1 : 0);
@@ -223,6 +225,172 @@ TEST_F(RecoveryFixture, PagedScanMatchesFaithfulScan)
     EXPECT_GT(faithful.tornEntriesSkipped, 0u);
 
     // Recovered persisted images are word-for-word identical.
+    std::map<Addr, std::uint64_t> faithfulWords, pagedWords;
+    faithfulImg.forEachPersisted(
+        [&](Addr addr, std::uint64_t value) {
+            faithfulWords.emplace(addr, value);
+        });
+    pagedImg.forEachPersisted([&](Addr addr, std::uint64_t value) {
+        pagedWords.emplace(addr, value);
+    });
+    EXPECT_EQ(pagedWords, faithfulWords);
+}
+
+TEST_F(RecoveryFixture, ChecksumCatchesBitFlip)
+{
+    // A published entry with one flipped value bit: the publication
+    // gates pass (seq intact), so only the checksum can tell this
+    // apart from a good entry. The thread must be quarantined — the
+    // corrupt undo value must never reach the heap.
+    img.writeDurable(dataA, 99);
+    writeEntry(0, 0, LogType::Store, dataA, 11, true);
+    img.corruptWord(layout.entryAddr(0, 0) + log_field::value,
+                    1ull << 17);
+
+    auto report = mgr.recover(img, 1);
+    EXPECT_EQ(report.verdict, RecoveryVerdict::Degraded);
+    EXPECT_EQ(report.corruptEntriesQuarantined, 1u);
+    ASSERT_EQ(report.quarantinedThreads.size(), 1u);
+    EXPECT_EQ(report.quarantinedThreads[0], 0u);
+    EXPECT_EQ(report.entriesRolledBack, 0u);
+    EXPECT_EQ(img.readPersisted(dataA), 99u);
+}
+
+TEST_F(RecoveryFixture, UncheckedRecoverySilentlyAppliesBitFlip)
+{
+    // Regression pin for the pre-checksum layout: with verification
+    // off, the same flipped entry sails through and recovery writes
+    // the corrupt undo value into the heap at verdict FULL — the
+    // silent-corruption failure the checksum word exists to close.
+    img.writeDurable(dataA, 99);
+    writeEntry(0, 0, LogType::Store, dataA, 11, true);
+    img.corruptWord(layout.entryAddr(0, 0) + log_field::value,
+                    1ull << 17);
+
+    RecoveryOptions noVerify;
+    noVerify.verifyChecksums = false;
+    auto report =
+        mgr.recover(img, 1, RecoveryScan::Faithful, noVerify);
+    EXPECT_EQ(report.verdict, RecoveryVerdict::Full);
+    EXPECT_EQ(report.corruptEntriesQuarantined, 0u);
+    EXPECT_EQ(report.entriesRolledBack, 1u);
+    EXPECT_EQ(img.readPersisted(dataA), 11u ^ (1ull << 17));
+}
+
+TEST_F(RecoveryFixture, PoisonedLogLineQuarantinesItsThread)
+{
+    // Thread 0's slot-0 entry line is unreadable; thread 1 is clean.
+    // Thread 0 gets no rollback at all (its log cannot be trusted),
+    // thread 1 recovers normally.
+    img.writeDurable(dataA, 99);
+    img.writeDurable(dataB, 98);
+    writeEntry(0, 0, LogType::Store, dataA, 11, true);
+    writeEntry(1, 0, LogType::Store, dataB, 22, true);
+    img.poisonLine(layout.entryAddr(0, 0));
+
+    auto report = mgr.recover(img, 2);
+    EXPECT_EQ(report.verdict, RecoveryVerdict::Degraded);
+    EXPECT_EQ(report.poisonedEntriesQuarantined, 1u);
+    ASSERT_EQ(report.quarantinedThreads.size(), 1u);
+    EXPECT_EQ(report.quarantinedThreads[0], 0u);
+    EXPECT_EQ(report.entriesRolledBack, 1u);
+    EXPECT_EQ(img.readPersisted(dataA), 99u); // fenced, not unwound
+    EXPECT_EQ(img.readPersisted(dataB), 22u);
+}
+
+TEST_F(RecoveryFixture, PoisonedMetadataFailsRecovery)
+{
+    // Head pointers and the commit frontier have no redundancy: a
+    // poisoned metadata line means no log can be interpreted at all.
+    img.writeDurable(dataA, 99);
+    writeEntry(0, 0, LogType::Store, dataA, 11, true);
+    img.poisonLine(lineAlign(layout.headPtrAddr(0)));
+
+    auto report = mgr.recover(img, 1);
+    EXPECT_EQ(report.verdict, RecoveryVerdict::Failed);
+    EXPECT_EQ(report.entriesRolledBack, 0u);
+}
+
+TEST_F(RecoveryFixture, ResidualHeapPoisonIsQuarantinedByAddress)
+{
+    // A poisoned heap line outside the log area: rollback proceeds
+    // normally elsewhere, but the line's words are handed back as
+    // quarantined — poison is sticky, even where rollback rewrote a
+    // word of the line.
+    img.writeDurable(dataA, 99);
+    writeEntry(0, 0, LogType::Store, dataA, 11, true);
+    img.poisonLine(dataA);
+
+    auto report = mgr.recover(img, 1);
+    EXPECT_EQ(report.verdict, RecoveryVerdict::Degraded);
+    EXPECT_TRUE(report.quarantinedThreads.empty());
+    EXPECT_EQ(report.entriesRolledBack, 1u);
+    ASSERT_EQ(report.quarantinedAddrs.size(), wordsPerLine);
+    EXPECT_EQ(report.quarantinedAddrs.front(), lineAlign(dataA));
+    EXPECT_EQ(report.quarantinedAddrs.back(),
+              lineAlign(dataA) + (wordsPerLine - 1) * wordBytes);
+    // The rolled-back word itself was rewritten...
+    EXPECT_EQ(img.readPersisted(dataA), 11u);
+    // ...but the line stays marked unreadable for the caller.
+    EXPECT_TRUE(img.isPoisoned(dataA));
+}
+
+TEST_F(RecoveryFixture, FreeSlotAnomalyIsQuarantinedWithoutChecksums)
+{
+    // A Free-typed slot with nonzero sibling words is structurally
+    // impossible (no tear produces it — the type word is admitted
+    // first), so it is quarantined even with verification off.
+    img.writeDurable(dataA, 99);
+    writeEntry(0, 0, LogType::Store, dataA, 11, true);
+    Addr base = layout.entryAddr(0, 1);
+    img.writeDurable(base + log_field::value, 77); // type stays Free
+
+    RecoveryOptions noVerify;
+    noVerify.verifyChecksums = false;
+    auto report =
+        mgr.recover(img, 1, RecoveryScan::Faithful, noVerify);
+    EXPECT_EQ(report.verdict, RecoveryVerdict::Degraded);
+    EXPECT_EQ(report.corruptEntriesQuarantined, 1u);
+    ASSERT_EQ(report.quarantinedThreads.size(), 1u);
+    EXPECT_EQ(img.readPersisted(dataA), 99u);
+}
+
+TEST_F(RecoveryFixture, PagedScanMatchesFaithfulScanUnderMediaDamage)
+{
+    // The media-damage classification must also be scan-agnostic:
+    // flip one published entry, plant a free-slot anomaly on a far
+    // slot, and poison a heap line; both scans must agree on every
+    // report field including the quarantine tallies.
+    img.writeDurable(dataA, 99);
+    img.writeDurable(dataB, 98);
+    writeEntry(0, 0, LogType::Store, dataA, 11, true);
+    writeEntry(1, 0, LogType::Store, dataB, 22, true);
+    img.corruptWord(layout.entryAddr(0, 0) + log_field::addr,
+                    1ull << 3);
+    img.writeDurable(layout.entryAddr(1, 2000) + log_field::globalSeq,
+                     5); // free-slot anomaly on an absent-page slot
+    img.poisonLine(dataB);
+
+    MemoryImage faithfulImg = img;
+    MemoryImage pagedImg = img;
+    auto faithful =
+        mgr.recover(faithfulImg, 2, RecoveryScan::Faithful);
+    auto paged = mgr.recover(pagedImg, 2, RecoveryScan::Paged);
+
+    EXPECT_EQ(paged.verdict, faithful.verdict);
+    EXPECT_EQ(paged.corruptEntriesQuarantined,
+              faithful.corruptEntriesQuarantined);
+    EXPECT_EQ(paged.poisonedEntriesQuarantined,
+              faithful.poisonedEntriesQuarantined);
+    EXPECT_EQ(paged.quarantinedThreads, faithful.quarantinedThreads);
+    EXPECT_EQ(paged.quarantinedAddrs, faithful.quarantinedAddrs);
+    EXPECT_EQ(paged.entriesRolledBack, faithful.entriesRolledBack);
+    EXPECT_EQ(paged.rollbacks, faithful.rollbacks);
+
+    EXPECT_EQ(faithful.verdict, RecoveryVerdict::Degraded);
+    EXPECT_EQ(faithful.corruptEntriesQuarantined, 2u);
+    ASSERT_EQ(faithful.quarantinedThreads.size(), 2u);
+
     std::map<Addr, std::uint64_t> faithfulWords, pagedWords;
     faithfulImg.forEachPersisted(
         [&](Addr addr, std::uint64_t value) {

@@ -37,7 +37,9 @@ class WrapFixture : public ::testing::Test
                          static_cast<std::uint64_t>(type));
         img.writeDurable(base + log_field::addr, addr);
         img.writeDurable(base + log_field::value, oldValue);
-        img.writeDurable(base + log_field::size, 8);
+        img.writeDurable(base + log_field::checksum,
+                         entryChecksum(static_cast<std::uint64_t>(type),
+                                       addr, oldValue, globalSeq, seq));
         img.writeDurable(base + log_field::seq, seq);
         img.writeDurable(base + log_field::valid, valid ? 1 : 0);
         img.writeDurable(base + log_field::commitMarker, cm ? 1 : 0);

@@ -235,6 +235,9 @@ TEST(RedoRecovery, ReplaysCommittedEntriesForward)
                          static_cast<std::uint64_t>(type));
         img.writeDurable(base + log_field::addr, addr);
         img.writeDurable(base + log_field::value, value);
+        img.writeDurable(base + log_field::checksum,
+                         entryChecksum(static_cast<std::uint64_t>(type),
+                                       addr, value, 0, idx));
         img.writeDurable(base + log_field::seq, idx);
         img.writeDurable(base + log_field::valid, 1);
         img.writeDurable(base + log_field::commitMarker, cm ? 1 : 0);
@@ -260,6 +263,10 @@ TEST(RedoRecovery, DropsUncommittedEntries)
                      static_cast<std::uint64_t>(LogType::RedoStore));
     img.writeDurable(base + log_field::addr, dataA);
     img.writeDurable(base + log_field::value, 11);
+    img.writeDurable(base + log_field::checksum,
+                     entryChecksum(static_cast<std::uint64_t>(
+                                       LogType::RedoStore),
+                                   dataA, 11, 0, 0));
     img.writeDurable(base + log_field::seq, 0);
     img.writeDurable(base + log_field::valid, 1);
 
