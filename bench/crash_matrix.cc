@@ -99,6 +99,28 @@ main(int argc, char **argv)
             redoMedia.variant = "redo-media";
             redoMedia.tornWords = tornWords;
             redoMedia.media = media;
+
+            if (design != HwDesign::Hops)
+                continue;
+            // The HOPS media cells again with strict log admission:
+            // the knob closes the tolerated modeling gap, so these
+            // cells get no tolerance — any lost point is a hard
+            // matrix failure.
+            for (PersistencyModel model : allModels) {
+                SweepCell &strict = spec.addCrash(recorded, design,
+                                                  model, points);
+                strict.tornWords = tornWords;
+                strict.media = media;
+                strict.variant = "strict-media";
+                strict.config.engine.hopsStrictAdmission = true;
+            }
+            SweepCell &strictRedo = spec.addCrash(
+                recorded, design, PersistencyModel::Txn, points);
+            strictRedo.config.logStyle = LogStyle::Redo;
+            strictRedo.variant = "strict-redo-media";
+            strictRedo.tornWords = tornWords;
+            strictRedo.media = media;
+            strictRedo.config.engine.hopsStrictAdmission = true;
         }
     }
 
@@ -162,6 +184,12 @@ main(int argc, char **argv)
             labelText = std::string(
                             persistencyModelName(cell.model)) +
                         "+media";
+        } else if (cell.variant == "strict-media") {
+            labelText = std::string(
+                            persistencyModelName(cell.model)) +
+                        "+strict";
+        } else if (cell.variant == "strict-redo-media") {
+            labelText = "redo+strict";
         }
         const char *label = labelText.c_str();
         if (!cell.ok) {
@@ -182,7 +210,9 @@ main(int argc, char **argv)
         // admission before its guarded update's, so an amplified
         // partial ADR drain can cut the entry while the update
         // survives. Reported but tolerated, exactly as the fuzz
-        // campaign tolerates plain-hops trials.
+        // campaign tolerates plain-hops trials. The strict-media
+        // cells run with hopsStrictAdmission, which closes the gap —
+        // they get no tolerance.
         bool tolerateFail =
             cell.design == HwDesign::Hops &&
             (cell.variant == "media" || cell.variant == "redo-media");

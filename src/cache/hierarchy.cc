@@ -12,6 +12,10 @@ Hierarchy::Hierarchy(std::string name, EventQueue &eq, MemoryImage &image,
                      MemController &pmCtrl, MemController &dramCtrl,
                      stats::StatGroup *parent)
     : SimObject(std::move(name), eq, parent),
+      // The tag-only hierarchy is one monolithic component whose
+      // tryLoad/tryStore/tryFlush paths mutate shared MSHR state at
+      // call time: it anchors the shared PDES domain, and every
+      // core's zero-latency edge into it fuses with it.
       loadHits(this, "loadHits", "L1 load hits"),
       loadMisses(this, "loadMisses", "L1 load misses"),
       storeHits(this, "storeHits", "L1 store hits (owned line)"),

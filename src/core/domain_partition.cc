@@ -1,0 +1,148 @@
+#include "core/domain_partition.hh"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+namespace strand
+{
+
+void
+DomainPartitionBuilder::addComponent(std::string name,
+                                     std::string affinity)
+{
+    panicIf(name.empty(), "component needs a name");
+    panicIf(affinity.empty(), "component {} needs an affinity", name);
+    components.push_back({std::move(name), std::move(affinity)});
+}
+
+void
+DomainPartitionBuilder::addEdge(const std::string &a,
+                                const std::string &b, Tick lookahead,
+                                std::string why)
+{
+    panicIf(a == b, "edge within affinity group {}", a);
+    panicIf(why.empty(), "edge ({}, {}) needs a reason", a, b);
+    groupEdges.push_back({a, b, lookahead, std::move(why)});
+}
+
+DomainPartition
+DomainPartitionBuilder::finalize(unsigned requestedShards,
+                                 Tick defaultWindow) const
+{
+    fatalIf(requestedShards == 0, "at least one shard is required");
+    panicIf(defaultWindow == 0, "default window must be >= 1 tick");
+
+    // Affinity groups in deterministic (sorted-tag) order.
+    std::map<std::string, std::vector<std::string>> groups;
+    for (const Component &c : components)
+        groups[c.affinity].push_back(c.name);
+    std::vector<std::string> tags;
+    tags.reserve(groups.size());
+    for (const auto &[tag, members] : groups)
+        tags.push_back(tag);
+    auto groupIndex = [&](const std::string &tag) -> std::size_t {
+        auto it = std::lower_bound(tags.begin(), tags.end(), tag);
+        panicIf(it == tags.end() || *it != tag,
+                "edge references unknown affinity group {}", tag);
+        return static_cast<std::size_t>(it - tags.begin());
+    };
+
+    // Union-find over groups; zero-lookahead edges force fusion.
+    std::vector<std::size_t> parent(tags.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    DomainPartition part;
+    part.requestedShards = requestedShards;
+    for (const GroupEdge &e : groupEdges) {
+        if (e.lookahead != 0)
+            continue;
+        std::size_t ra = find(groupIndex(e.a));
+        std::size_t rb = find(groupIndex(e.b));
+        if (ra == rb)
+            continue;
+        // Keep the smaller-tag root so the class keeps a stable name.
+        parent[std::max(ra, rb)] = std::min(ra, rb);
+        part.fusions.push_back({e.a, e.b, e.why});
+    }
+
+    // Classes in root-tag order, then pack round-robin into at most
+    // requestedShards domains — deterministic for a fixed machine.
+    std::map<std::size_t, std::vector<std::size_t>> classes;
+    for (std::size_t g = 0; g < tags.size(); ++g)
+        classes[find(g)].push_back(g);
+    const unsigned numDomains = std::min(
+        requestedShards, static_cast<unsigned>(classes.size()));
+    part.domains.resize(numDomains);
+    part.domainTags.resize(numDomains);
+    std::vector<std::size_t> domainOf(tags.size(), 0);
+    unsigned next = 0;
+    for (const auto &[root, members] : classes) {
+        const unsigned d = next++ % numDomains;
+        if (part.domainTags[d].empty())
+            part.domainTags[d] = tags[root];
+        for (std::size_t g : members) {
+            domainOf[g] = d;
+            const auto &names = groups.at(tags[g]);
+            part.domains[d].insert(part.domains[d].end(),
+                                   names.begin(), names.end());
+        }
+    }
+
+    // Window: minimum lookahead among edges that still cross domains.
+    Tick window = maxTick;
+    for (const GroupEdge &e : groupEdges) {
+        if (e.lookahead == 0)
+            continue;
+        if (domainOf[groupIndex(e.a)] != domainOf[groupIndex(e.b)])
+            window = std::min(window, e.lookahead);
+    }
+    part.windowTicks = window == maxTick ? defaultWindow : window;
+    return part;
+}
+
+DomainPartition
+computeSystemPartition(System &sys, unsigned shards)
+{
+    DomainPartitionBuilder b;
+    b.addComponent(sys.hierarchy().fullName(),
+                   sys.hierarchy().domainAffinity());
+    b.addComponent(sys.pmController().fullName(),
+                   sys.pmController().domainAffinity());
+    for (CoreId id = 0; id < sys.numCores(); ++id) {
+        Core &core = sys.core(id);
+        b.addComponent(core.fullName(), core.domainAffinity());
+        b.addComponent(core.persistEngine().fullName(),
+                       core.persistEngine().domainAffinity());
+        // The honest production edges. Requests are synchronous
+        // calls that mutate shared state at T+0, so the lookahead is
+        // zero and the groups must fuse; the response path does have
+        // a modeled latency and is recorded for the day the request
+        // path is mailboxed.
+        b.addEdge(core.domainAffinity(), "shared", 0,
+                  "synchronous Hierarchy::tryLoad/tryStore/tryFlush "
+                  "call path mutates shared MSHR state at T+0");
+        b.addEdge(core.domainAffinity(), "shared", 0,
+                  "synchronous MemController::tryRequest back-pressure "
+                  "returns admission decisions at T+0");
+        b.addEdge("shared", core.domainAffinity(),
+                  sys.config().caches.l1Latency,
+                  "modeled L1 response latency (usable lookahead once "
+                  "the request path is mailboxed)");
+    }
+    // When everything fuses (the production case) the windowed loop
+    // still needs a width; the L1 latency is the natural quantum.
+    return b.finalize(shards, sys.config().caches.l1Latency);
+}
+
+} // namespace strand

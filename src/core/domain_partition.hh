@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Partitioning of a simulated machine into PDES domains.
+ *
+ * Components carry a domain-affinity tag (SimObject::domainAffinity):
+ * per-core components are "core<N>" and the shared fabric is
+ * "shared". A DomainPartitionBuilder collects the tagged components
+ * plus the declared communication edges between affinity groups, and
+ * finalize() resolves them into effective domains with a union-find
+ * over zero-lookahead edges: two groups that exchange synchronous
+ * (same-tick) calls cannot be advanced independently by a
+ * conservative windowed engine — any window width would let a message
+ * land inside the window that produced it — so they are fused into
+ * one domain, and the fusion is logged with the reason.
+ *
+ * The production StrandWeaver component graph communicates through
+ * synchronous zero-latency calls (Core -> Hierarchy::tryStore/
+ * tryLoad/tryFlush mutate shared MSHR state at T+0; the hierarchy
+ * hits MemController::tryRequest back-pressure synchronously), so
+ * computeSystemPartition() fuses every core group with the shared
+ * fabric and the effective domain count is 1 regardless of the
+ * requested SW_SHARDS. The log makes that honest and inspectable; a
+ * future mailboxed request path would remove the zero-lookahead
+ * edges and unlock real sharding without touching this partitioner.
+ */
+
+#ifndef CORE_DOMAIN_PARTITION_HH
+#define CORE_DOMAIN_PARTITION_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace strand
+{
+
+class System;
+
+/** One logged fusion of two affinity groups into the same domain. */
+struct DomainFusion
+{
+    /** Affinity tags of the fused groups. */
+    std::string groupA;
+    std::string groupB;
+    /** Why the groups cannot be advanced independently. */
+    std::string reason;
+};
+
+/** The resolved domain layout for one machine. */
+struct DomainPartition
+{
+    /** What the caller asked for (SW_SHARDS). */
+    unsigned requestedShards = 1;
+
+    /**
+     * Component instance names per effective domain. Domains are
+     * ordered by their smallest member affinity tag, so the layout
+     * is deterministic for a given machine.
+     */
+    std::vector<std::vector<std::string>> domains;
+
+    /** Affinity tag of each effective domain (same order). */
+    std::vector<std::string> domainTags;
+
+    /** Every zero-lookahead fusion that reduced the domain count. */
+    std::vector<DomainFusion> fusions;
+
+    /**
+     * Window width a conservative engine may use: the minimum
+     * lookahead over surviving cross-domain edges, or the builder's
+     * default when every edge fused away.
+     */
+    Tick windowTicks = 0;
+
+    unsigned
+    effectiveDomains() const
+    {
+        return static_cast<unsigned>(domains.size());
+    }
+};
+
+/**
+ * Collects tagged components and inter-group edges, then resolves
+ * them into a DomainPartition.
+ */
+class DomainPartitionBuilder
+{
+  public:
+    /** Register a component under its affinity tag. */
+    void addComponent(std::string name, std::string affinity);
+
+    /**
+     * Declare a (symmetric) communication edge between two affinity
+     * groups. @p lookahead is the minimum modeled latency of the
+     * path; zero means the groups call each other synchronously and
+     * must fuse — @p why records the call path responsible.
+     */
+    void addEdge(const std::string &a, const std::string &b,
+                 Tick lookahead, std::string why);
+
+    /**
+     * Resolve the graph. Groups connected by zero-lookahead edges
+     * fuse (each first fusion between two classes is logged); the
+     * surviving classes become effective domains, capped at
+     * @p requestedShards by deterministic round-robin packing.
+     * @p defaultWindow is used when no positive-lookahead edge
+     * survives between distinct domains (e.g. everything fused).
+     */
+    DomainPartition finalize(unsigned requestedShards,
+                             Tick defaultWindow) const;
+
+  private:
+    struct Component
+    {
+        std::string name;
+        std::string affinity;
+    };
+
+    struct GroupEdge
+    {
+        std::string a;
+        std::string b;
+        Tick lookahead;
+        std::string why;
+    };
+
+    std::vector<Component> components;
+    std::vector<GroupEdge> groupEdges;
+};
+
+/**
+ * Partition a live System for @p shards PDES domains: walks the
+ * machine's affinity tags and declares the production communication
+ * edges (with their honest lookaheads) before resolving.
+ */
+DomainPartition computeSystemPartition(System &sys, unsigned shards);
+
+} // namespace strand
+
+#endif // CORE_DOMAIN_PARTITION_HH

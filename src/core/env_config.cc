@@ -69,6 +69,8 @@ parseEnvConfig(const std::function<const char *(const char *)> &get)
     config.threads = parseUnsigned(get, "SW_THREADS", 1);
     config.crashPoints = parseUnsigned(get, "SW_CRASH_POINTS", 0);
     config.jobs = parseUnsigned(get, "SW_JOBS", 1);
+    config.shards = parseUnsigned(get, "SW_SHARDS", 1);
+    config.windowTicks = parseUnsigned(get, "SW_WINDOW_TICKS", 1);
     // Admitting all words of a line is not torn at all; cap at 7.
     config.tornWords =
         parseUnsigned(get, "SW_TORN_WORDS", 0, wordsPerLine - 1);
@@ -103,6 +105,10 @@ envKnobs()
          "crash points injected per validated experiment"},
         {"SW_JOBS", ">= 1", "hardware concurrency",
          "sweep worker threads (1 = serial; output identical)"},
+        {"SW_SHARDS", ">= 1", "1 (serial loop)",
+         "PDES domains for sharded runs (bit-identical results)"},
+        {"SW_WINDOW_TICKS", ">= 1", "partition lookahead",
+         "lock-step window width for the sharded run loop"},
         {"SW_TORN_WORDS", "0..7", "unset (no tearing)",
          "admit only this many words of the final line per crash"},
         {"SW_CRASH_SEED", "u64 (0x hex ok)", "fixed default",
@@ -171,6 +177,12 @@ envJobs()
         return *envConfig().jobs;
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
+}
+
+unsigned
+envShards()
+{
+    return envConfig().shards.value_or(1);
 }
 
 } // namespace strand

@@ -69,6 +69,7 @@ makePersistEngine(HwDesign design, std::string name, EventQueue &eq,
             StrandEngineParams p = hopsParams();
             p.pqEntries = config.pqEntries;
             p.epochInterlock = config.hopsEpochInterlock;
+            p.strictAdmission = config.hopsStrictAdmission;
             p.adversary = config.adversary;
             p.sbu.adversary = config.adversary;
             return std::make_unique<StrandEngine>(std::move(name), eq,
@@ -98,6 +99,8 @@ makePersistEngine(HwDesign design, std::string name, EventQueue &eq,
     };
     auto engine = build();
     engine->setRecordCompletions(config.recordCompletionTicks);
+    // The engine rides with its core's PDES domain when sharded.
+    engine->setDomainAffinity("core" + std::to_string(core));
     return engine;
 }
 

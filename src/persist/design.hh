@@ -67,6 +67,16 @@ struct EngineConfig
      * across a delegated ofence. See EXPERIMENTS.md "Fuzz campaigns".
      */
     bool hopsEpochInterlock = false;
+    /**
+     * Opt-in HOPS strict log admission (closes the remaining
+     * modeling gap the media-fault campaign exposes): stores younger
+     * than a delegated ofence may not drain until every pre-ofence
+     * CLWB has *completed* — not merely read the cache — so the
+     * guarded update's line can never reach the ADR admission ring
+     * before its log entry's. Stronger (and slower) than
+     * hopsEpochInterlock, which only orders the cache read.
+     */
+    bool hopsStrictAdmission = false;
     /** Test-only planted ordering bug (see IntelEngineParams). */
     bool plantedEpochBug = false;
     /** Fuzzing hook (non-owning); null leaves schedules untouched. */

@@ -52,6 +52,9 @@ StrandEngine::StrandEngine(std::string name, EventQueue &eq, CoreId core,
       core(core), params(params),
       sbu("sbu", eq, core, hier, params.sbu, this)
 {
+    // Strand buffers are private to their core and follow its PDES
+    // domain when the simulation is sharded.
+    sbu.setDomainAffinity("core" + std::to_string(core));
     sbu.setCompletionCallback([this](std::uint64_t seq, bool wrotePm) {
         onClwbComplete(seq, wrotePm);
     });
@@ -145,7 +148,8 @@ StrandEngine::storeMayIssue(SeqNum seq) const
             barrierBetween[i] = seen;
             if (queue[i].type == OpType::PersistBarrier)
                 seen = true;
-            else if (params.epochInterlock &&
+            else if ((params.epochInterlock ||
+                      params.strictAdmission) &&
                      queue[i].type == OpType::Ofence)
                 // The delegated ofence normally orders nothing on the
                 // CPU side; under the epoch interlock it gates stores
@@ -177,9 +181,17 @@ StrandEngine::storeMayIssue(SeqNum seq) const
             // line an in-flight older CLWB has not read yet, or the
             // flush would capture post-barrier data (§IV orders
             // prior CLWB issue before subsequent stores).
-            if ((params.pbGatesStores || params.epochInterlock) &&
-                barrierSince && !entry.flushStarted) {
-                return false;
+            if ((params.pbGatesStores || params.epochInterlock ||
+                 params.strictAdmission) &&
+                barrierSince) {
+                // Strict admission demands full completion: the log
+                // line must already be in the ADR ring before the
+                // guarded store may touch the cache, so no media
+                // drop can reorder their admissions. The interlock
+                // only orders the flush's cache read.
+                if (params.strictAdmission ? !entry.completed
+                                           : !entry.flushStarted)
+                    return false;
             }
             break;
           case OpType::PersistBarrier:
@@ -421,7 +433,8 @@ Hierarchy::Clearance
 StrandEngine::recordDrainPoint()
 {
     Hierarchy::Clearance sbuClear = sbu.recordDrainPoint();
-    if (!params.epochInterlock || queue.empty())
+    if ((!params.epochInterlock && !params.strictAdmission) ||
+        queue.empty())
         return sbuClear;
     // Epoch interlock: with the delegated ofence, the departing dirty
     // line may already hold data from stores younger than CLWBs still

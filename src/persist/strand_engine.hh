@@ -54,6 +54,14 @@ struct StrandEngineParams
      * line whose in-flight older CLWB has not read it yet.
      */
     bool epochInterlock = false;
+    /**
+     * Opt-in HOPS strict log admission (see EngineConfig): stores
+     * younger than an ofence wait until every pre-ofence CLWB has
+     * completed, strictly ordering the log entry's ADR admission
+     * before the guarded update can even enter the cache. Implies
+     * the drain-point persist-queue coverage of the interlock.
+     */
+    bool strictAdmission = false;
     /** Fuzzing hook (non-owning); null leaves issue order untouched. */
     DrainAdversary *adversary = nullptr;
 };

@@ -85,6 +85,16 @@ EventQueue::deschedule(Handle &handle)
     maybeCompact();
 }
 
+Tick
+EventQueue::nextLiveTick()
+{
+    while (!heap.empty() && !live(heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), Later{});
+        heap.pop_back();
+    }
+    return heap.empty() ? maxTick : heap.front().when;
+}
+
 bool
 EventQueue::serviceOne()
 {

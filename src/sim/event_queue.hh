@@ -221,6 +221,14 @@ class EventQueue
     std::uint64_t serviced() const { return servicedEvents; }
 
     /**
+     * The tick of the earliest live event, or maxTick when none is
+     * pending. Prunes cancelled carcasses off the heap top exactly as
+     * serviceOne() would; dispatch order is unaffected. Used by the
+     * sharded PDES driver to pick the next lock-step window.
+     */
+    Tick nextLiveTick();
+
+    /**
      * Service the single next event.
      * @return true if an event was serviced, false if empty.
      */

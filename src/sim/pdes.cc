@@ -1,0 +1,318 @@
+#include "sim/pdes.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace strand
+{
+
+ShardedEngine::ShardedEngine(unsigned numDomains)
+{
+    fatalIf(numDomains == 0, "a sharded engine needs >= 1 domain");
+    domains.reserve(numDomains);
+    for (unsigned d = 0; d < numDomains; ++d)
+        domains.push_back(std::make_unique<EventQueue>());
+    edges.resize(static_cast<std::size_t>(numDomains) * numDomains);
+    mailboxes.resize(edges.size());
+    postSeq.assign(numDomains, 0);
+}
+
+EventQueue &
+ShardedEngine::domain(DomainId d)
+{
+    panicIf(d >= domains.size(), "domain {} out of range", d);
+    return *domains[d];
+}
+
+ShardedEngine::Edge &
+ShardedEngine::edge(DomainId src, DomainId dst)
+{
+    panicIf(src >= domains.size() || dst >= domains.size(),
+            "edge ({}, {}) out of range", src, dst);
+    return edges[static_cast<std::size_t>(src) * domains.size() + dst];
+}
+
+const ShardedEngine::Edge &
+ShardedEngine::edge(DomainId src, DomainId dst) const
+{
+    return const_cast<ShardedEngine *>(this)->edge(src, dst);
+}
+
+void
+ShardedEngine::connect(DomainId src, DomainId dst, Tick minLatency)
+{
+    panicIf(src == dst,
+            "self-edge on domain {}: schedule directly instead", src);
+    panicIf(minLatency == 0,
+            "zero-lookahead edge ({}, {}): fuse the domains instead",
+            src, dst);
+    Edge &e = edge(src, dst);
+    e.declared = true;
+    e.minLatency = minLatency;
+    minEdgeLatency = std::min(minEdgeLatency, minLatency);
+}
+
+void
+ShardedEngine::post(DomainId src, DomainId dst, Tick deliverAt,
+                    EventQueue::Callback cb, EventPriority prio)
+{
+    panicIf(src == dst,
+            "self-post on domain {}: schedule directly instead", src);
+    panicIf(!cb, "cross-domain message with empty callback");
+    const Edge &e = edge(src, dst);
+    panicIf(!e.declared, "post on undeclared edge ({}, {})", src, dst);
+    const Tick sendTick = domains[src]->curTick();
+    const Tick earliest = e.minLatency >= maxTick - sendTick
+                              ? maxTick
+                              : sendTick + e.minLatency;
+    panicIf(deliverAt < earliest,
+            "lookahead violation on edge ({}, {}): deliver at {} < "
+            "send {} + min latency {}",
+            src, dst, deliverAt, sendTick, e.minLatency);
+    Message msg;
+    msg.deliverAt = deliverAt;
+    msg.priority = static_cast<int>(prio);
+    msg.src = src;
+    msg.srcSeq = postSeq[src]++;
+    msg.dst = dst;
+    msg.callback = std::move(cb);
+    mailboxes[static_cast<std::size_t>(src) * domains.size() + dst]
+        .push_back(std::move(msg));
+}
+
+void
+ShardedEngine::setWindowTicks(Tick w)
+{
+    panicIf(w == 0, "window width must be >= 1 tick");
+    windowOverride = w;
+}
+
+Tick
+ShardedEngine::windowTicks() const
+{
+    return windowOverride ? windowOverride : minEdgeLatency;
+}
+
+void
+ShardedEngine::mergeMailboxes()
+{
+    // Deterministic barrier merge: gather every parked message, order
+    // by (deliverTick, priority, source domain, per-source seq) — a
+    // strict total order — and schedule in exactly that order, so the
+    // destination queues assign kernel seqs identically no matter
+    // which thread filled which mailbox first.
+    std::vector<Message> batch;
+    for (std::vector<Message> &box : mailboxes) {
+        for (Message &msg : box)
+            batch.push_back(std::move(msg));
+        box.clear();
+    }
+    if (batch.empty())
+        return;
+    std::sort(batch.begin(), batch.end(),
+              [](const Message &a, const Message &b) {
+                  if (a.deliverAt != b.deliverAt)
+                      return a.deliverAt < b.deliverAt;
+                  if (a.priority != b.priority)
+                      return a.priority < b.priority;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.srcSeq < b.srcSeq;
+              });
+    for (Message &msg : batch) {
+        domains[msg.dst]->schedule(
+            msg.deliverAt, std::move(msg.callback),
+            static_cast<EventPriority>(msg.priority));
+        ++delivered;
+    }
+}
+
+Tick
+ShardedEngine::nextEventTick()
+{
+    Tick earliest = maxTick;
+    for (auto &dq : domains)
+        earliest = std::min(earliest, dq->nextLiveTick());
+    return earliest;
+}
+
+void
+ShardedEngine::runWindow(Tick limit)
+{
+    for (auto &dq : domains) {
+        if (limit == maxTick)
+            dq->run();
+        else
+            dq->runUntil(limit);
+    }
+}
+
+void
+ShardedEngine::run(unsigned workers)
+{
+    panicIf(running, "sharded engine re-entered while running");
+    running = true;
+    const Tick window = windowTicks();
+    panicIf(window > lookahead(),
+            "window {} exceeds the lookahead {}: a message could land "
+            "inside its own window",
+            window, lookahead());
+    const unsigned n = numDomains();
+    workers = std::clamp(workers, 1u, n);
+
+    if (workers == 1) {
+        for (;;) {
+            mergeMailboxes();
+            const Tick start = nextEventTick();
+            if (start == maxTick)
+                break;
+            const Tick limit = window >= maxTick - start
+                                   ? maxTick
+                                   : start + window - 1;
+            runWindow(limit);
+            ++windowCount;
+        }
+        running = false;
+        return;
+    }
+
+    // Persistent worker pool for the whole run: domains are assigned
+    // round-robin (worker w owns domains d with d % workers == w) —
+    // the assignment is irrelevant to results, only to load balance.
+    // All mailbox/postSeq writes made by a worker happen-before the
+    // coordinator's barrier reads via the pool mutex.
+    struct Pool
+    {
+        std::mutex m;
+        std::condition_variable cvWork;
+        std::condition_variable cvDone;
+        std::uint64_t generation = 0;
+        unsigned remaining = 0;
+        Tick limit = 0;
+        bool stop = false;
+    } pool;
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        threads.emplace_back([this, &pool, w, workers, n] {
+            std::uint64_t seen = 0;
+            for (;;) {
+                Tick limit = 0;
+                {
+                    std::unique_lock<std::mutex> lk(pool.m);
+                    pool.cvWork.wait(lk, [&] {
+                        return pool.stop || pool.generation != seen;
+                    });
+                    if (pool.stop)
+                        return;
+                    seen = pool.generation;
+                    limit = pool.limit;
+                }
+                for (unsigned d = w; d < n; d += workers) {
+                    if (limit == maxTick)
+                        domains[d]->run();
+                    else
+                        domains[d]->runUntil(limit);
+                }
+                {
+                    std::lock_guard<std::mutex> lk(pool.m);
+                    if (--pool.remaining == 0)
+                        pool.cvDone.notify_one();
+                }
+            }
+        });
+    }
+
+    for (;;) {
+        mergeMailboxes();
+        const Tick start = nextEventTick();
+        if (start == maxTick)
+            break;
+        const Tick limit =
+            window >= maxTick - start ? maxTick : start + window - 1;
+        {
+            std::lock_guard<std::mutex> lk(pool.m);
+            pool.limit = limit;
+            pool.remaining = workers;
+            ++pool.generation;
+        }
+        pool.cvWork.notify_all();
+        {
+            std::unique_lock<std::mutex> lk(pool.m);
+            pool.cvDone.wait(lk, [&] { return pool.remaining == 0; });
+        }
+        ++windowCount;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(pool.m);
+        pool.stop = true;
+    }
+    pool.cvWork.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+    running = false;
+}
+
+std::uint64_t
+ShardedEngine::eventsServiced() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dq : domains)
+        total += dq->serviced();
+    return total;
+}
+
+namespace
+{
+
+/** Engine-level counters captured alongside the domain queues. */
+struct EngineState
+{
+    std::uint64_t windowCount = 0;
+    std::uint64_t delivered = 0;
+    std::vector<std::uint64_t> postSeq;
+};
+
+std::string
+domainKey(unsigned d)
+{
+    return "pdes.domain" + std::to_string(d) + ".eq";
+}
+
+} // namespace
+
+void
+ShardedEngine::saveState(SimSnapshot &snap) const
+{
+    panicIf(running, "cannot capture a running sharded engine");
+    for (const std::vector<Message> &box : mailboxes)
+        panicIf(!box.empty(),
+                "cannot capture in-flight mailbox messages: snapshot "
+                "at a window barrier");
+    for (unsigned d = 0; d < domains.size(); ++d)
+        snap.put(domainKey(d), domains[d]->snapshot());
+    EngineState es;
+    es.windowCount = windowCount;
+    es.delivered = delivered;
+    es.postSeq = postSeq;
+    snap.put("pdes.engine", std::move(es));
+}
+
+void
+ShardedEngine::restoreState(const SimSnapshot &snap)
+{
+    panicIf(running, "cannot restore a running sharded engine");
+    for (unsigned d = 0; d < domains.size(); ++d)
+        domains[d]->restore(
+            snap.get<EventQueue::Snapshot>(domainKey(d)));
+    const EngineState &es = snap.get<EngineState>("pdes.engine");
+    windowCount = es.windowCount;
+    delivered = es.delivered;
+    postSeq = es.postSeq;
+}
+
+} // namespace strand

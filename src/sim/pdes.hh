@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Conservative time-windowed parallel discrete-event simulation
+ * (PDES) on top of the pooled EventQueue kernel.
+ *
+ * A ShardedEngine owns one EventQueue per *domain* and advances all
+ * domains in lock-step windows. The window width W is a lookahead
+ * derived from the minimum declared cross-domain edge latency L:
+ * because every cross-domain message posted at tick t >= windowStart
+ * delivers no earlier than t + L >= windowStart + W = windowEnd, no
+ * message can ever land inside the window that produced it — each
+ * domain's execution of a window depends only on its own queue
+ * contents at the window barrier, so domains are free to run on
+ * concurrent worker threads without any cross-domain synchronization
+ * until the next barrier.
+ *
+ * Cross-domain sends go through per-edge mailboxes: during a window
+ * an edge's mailbox is appended to only by the source domain's worker
+ * thread and read by nobody. At the barrier the coordinator drains
+ * every mailbox, sorts the messages by the deterministic merge key
+ * (deliverTick, priority, source domain, per-source sequence) and
+ * schedules them into the destination queues in that order. Within a
+ * domain the kernel's (tick, priority, seq) dispatch order is
+ * untouched, and the merge rule fixes the seq assignment of every
+ * delivered message — so results are bit-identical for ANY worker
+ * count, including the serial one.
+ */
+
+#ifndef SIM_PDES_HH
+#define SIM_PDES_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/snapshot.hh"
+#include "sim/types.hh"
+
+namespace strand
+{
+
+/** Identifier of one PDES domain. */
+using DomainId = unsigned;
+
+/**
+ * A set of event queues advanced in lock-step lookahead windows, with
+ * mailbox-mediated cross-domain messaging.
+ */
+class ShardedEngine
+{
+  public:
+    explicit ShardedEngine(unsigned numDomains);
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    unsigned numDomains() const
+    {
+        return static_cast<unsigned>(domains.size());
+    }
+
+    /** The event queue driving domain @p d. */
+    EventQueue &domain(DomainId d);
+
+    /**
+     * Declare a directed cross-domain edge. @p minLatency is the
+     * modeled minimum delivery latency of the path and becomes part
+     * of the engine's lookahead: the window width may not exceed the
+     * smallest declared latency. Self-edges are meaningless (schedule
+     * directly) and panic.
+     */
+    void connect(DomainId src, DomainId dst, Tick minLatency);
+
+    /**
+     * Post a cross-domain message from @p src (must be called while
+     * @p src's window is executing, i.e. from one of its events).
+     * The edge must have been declared; @p deliverAt must respect its
+     * minimum latency relative to the source domain's current tick.
+     * Delivery is scheduled into @p dst at the next window barrier.
+     */
+    void post(DomainId src, DomainId dst, Tick deliverAt,
+              EventQueue::Callback cb,
+              EventPriority prio = EventPriority::Default);
+
+    /**
+     * Minimum declared cross-domain latency; maxTick when no edges
+     * have been declared (a single-domain or fully decoupled engine).
+     */
+    Tick lookahead() const { return minEdgeLatency; }
+
+    /**
+     * Override the window width (default: the lookahead). Values
+     * above the lookahead would let a message land inside its own
+     * window and panic at run().
+     */
+    void setWindowTicks(Tick w);
+
+    /** The effective window width run() will use. */
+    Tick windowTicks() const;
+
+    /**
+     * Run every domain to completion: repeat lock-step windows until
+     * all queues drain and no message is in flight. @p workers is
+     * clamped to [1, numDomains]; 1 executes the identical window
+     * schedule serially on the calling thread. Results (queue
+     * contents, clocks, delivered-message order) are bit-identical
+     * for every worker count.
+     */
+    void run(unsigned workers = 1);
+
+    /** @name Observability @{ */
+
+    /** Lock-step windows executed so far. */
+    std::uint64_t windows() const { return windowCount; }
+
+    /** Cross-domain messages delivered through barriers so far. */
+    std::uint64_t messagesDelivered() const { return delivered; }
+
+    /** Kernel events serviced, summed over all domains. */
+    std::uint64_t eventsServiced() const;
+
+    /** @} */
+
+    /** @name Snapshot (per-domain capture keys) @{ */
+
+    /**
+     * Capture every domain queue under "pdes.domain<i>.eq". Only
+     * legal between runs / at barriers: in-flight mailbox messages
+     * are not capturable (their callbacks reference live state) and
+     * panic.
+     */
+    void saveState(SimSnapshot &snap) const;
+
+    /** Rewind every domain queue from a saveState() capture. */
+    void restoreState(const SimSnapshot &snap);
+
+    /** @} */
+
+  private:
+    /** One directed cross-domain edge and its window mailbox. */
+    struct Edge
+    {
+        bool declared = false;
+        Tick minLatency = 0;
+    };
+
+    /** A message parked in a mailbox until the next barrier. */
+    struct Message
+    {
+        Tick deliverAt = 0;
+        int priority = 0;
+        DomainId src = 0;
+        /** Per-source posting sequence; breaks all remaining ties. */
+        std::uint64_t srcSeq = 0;
+        DomainId dst = 0;
+        EventQueue::Callback callback;
+    };
+
+    Edge &edge(DomainId src, DomainId dst);
+    const Edge &edge(DomainId src, DomainId dst) const;
+
+    /** Drain all mailboxes and schedule deliveries (merge rule). */
+    void mergeMailboxes();
+
+    /** Earliest live event tick across domains (maxTick if none). */
+    Tick nextEventTick();
+
+    /** Run one window up to @p limit serially across all domains. */
+    void runWindow(Tick limit);
+
+    /** EventQueue is neither movable nor copyable: box it. */
+    std::vector<std::unique_ptr<EventQueue>> domains;
+    /** Dense (src * numDomains + dst) edge matrix. */
+    std::vector<Edge> edges;
+    /**
+     * Per-edge mailboxes, same indexing as edges. During a window a
+     * mailbox is written only by its source domain's worker; the
+     * coordinator reads them strictly after the barrier join.
+     */
+    std::vector<std::vector<Message>> mailboxes;
+    /** Per-source post counters (written only by the source worker). */
+    std::vector<std::uint64_t> postSeq;
+
+    Tick minEdgeLatency = maxTick;
+    Tick windowOverride = 0;
+    std::uint64_t windowCount = 0;
+    std::uint64_t delivered = 0;
+    bool running = false;
+};
+
+} // namespace strand
+
+#endif // SIM_PDES_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Domain partitioning for PDES sharding.
+ *
+ * The production component graph communicates through synchronous
+ * zero-latency calls, so the honest partition fuses every core group
+ * with the shared fabric — one effective domain no matter how many
+ * shards are requested, with the responsible call paths logged. A
+ * decoupled graph (positive lookahead on every edge) keeps its
+ * domains and derives the window from the minimum edge lookahead.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/domain_partition.hh"
+#include "core/system.hh"
+
+namespace strand
+{
+namespace
+{
+
+TEST(DomainPartitionTest, AffinityTagsFollowTheirCore)
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    System sys(cfg);
+    EXPECT_EQ(sys.core(0).domainAffinity(), "core0");
+    EXPECT_EQ(sys.core(1).domainAffinity(), "core1");
+    EXPECT_EQ(sys.core(0).persistEngine().domainAffinity(), "core0");
+    EXPECT_EQ(sys.core(1).persistEngine().domainAffinity(), "core1");
+    EXPECT_EQ(sys.hierarchy().domainAffinity(), "shared");
+    EXPECT_EQ(sys.pmController().domainAffinity(), "shared");
+}
+
+TEST(DomainPartitionTest, ProductionGraphFusesToOneDomain)
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    System sys(cfg);
+    DomainPartition part = computeSystemPartition(sys, 4);
+
+    EXPECT_EQ(part.requestedShards, 4u);
+    ASSERT_EQ(part.effectiveDomains(), 1u);
+    // Every registered component landed in the single fused domain:
+    // hierarchy + PM controller + two cores + two engines.
+    EXPECT_EQ(part.domains[0].size(), 6u);
+    // Each core group fused with the shared fabric for a logged,
+    // human-readable reason naming the synchronous call path.
+    ASSERT_EQ(part.fusions.size(), 2u);
+    for (const DomainFusion &f : part.fusions) {
+        EXPECT_NE(f.reason.find("synchronous"), std::string::npos);
+        EXPECT_EQ(f.groupB, "shared");
+    }
+    // With everything fused the windowed loop falls back to the L1
+    // latency quantum.
+    EXPECT_EQ(part.windowTicks, cfg.caches.l1Latency);
+}
+
+TEST(DomainPartitionTest, DecoupledGraphKeepsDomainsAndWindow)
+{
+    DomainPartitionBuilder b;
+    b.addComponent("sys.a", "d0");
+    b.addComponent("sys.b", "d1");
+    b.addComponent("sys.c", "d2");
+    b.addEdge("d0", "d1", 3000, "mailboxed request path");
+    b.addEdge("d1", "d2", 2000, "mailboxed response path");
+    DomainPartition part = b.finalize(3, 500);
+
+    EXPECT_EQ(part.effectiveDomains(), 3u);
+    EXPECT_TRUE(part.fusions.empty());
+    // Window = minimum surviving cross-domain lookahead.
+    EXPECT_EQ(part.windowTicks, 2000u);
+    EXPECT_EQ(part.domainTags,
+              (std::vector<std::string>{"d0", "d1", "d2"}));
+}
+
+TEST(DomainPartitionTest, ZeroLookaheadEdgeFusesWithReason)
+{
+    DomainPartitionBuilder b;
+    b.addComponent("sys.a", "d0");
+    b.addComponent("sys.b", "d1");
+    b.addEdge("d0", "d1", 0, "synchronous call at T+0");
+    DomainPartition part = b.finalize(2, 700);
+
+    ASSERT_EQ(part.effectiveDomains(), 1u);
+    EXPECT_EQ(part.domains[0].size(), 2u);
+    ASSERT_EQ(part.fusions.size(), 1u);
+    EXPECT_EQ(part.fusions[0].reason, "synchronous call at T+0");
+    // No surviving cross-domain edge: the default window applies.
+    EXPECT_EQ(part.windowTicks, 700u);
+}
+
+TEST(DomainPartitionTest, ShardCapPacksClassesDeterministically)
+{
+    DomainPartitionBuilder b;
+    b.addComponent("sys.a", "d0");
+    b.addComponent("sys.b", "d1");
+    b.addComponent("sys.c", "d2");
+    b.addComponent("sys.d", "d3");
+    DomainPartition part = b.finalize(2, 100);
+
+    // Four independent classes packed round-robin into two domains.
+    ASSERT_EQ(part.effectiveDomains(), 2u);
+    EXPECT_EQ(part.domains[0],
+              (std::vector<std::string>{"sys.a", "sys.c"}));
+    EXPECT_EQ(part.domains[1],
+              (std::vector<std::string>{"sys.b", "sys.d"}));
+    EXPECT_EQ(part.windowTicks, 100u);
+}
+
+TEST(DomainPartitionTest, UnknownEdgeGroupPanics)
+{
+    DomainPartitionBuilder b;
+    b.addComponent("sys.a", "d0");
+    b.addEdge("d0", "ghost", 0, "edge into a group with no members");
+    EXPECT_THROW(b.finalize(1, 100), std::logic_error);
+}
+
+} // namespace
+} // namespace strand

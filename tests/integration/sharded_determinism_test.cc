@@ -1,0 +1,275 @@
+/**
+ * @file
+ * SW_SHARDS determinism: sharding is a performance knob, never a
+ * semantics knob.
+ *
+ * The contract under test: a run at any shard count is bit-identical
+ * to the serial run — same finish ticks, same persist trace (hashed
+ * and compared record for record), same aggregate metrics, same
+ * PMO-san counters, and same crash-recovery verdicts. The windowed
+ * run loop only paces how far the kernel may advance per step; it
+ * must never change what the kernel does. A mid-window
+ * System::snapshot()/restore() round trip under sharding must
+ * likewise replay bit-identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "crash/crash_harness.hh"
+#include "runtime/instrumentor.hh"
+#include "sanitizer/pmo_sanitizer.hh"
+
+namespace strand
+{
+namespace
+{
+
+/** FNV-1a over the persist trace: the cross-shard identity digest. */
+std::uint64_t
+traceHash(const std::vector<PersistRecord> &trace)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const PersistRecord &rec : trace) {
+        mix(rec.lineAddr);
+        mix(rec.when);
+        mix(rec.requester);
+        mix(static_cast<std::uint64_t>(rec.origin));
+    }
+    return h;
+}
+
+/** Streams and a shard-parameterized system factory. */
+struct Rig
+{
+    RecordedWorkload recorded;
+    InstrumentorParams ip;
+    std::vector<OpStream> streams;
+
+    Rig(HwDesign design, PersistencyModel model, LogStyle style)
+    {
+        WorkloadParams params;
+        params.numThreads = 3;
+        params.opsPerThread = 10;
+        params.seed = 31;
+        recorded = recordWorkload(WorkloadKind::Queue, params);
+        ip.design = design;
+        ip.model = model;
+        ip.logStyle = style;
+        Instrumentor instr(ip);
+        streams = instr.lower(recorded.trace);
+    }
+
+    std::unique_ptr<System>
+    buildSystem(unsigned shards)
+    {
+        SystemConfig cfg;
+        cfg.numCores = static_cast<unsigned>(streams.size());
+        cfg.design = ip.design;
+        cfg.layout = ip.layout;
+        cfg.shards = shards;
+        auto sys = std::make_unique<System>(cfg);
+        sys->seedImage(recorded.preload);
+        auto copies = streams;
+        sys->loadStreams(std::move(copies));
+        return sys;
+    }
+};
+
+/** Everything that must be bit-identical across shard counts. */
+struct Fingerprint
+{
+    std::vector<PersistRecord> trace;
+    std::uint64_t hash = 0;
+    Tick finish = 0;
+    std::vector<Tick> coreFinish;
+    double clwbs = 0;
+    double cycles = 0;
+    double persistStalls = 0;
+    std::uint64_t sanChecked = 0;
+    std::uint64_t sanViolations = 0;
+
+    static Fingerprint
+    of(System &sys, PmoSanitizer &san)
+    {
+        Fingerprint fp;
+        fp.trace = sys.persistTrace();
+        fp.hash = traceHash(fp.trace);
+        fp.finish = sys.finishTick();
+        for (CoreId i = 0; i < sys.numCores(); ++i)
+            fp.coreFinish.push_back(sys.finishTickOf(i));
+        fp.clwbs = sys.totalClwbs();
+        fp.cycles = sys.totalCycles();
+        fp.persistStalls = sys.totalPersistStalls();
+        fp.sanChecked = san.snapshotState().checkedCount;
+        fp.sanViolations = san.snapshotState().totalViolations;
+        return fp;
+    }
+
+    void
+    expectEqual(const Fingerprint &other, const std::string &label) const
+    {
+        EXPECT_EQ(hash, other.hash)
+            << label << ": persist-trace hashes differ";
+        EXPECT_TRUE(trace == other.trace)
+            << label << ": persist traces differ (" << trace.size()
+            << " vs " << other.trace.size() << " records)";
+        EXPECT_EQ(finish, other.finish) << label;
+        EXPECT_EQ(coreFinish, other.coreFinish) << label;
+        EXPECT_EQ(clwbs, other.clwbs) << label;
+        EXPECT_EQ(cycles, other.cycles) << label;
+        EXPECT_EQ(persistStalls, other.persistStalls) << label;
+        EXPECT_EQ(sanChecked, other.sanChecked) << label;
+        EXPECT_EQ(sanViolations, other.sanViolations) << label;
+    }
+};
+
+Fingerprint
+runSharded(Rig &rig, unsigned shards)
+{
+    auto sys = rig.buildSystem(shards);
+    PmoSanitizer san;
+    sys->addObserver(&san);
+    sys->run();
+    if (shards > 1) {
+        EXPECT_GT(sys->shardWindows(), 0u)
+            << "sharded run never exercised the windowed loop";
+    }
+    Fingerprint fp = Fingerprint::of(*sys, san);
+    sys->removeObserver(&san);
+    return fp;
+}
+
+class ShardedDeterminism : public ::testing::TestWithParam<HwDesign>
+{
+};
+
+TEST_P(ShardedDeterminism, UndoAndRedoRunsBitIdenticalAcrossShards)
+{
+    const HwDesign design = GetParam();
+    struct Lowering
+    {
+        PersistencyModel model;
+        LogStyle style;
+        const char *label;
+    };
+    const Lowering lowerings[] = {
+        {PersistencyModel::Sfr, LogStyle::Undo, "undo"},
+        {PersistencyModel::Txn, LogStyle::Redo, "redo"},
+    };
+    for (const Lowering &low : lowerings) {
+        Rig rig(design, low.model, low.style);
+        Fingerprint serial = runSharded(rig, 1);
+        ASSERT_GT(serial.trace.size(), 0u)
+            << low.label << ": workload produced no persists";
+        for (unsigned shards : {2u, 4u}) {
+            Fingerprint sharded = runSharded(rig, shards);
+            serial.expectEqual(sharded,
+                               std::string(low.label) + " shards=" +
+                                   std::to_string(shards));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, ShardedDeterminism, ::testing::ValuesIn(allDesigns),
+    [](const ::testing::TestParamInfo<HwDesign> &info) {
+        std::string name = hwDesignName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(ShardedDeterminismCrash, RecoveryVerdictsBitIdentical)
+{
+    WorkloadParams params;
+    params.numThreads = 2;
+    params.opsPerThread = 16;
+    params.seed = 7;
+    RecordedWorkload recorded =
+        recordWorkload(WorkloadKind::Hashmap, params);
+
+    auto cell = [&](unsigned shards) {
+        CrashHarnessConfig config;
+        config.pointBudget = 12;
+        config.pmosan = true;
+        config.experiment.baseSystem.shards = shards;
+        return runCrashCell(recorded, HwDesign::StrandWeaver,
+                            PersistencyModel::Sfr, config);
+    };
+    const CrashCellResult serial = cell(1);
+    ASSERT_GT(serial.pointsTested, 0u);
+    EXPECT_EQ(serial.pointsPassed, serial.pointsTested);
+
+    for (unsigned shards : {2u, 4u}) {
+        const CrashCellResult sharded = cell(shards);
+        const std::string label = "shards=" + std::to_string(shards);
+        EXPECT_EQ(sharded.pointsTested, serial.pointsTested) << label;
+        EXPECT_EQ(sharded.pointsPassed, serial.pointsPassed) << label;
+        EXPECT_EQ(sharded.pointsInjected, serial.pointsInjected)
+            << label;
+        EXPECT_EQ(sharded.totalRolledBack, serial.totalRolledBack)
+            << label;
+        EXPECT_EQ(sharded.totalReplayed, serial.totalReplayed)
+            << label;
+        ASSERT_EQ(sharded.failures.size(), serial.failures.size())
+            << label;
+        for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+            EXPECT_EQ(sharded.failures[i].when,
+                      serial.failures[i].when)
+                << label;
+            EXPECT_EQ(sharded.failures[i].violation,
+                      serial.failures[i].violation)
+                << label;
+        }
+    }
+}
+
+TEST(ShardedDeterminismSnapshot, MidWindowRestoreReplaysBitIdentically)
+{
+    Rig rig(HwDesign::StrandWeaver, PersistencyModel::Sfr,
+            LogStyle::Undo);
+
+    // Uninterrupted sharded reference run.
+    Fingerprint reference = runSharded(rig, 4);
+    ASSERT_GT(reference.finish, 0u);
+
+    // Pick a capture tick that is deliberately NOT aligned to the
+    // window quantum, so the capture lands mid-window.
+    const Tick mid = (reference.finish / 2) | 1;
+
+    auto sys = rig.buildSystem(4);
+    PmoSanitizer san;
+    sys->addObserver(&san);
+    ASSERT_FALSE(sys->runUntil(mid));
+    SimSnapshot snap = sys->snapshot();
+    const PmoSanitizer::State sanAtCapture = san.snapshotState();
+
+    // Finish the interrupted run and fingerprint it.
+    sys->run();
+    Fingerprint first = Fingerprint::of(*sys, san);
+    reference.expectEqual(first, "interrupted sharded run");
+
+    // Rewind and replay the tail: still bit-identical.
+    sys->restore(snap);
+    san.restoreState(sanAtCapture);
+    sys->run();
+    Fingerprint replay = Fingerprint::of(*sys, san);
+    reference.expectEqual(replay, "mid-window restore replay");
+    sys->removeObserver(&san);
+}
+
+} // namespace
+} // namespace strand

@@ -371,6 +371,46 @@ TEST_F(EngineFixture, HopsOfenceOrdersEpochsInPersistBuffer)
     EXPECT_EQ(order[1], lineB);
 }
 
+TEST_F(EngineFixture, HopsStrictAdmissionGatesStoresAcrossOfence)
+{
+    // The strict-admission knob closes the tolerated modeling gap:
+    // a store guarded by a delegated ofence may not even enter the
+    // cache until every pre-ofence CLWB has *completed* — so the log
+    // entry's ADR admission strictly precedes the update's and no
+    // amplified media drop can cut one without the other.
+    EngineConfig config;
+    config.hopsStrictAdmission = true;
+    build(HwDesign::Hops, config);
+    dirty(lineA, 1);
+    dispatch(Op::clwb(lineA), 10);
+    dispatch(Op::ofence(), 11);
+    EXPECT_FALSE(engine->storeMayIssue(12));
+    engine->evaluate();
+    // Issue alone (the interlock's release point) is not enough.
+    EXPECT_FALSE(engine->storeMayIssue(12));
+    eq.run();
+    engine->evaluate();
+    EXPECT_TRUE(engine->storeMayIssue(12));
+}
+
+TEST_F(EngineFixture, HopsStrictAdmissionCoversDrainPoints)
+{
+    // Strict admission implies the interlock's persist-queue
+    // coverage at write-back drain points.
+    EngineConfig config;
+    config.hopsStrictAdmission = true;
+    build(HwDesign::Hops, config);
+    dirty(lineA, 1);
+    dispatch(Op::clwb(lineA), 10);
+    engine->evaluate();
+    auto clearance = engine->recordDrainPoint();
+    ASSERT_TRUE(static_cast<bool>(clearance));
+    EXPECT_FALSE(clearance());
+    eq.run();
+    engine->evaluate();
+    EXPECT_TRUE(clearance());
+}
+
 TEST_F(EngineFixture, HopsDfenceEnforcesDurability)
 {
     build(HwDesign::Hops);

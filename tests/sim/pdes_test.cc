@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the conservative time-windowed PDES driver: window
+ * causality, the deterministic barrier-merge rule, bit-identity of
+ * results across worker counts, lookahead-violation panics, and
+ * per-domain snapshot round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/pdes.hh"
+#include "sim/snapshot.hh"
+
+namespace strand
+{
+namespace
+{
+
+/**
+ * A deterministic multi-domain workload: every domain runs a
+ * self-rescheduling tick chain and every third fire posts a message
+ * to the next domain in the ring. The trace records (domain, tick,
+ * payload) triples in each domain's dispatch order, with delivered
+ * messages folded in — any scheduling nondeterminism shows up as a
+ * trace mismatch.
+ */
+struct RingHarness
+{
+    static constexpr Tick latency = 2000;
+    static constexpr Tick period = 500;
+
+    explicit RingHarness(unsigned numDomains, unsigned firesPerChain)
+        : engine(numDomains), traces(numDomains)
+    {
+        for (DomainId d = 0; d < numDomains; ++d)
+            engine.connect(d, (d + 1) % numDomains, latency);
+        for (DomainId d = 0; d < numDomains; ++d) {
+            tickFns.emplace_back();
+            fires.push_back(0);
+        }
+        for (DomainId d = 0; d < numDomains; ++d) {
+            const DomainId next = (d + 1) % numDomains;
+            tickFns[d] = [this, d, next, firesPerChain,
+                          numDomains] {
+                EventQueue &dq = engine.domain(d);
+                traces[d].push_back({d, dq.curTick(), fires[d]});
+                if (++fires[d] % 3 == 0 && numDomains > 1) {
+                    const std::uint64_t payload = fires[d];
+                    engine.post(d, next, dq.curTick() + latency,
+                                [this, next, payload] {
+                                    traces[next].push_back(
+                                        {next,
+                                         engine.domain(next)
+                                             .curTick(),
+                                         1000 + payload});
+                                });
+                }
+                if (fires[d] < firesPerChain)
+                    dq.scheduleIn(period, tickFns[d],
+                                  EventPriority::CpuTick);
+            };
+            engine.domain(d).schedule(d * 10, tickFns[d],
+                                      EventPriority::CpuTick);
+        }
+    }
+
+    struct Entry
+    {
+        DomainId domain;
+        Tick when;
+        std::uint64_t payload;
+
+        bool
+        operator==(const Entry &other) const
+        {
+            return domain == other.domain && when == other.when &&
+                   payload == other.payload;
+        }
+    };
+
+    ShardedEngine engine;
+    std::vector<std::vector<Entry>> traces;
+    std::vector<EventQueue::Callback> tickFns;
+    std::vector<std::uint64_t> fires;
+};
+
+TEST(Pdes, SingleDomainRunsToCompletion)
+{
+    ShardedEngine engine(1);
+    std::vector<Tick> fired;
+    engine.domain(0).schedule(100, [&] { fired.push_back(100); });
+    engine.domain(0).schedule(300, [&] { fired.push_back(300); });
+    engine.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{100, 300}));
+    // No declared edges: the whole run is one unbounded window.
+    EXPECT_EQ(engine.windows(), 1u);
+    EXPECT_EQ(engine.messagesDelivered(), 0u);
+}
+
+TEST(Pdes, WindowWidthDefaultsToMinEdgeLatency)
+{
+    ShardedEngine engine(3);
+    engine.connect(0, 1, 5000);
+    engine.connect(1, 2, 3000);
+    engine.connect(2, 0, 8000);
+    EXPECT_EQ(engine.lookahead(), 3000u);
+    EXPECT_EQ(engine.windowTicks(), 3000u);
+    engine.setWindowTicks(1000);
+    EXPECT_EQ(engine.windowTicks(), 1000u);
+}
+
+TEST(Pdes, CrossDomainMessageDeliversAfterTheBarrier)
+{
+    ShardedEngine engine(2);
+    engine.connect(0, 1, 1000);
+    Tick deliveredAt = 0;
+    engine.domain(0).schedule(250, [&] {
+        engine.post(0, 1, 250 + 1000, [&] {
+            deliveredAt = engine.domain(1).curTick();
+        });
+    });
+    engine.run();
+    EXPECT_EQ(deliveredAt, 1250u);
+    EXPECT_GE(engine.windows(), 2u);
+    EXPECT_EQ(engine.messagesDelivered(), 1u);
+}
+
+TEST(Pdes, LookaheadViolationPanics)
+{
+    ShardedEngine engine(2);
+    engine.connect(0, 1, 1000);
+    engine.domain(0).schedule(500, [&] {
+        // Delivery before send + min latency breaks window causality.
+        engine.post(0, 1, 1200, [] {});
+    });
+    EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(Pdes, UndeclaredEdgeAndSelfEdgePanic)
+{
+    ShardedEngine engine(2);
+    EXPECT_THROW(engine.post(0, 1, 5000, [] {}),
+                 std::logic_error);
+    EXPECT_THROW(engine.connect(0, 0, 100), std::logic_error);
+    EXPECT_THROW(engine.connect(0, 1, 0), std::logic_error);
+}
+
+TEST(Pdes, WindowWiderThanLookaheadPanicsAtRun)
+{
+    ShardedEngine engine(2);
+    engine.connect(0, 1, 1000);
+    engine.setWindowTicks(2000);
+    engine.domain(0).schedule(0, [] {});
+    EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+/** The acceptance bar: identical traces at every worker count. */
+TEST(Pdes, TracesBitIdenticalAcrossWorkerCounts)
+{
+    constexpr unsigned numDomains = 4;
+    constexpr unsigned firesPerChain = 200;
+
+    RingHarness serial(numDomains, firesPerChain);
+    serial.engine.run(1);
+
+    for (unsigned workers : {2u, 4u}) {
+        RingHarness parallel(numDomains, firesPerChain);
+        parallel.engine.run(workers);
+        ASSERT_EQ(parallel.traces.size(), serial.traces.size());
+        for (DomainId d = 0; d < numDomains; ++d)
+            EXPECT_EQ(parallel.traces[d], serial.traces[d])
+                << "domain " << d << " diverged at " << workers
+                << " workers";
+        EXPECT_EQ(parallel.engine.windows(),
+                  serial.engine.windows());
+        EXPECT_EQ(parallel.engine.messagesDelivered(),
+                  serial.engine.messagesDelivered());
+        EXPECT_EQ(parallel.engine.eventsServiced(),
+                  serial.engine.eventsServiced());
+    }
+}
+
+/**
+ * The merge rule must also fix the order of same-tick deliveries from
+ * *different* sources: two domains post to the same destination for
+ * the same tick and priority; the lower source domain id wins.
+ */
+TEST(Pdes, BarrierMergeOrdersSameTickDeliveriesBySource)
+{
+    for (unsigned workers : {1u, 3u}) {
+        ShardedEngine engine(3);
+        engine.connect(1, 0, 1000);
+        engine.connect(2, 0, 1000);
+        std::vector<int> order;
+        // Post from the higher domain id first: arrival order into
+        // the mailboxes must not matter.
+        engine.domain(2).schedule(100, [&engine, &order] {
+            engine.post(2, 0, 2000, [&order] { order.push_back(2); });
+        });
+        engine.domain(1).schedule(200, [&engine, &order] {
+            engine.post(1, 0, 2000, [&order] { order.push_back(1); });
+        });
+        engine.run(workers);
+        EXPECT_EQ(order, (std::vector<int>{1, 2}))
+            << "at " << workers << " workers";
+    }
+}
+
+TEST(Pdes, PerSourceSeqBreaksRemainingTies)
+{
+    ShardedEngine engine(2);
+    engine.connect(0, 1, 1000);
+    std::vector<int> order;
+    engine.domain(0).schedule(0, [&engine, &order] {
+        engine.post(0, 1, 1500, [&order] { order.push_back(1); });
+        engine.post(0, 1, 1500, [&order] { order.push_back(2); });
+        engine.post(0, 1, 1500, [&order] { order.push_back(3); });
+    });
+    engine.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Pdes, SnapshotRoundTripsDomainQueues)
+{
+    ShardedEngine engine(2);
+    engine.connect(0, 1, 1000);
+    std::vector<std::string> log;
+    engine.domain(0).schedule(100, [&] { log.push_back("a@100"); });
+    engine.domain(1).schedule(700, [&] { log.push_back("b@700"); });
+
+    SimSnapshot snap;
+    engine.saveState(snap);
+    EXPECT_EQ(snap.size(), 3u); // two domain queues + engine counters
+
+    engine.run();
+    std::vector<std::string> first = log;
+    EXPECT_EQ(first, (std::vector<std::string>{"a@100", "b@700"}));
+
+    log.clear();
+    engine.restoreState(snap);
+    engine.run();
+    EXPECT_EQ(log, first);
+}
+
+TEST(Pdes, SnapshotWithParkedMessagesPanics)
+{
+    ShardedEngine engine(2);
+    engine.connect(0, 1, 1000);
+    engine.post(0, 1, 1000, [] {});
+    SimSnapshot snap;
+    EXPECT_THROW(engine.saveState(snap), std::logic_error);
+}
+
+} // namespace
+} // namespace strand
