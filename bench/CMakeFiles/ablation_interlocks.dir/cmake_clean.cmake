@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interlocks.dir/ablation_interlocks.cc.o"
+  "CMakeFiles/ablation_interlocks.dir/ablation_interlocks.cc.o.d"
+  "ablation_interlocks"
+  "ablation_interlocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_matrix.dir/crash_matrix.cc.o"
+  "CMakeFiles/crash_matrix.dir/crash_matrix.cc.o.d"
+  "crash_matrix"
+  "crash_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

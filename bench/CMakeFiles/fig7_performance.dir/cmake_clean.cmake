@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_performance.dir/fig7_performance.cc.o"
+  "CMakeFiles/fig7_performance.dir/fig7_performance.cc.o.d"
+  "fig7_performance"
+  "fig7_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_stalls.dir/fig8_stalls.cc.o"
+  "CMakeFiles/fig8_stalls.dir/fig8_stalls.cc.o.d"
+  "fig8_stalls"
+  "fig8_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

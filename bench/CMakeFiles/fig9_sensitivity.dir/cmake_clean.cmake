@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sensitivity.dir/fig9_sensitivity.cc.o"
+  "CMakeFiles/fig9_sensitivity.dir/fig9_sensitivity.cc.o.d"
+  "fig9_sensitivity"
+  "fig9_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_campaign.dir/fuzz_campaign.cc.o"
+  "CMakeFiles/fuzz_campaign.dir/fuzz_campaign.cc.o.d"
+  "fuzz_campaign"
+  "fuzz_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simperf.dir/simperf.cc.o"
+  "CMakeFiles/simperf.dir/simperf.cc.o.d"
+  "simperf"
+  "simperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ckc.dir/table2_ckc.cc.o"
+  "CMakeFiles/table2_ckc.dir/table2_ckc.cc.o.d"
+  "table2_ckc"
+  "table2_ckc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ckc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

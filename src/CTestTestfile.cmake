@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("cache")
+subdirs("cpu")
+subdirs("persist")
+subdirs("runtime")
+subdirs("workloads")
+subdirs("sanitizer")
+subdirs("core")
+subdirs("crash")
+subdirs("fuzz")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_cache.dir/cache_array.cc.o"
+  "CMakeFiles/sw_cache.dir/cache_array.cc.o.d"
+  "CMakeFiles/sw_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/sw_cache.dir/hierarchy.cc.o.d"
+  "libsw_cache.a"
+  "libsw_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_core.dir/domain_partition.cc.o"
+  "CMakeFiles/sw_core.dir/domain_partition.cc.o.d"
+  "CMakeFiles/sw_core.dir/env_config.cc.o"
+  "CMakeFiles/sw_core.dir/env_config.cc.o.d"
+  "CMakeFiles/sw_core.dir/experiment.cc.o"
+  "CMakeFiles/sw_core.dir/experiment.cc.o.d"
+  "CMakeFiles/sw_core.dir/result_sink.cc.o"
+  "CMakeFiles/sw_core.dir/result_sink.cc.o.d"
+  "CMakeFiles/sw_core.dir/sweep.cc.o"
+  "CMakeFiles/sw_core.dir/sweep.cc.o.d"
+  "CMakeFiles/sw_core.dir/system.cc.o"
+  "CMakeFiles/sw_core.dir/system.cc.o.d"
+  "libsw_core.a"
+  "libsw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_cpu.dir/core.cc.o"
+  "CMakeFiles/sw_cpu.dir/core.cc.o.d"
+  "CMakeFiles/sw_cpu.dir/op.cc.o"
+  "CMakeFiles/sw_cpu.dir/op.cc.o.d"
+  "libsw_cpu.a"
+  "libsw_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_crash.dir/crash_harness.cc.o"
+  "CMakeFiles/sw_crash.dir/crash_harness.cc.o.d"
+  "CMakeFiles/sw_crash.dir/crash_oracle.cc.o"
+  "CMakeFiles/sw_crash.dir/crash_oracle.cc.o.d"
+  "CMakeFiles/sw_crash.dir/media_faults.cc.o"
+  "CMakeFiles/sw_crash.dir/media_faults.cc.o.d"
+  "libsw_crash.a"
+  "libsw_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_fuzz.dir/adversary.cc.o"
+  "CMakeFiles/sw_fuzz.dir/adversary.cc.o.d"
+  "CMakeFiles/sw_fuzz.dir/campaign.cc.o"
+  "CMakeFiles/sw_fuzz.dir/campaign.cc.o.d"
+  "CMakeFiles/sw_fuzz.dir/decision.cc.o"
+  "CMakeFiles/sw_fuzz.dir/decision.cc.o.d"
+  "CMakeFiles/sw_fuzz.dir/fuzz_trial.cc.o"
+  "CMakeFiles/sw_fuzz.dir/fuzz_trial.cc.o.d"
+  "CMakeFiles/sw_fuzz.dir/repro.cc.o"
+  "CMakeFiles/sw_fuzz.dir/repro.cc.o.d"
+  "CMakeFiles/sw_fuzz.dir/shrink.cc.o"
+  "CMakeFiles/sw_fuzz.dir/shrink.cc.o.d"
+  "libsw_fuzz.a"
+  "libsw_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_mem.dir/mem_controller.cc.o"
+  "CMakeFiles/sw_mem.dir/mem_controller.cc.o.d"
+  "libsw_mem.a"
+  "libsw_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_persist.dir/design.cc.o"
+  "CMakeFiles/sw_persist.dir/design.cc.o.d"
+  "CMakeFiles/sw_persist.dir/intel_engine.cc.o"
+  "CMakeFiles/sw_persist.dir/intel_engine.cc.o.d"
+  "CMakeFiles/sw_persist.dir/pmo.cc.o"
+  "CMakeFiles/sw_persist.dir/pmo.cc.o.d"
+  "CMakeFiles/sw_persist.dir/strand_buffer_unit.cc.o"
+  "CMakeFiles/sw_persist.dir/strand_buffer_unit.cc.o.d"
+  "CMakeFiles/sw_persist.dir/strand_engine.cc.o"
+  "CMakeFiles/sw_persist.dir/strand_engine.cc.o.d"
+  "libsw_persist.a"
+  "libsw_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsw_persist.a"
+)

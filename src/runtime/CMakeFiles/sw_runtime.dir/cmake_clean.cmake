@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_runtime.dir/instrumentor.cc.o"
+  "CMakeFiles/sw_runtime.dir/instrumentor.cc.o.d"
+  "CMakeFiles/sw_runtime.dir/recovery.cc.o"
+  "CMakeFiles/sw_runtime.dir/recovery.cc.o.d"
+  "libsw_runtime.a"
+  "libsw_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sanitizer/pmo_sanitizer.cc" "src/sanitizer/CMakeFiles/sw_sanitizer.dir/pmo_sanitizer.cc.o" "gcc" "src/sanitizer/CMakeFiles/sw_sanitizer.dir/pmo_sanitizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/mem/CMakeFiles/sw_mem.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/sw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

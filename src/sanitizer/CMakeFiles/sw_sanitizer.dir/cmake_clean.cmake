@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_sanitizer.dir/pmo_sanitizer.cc.o"
+  "CMakeFiles/sw_sanitizer.dir/pmo_sanitizer.cc.o.d"
+  "libsw_sanitizer.a"
+  "libsw_sanitizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

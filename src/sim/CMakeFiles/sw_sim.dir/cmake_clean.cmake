@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_sim.dir/event_queue.cc.o"
+  "CMakeFiles/sw_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/sw_sim.dir/logging.cc.o"
+  "CMakeFiles/sw_sim.dir/logging.cc.o.d"
+  "CMakeFiles/sw_sim.dir/pdes.cc.o"
+  "CMakeFiles/sw_sim.dir/pdes.cc.o.d"
+  "CMakeFiles/sw_sim.dir/random.cc.o"
+  "CMakeFiles/sw_sim.dir/random.cc.o.d"
+  "CMakeFiles/sw_sim.dir/stats.cc.o"
+  "CMakeFiles/sw_sim.dir/stats.cc.o.d"
+  "libsw_sim.a"
+  "libsw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

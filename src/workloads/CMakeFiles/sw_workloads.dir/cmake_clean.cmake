@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_workloads.dir/array_swap.cc.o"
+  "CMakeFiles/sw_workloads.dir/array_swap.cc.o.d"
+  "CMakeFiles/sw_workloads.dir/hashmap.cc.o"
+  "CMakeFiles/sw_workloads.dir/hashmap.cc.o.d"
+  "CMakeFiles/sw_workloads.dir/nstore.cc.o"
+  "CMakeFiles/sw_workloads.dir/nstore.cc.o.d"
+  "CMakeFiles/sw_workloads.dir/queue.cc.o"
+  "CMakeFiles/sw_workloads.dir/queue.cc.o.d"
+  "CMakeFiles/sw_workloads.dir/rbtree.cc.o"
+  "CMakeFiles/sw_workloads.dir/rbtree.cc.o.d"
+  "CMakeFiles/sw_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/sw_workloads.dir/tpcc.cc.o.d"
+  "CMakeFiles/sw_workloads.dir/workload.cc.o"
+  "CMakeFiles/sw_workloads.dir/workload.cc.o.d"
+  "libsw_workloads.a"
+  "libsw_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("core")
+subdirs("mem")
+subdirs("cache")
+subdirs("cpu")
+subdirs("persist")
+subdirs("runtime")
+subdirs("workloads")
+subdirs("sanitizer")
+subdirs("integration")
+subdirs("crash")
+subdirs("fuzz")

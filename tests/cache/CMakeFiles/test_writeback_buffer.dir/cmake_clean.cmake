@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_writeback_buffer.dir/writeback_buffer_test.cc.o"
+  "CMakeFiles/test_writeback_buffer.dir/writeback_buffer_test.cc.o.d"
+  "test_writeback_buffer"
+  "test_writeback_buffer.pdb"
+  "test_writeback_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_writeback_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cache
+# Build directory: /root/repo/tests/cache
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/cache/test_cache_array[1]_include.cmake")
+include("/root/repo/tests/cache/test_writeback_buffer[1]_include.cmake")
+include("/root/repo/tests/cache/test_hierarchy[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_config.dir/env_config_test.cc.o"
+  "CMakeFiles/test_env_config.dir/env_config_test.cc.o.d"
+  "test_env_config"
+  "test_env_config.pdb"
+  "test_env_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

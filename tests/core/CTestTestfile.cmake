@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/core/test_domain_partition[1]_include.cmake")
+include("/root/repo/tests/core/test_env_config[1]_include.cmake")
+include("/root/repo/tests/core/test_sweep[1]_include.cmake")

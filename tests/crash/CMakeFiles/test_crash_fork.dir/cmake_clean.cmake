@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_fork.dir/crash_fork_test.cc.o"
+  "CMakeFiles/test_crash_fork.dir/crash_fork_test.cc.o.d"
+  "test_crash_fork"
+  "test_crash_fork.pdb"
+  "test_crash_fork[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_harness.dir/crash_harness_test.cc.o"
+  "CMakeFiles/test_crash_harness.dir/crash_harness_test.cc.o.d"
+  "test_crash_harness"
+  "test_crash_harness.pdb"
+  "test_crash_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

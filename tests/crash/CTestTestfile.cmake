@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/crash
+# Build directory: /root/repo/tests/crash
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/crash/test_crash_harness[1]_include.cmake")
+include("/root/repo/tests/crash/test_crash_fork[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_decision.dir/decision_test.cc.o"
+  "CMakeFiles/test_fuzz_decision.dir/decision_test.cc.o.d"
+  "test_fuzz_decision"
+  "test_fuzz_decision.pdb"
+  "test_fuzz_decision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

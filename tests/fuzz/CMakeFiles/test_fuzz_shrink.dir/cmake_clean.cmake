@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_shrink.dir/shrink_test.cc.o"
+  "CMakeFiles/test_fuzz_shrink.dir/shrink_test.cc.o.d"
+  "test_fuzz_shrink"
+  "test_fuzz_shrink.pdb"
+  "test_fuzz_shrink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_trial.dir/fuzz_trial_test.cc.o"
+  "CMakeFiles/test_fuzz_trial.dir/fuzz_trial_test.cc.o.d"
+  "test_fuzz_trial"
+  "test_fuzz_trial.pdb"
+  "test_fuzz_trial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_trial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_media_fuzz.dir/media_fuzz_test.cc.o"
+  "CMakeFiles/test_media_fuzz.dir/media_fuzz_test.cc.o.d"
+  "test_media_fuzz"
+  "test_media_fuzz.pdb"
+  "test_media_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_media_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fuzz
+# Build directory: /root/repo/tests/fuzz
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/fuzz/test_fuzz_decision[1]_include.cmake")
+include("/root/repo/tests/fuzz/test_fuzz_shrink[1]_include.cmake")
+include("/root/repo/tests/fuzz/test_fuzz_trial[1]_include.cmake")
+include("/root/repo/tests/fuzz/test_media_fuzz[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_matrix.dir/design_matrix_test.cc.o"
+  "CMakeFiles/test_design_matrix.dir/design_matrix_test.cc.o.d"
+  "test_design_matrix"
+  "test_design_matrix.pdb"
+  "test_design_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_litmus.dir/hw_litmus_test.cc.o"
+  "CMakeFiles/test_hw_litmus.dir/hw_litmus_test.cc.o.d"
+  "test_hw_litmus"
+  "test_hw_litmus.pdb"
+  "test_hw_litmus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmo_conformance.dir/pmo_conformance_test.cc.o"
+  "CMakeFiles/test_pmo_conformance.dir/pmo_conformance_test.cc.o.d"
+  "test_pmo_conformance"
+  "test_pmo_conformance.pdb"
+  "test_pmo_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmo_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded_determinism.dir/sharded_determinism_test.cc.o"
+  "CMakeFiles/test_sharded_determinism.dir/sharded_determinism_test.cc.o.d"
+  "test_sharded_determinism"
+  "test_sharded_determinism.pdb"
+  "test_sharded_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshot_restore.dir/snapshot_restore_test.cc.o"
+  "CMakeFiles/test_snapshot_restore.dir/snapshot_restore_test.cc.o.d"
+  "test_snapshot_restore"
+  "test_snapshot_restore.pdb"
+  "test_snapshot_restore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshot_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

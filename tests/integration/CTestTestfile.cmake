@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/integration/test_crash_recovery[1]_include.cmake")
+include("/root/repo/tests/integration/test_hw_litmus[1]_include.cmake")
+include("/root/repo/tests/integration/test_pmo_conformance[1]_include.cmake")
+include("/root/repo/tests/integration/test_design_matrix[1]_include.cmake")
+include("/root/repo/tests/integration/test_snapshot_restore[1]_include.cmake")
+include("/root/repo/tests/integration/test_sharded_determinism[1]_include.cmake")

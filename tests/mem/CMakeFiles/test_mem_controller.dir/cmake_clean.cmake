@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_controller.dir/mem_controller_test.cc.o"
+  "CMakeFiles/test_mem_controller.dir/mem_controller_test.cc.o.d"
+  "test_mem_controller"
+  "test_mem_controller.pdb"
+  "test_mem_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_image.dir/memory_image_test.cc.o"
+  "CMakeFiles/test_memory_image.dir/memory_image_test.cc.o.d"
+  "test_memory_image"
+  "test_memory_image.pdb"
+  "test_memory_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persist_order.dir/persist_order_test.cc.o"
+  "CMakeFiles/test_persist_order.dir/persist_order_test.cc.o.d"
+  "test_persist_order"
+  "test_persist_order.pdb"
+  "test_persist_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persist_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

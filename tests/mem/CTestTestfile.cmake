@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mem
+# Build directory: /root/repo/tests/mem
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/mem/test_memory_image[1]_include.cmake")
+include("/root/repo/tests/mem/test_mem_controller[1]_include.cmake")
+include("/root/repo/tests/mem/test_persist_order[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines.dir/engines_test.cc.o"
+  "CMakeFiles/test_engines.dir/engines_test.cc.o.d"
+  "test_engines"
+  "test_engines.pdb"
+  "test_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmo.dir/pmo_test.cc.o"
+  "CMakeFiles/test_pmo.dir/pmo_test.cc.o.d"
+  "test_pmo"
+  "test_pmo.pdb"
+  "test_pmo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strand_buffer_unit.dir/strand_buffer_unit_test.cc.o"
+  "CMakeFiles/test_strand_buffer_unit.dir/strand_buffer_unit_test.cc.o.d"
+  "test_strand_buffer_unit"
+  "test_strand_buffer_unit.pdb"
+  "test_strand_buffer_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strand_buffer_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

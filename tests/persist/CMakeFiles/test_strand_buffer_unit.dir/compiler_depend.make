@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_strand_buffer_unit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/persist
+# Build directory: /root/repo/tests/persist
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/persist/test_pmo[1]_include.cmake")
+include("/root/repo/tests/persist/test_strand_buffer_unit[1]_include.cmake")
+include("/root/repo/tests/persist/test_engines[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instrumentor.dir/instrumentor_test.cc.o"
+  "CMakeFiles/test_instrumentor.dir/instrumentor_test.cc.o.d"
+  "test_instrumentor"
+  "test_instrumentor.pdb"
+  "test_instrumentor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instrumentor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

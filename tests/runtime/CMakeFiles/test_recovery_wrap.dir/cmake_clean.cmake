@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery_wrap.dir/recovery_wrap_test.cc.o"
+  "CMakeFiles/test_recovery_wrap.dir/recovery_wrap_test.cc.o.d"
+  "test_recovery_wrap"
+  "test_recovery_wrap.pdb"
+  "test_recovery_wrap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery_wrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

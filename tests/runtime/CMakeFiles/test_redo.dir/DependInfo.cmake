@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/redo_test.cc" "tests/runtime/CMakeFiles/test_redo.dir/redo_test.cc.o" "gcc" "tests/runtime/CMakeFiles/test_redo.dir/redo_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/sw_core.dir/DependInfo.cmake"
+  "/root/repo/src/crash/CMakeFiles/sw_crash.dir/DependInfo.cmake"
+  "/root/repo/src/sanitizer/CMakeFiles/sw_sanitizer.dir/DependInfo.cmake"
+  "/root/repo/src/workloads/CMakeFiles/sw_workloads.dir/DependInfo.cmake"
+  "/root/repo/src/runtime/CMakeFiles/sw_runtime.dir/DependInfo.cmake"
+  "/root/repo/src/persist/CMakeFiles/sw_persist.dir/DependInfo.cmake"
+  "/root/repo/src/cpu/CMakeFiles/sw_cpu.dir/DependInfo.cmake"
+  "/root/repo/src/cache/CMakeFiles/sw_cache.dir/DependInfo.cmake"
+  "/root/repo/src/mem/CMakeFiles/sw_mem.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/sw_sim.dir/DependInfo.cmake"
+  "/root/repo/src/fuzz/CMakeFiles/sw_fuzz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

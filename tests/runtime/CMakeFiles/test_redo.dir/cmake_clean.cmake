@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redo.dir/redo_test.cc.o"
+  "CMakeFiles/test_redo.dir/redo_test.cc.o.d"
+  "test_redo"
+  "test_redo.pdb"
+  "test_redo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

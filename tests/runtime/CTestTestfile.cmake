@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/runtime
+# Build directory: /root/repo/tests/runtime
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/runtime/test_recorder[1]_include.cmake")
+include("/root/repo/tests/runtime/test_instrumentor[1]_include.cmake")
+include("/root/repo/tests/runtime/test_recovery[1]_include.cmake")
+include("/root/repo/tests/runtime/test_recovery_wrap[1]_include.cmake")
+include("/root/repo/tests/runtime/test_redo[1]_include.cmake")
+include("/root/repo/tests/runtime/test_heap[1]_include.cmake")

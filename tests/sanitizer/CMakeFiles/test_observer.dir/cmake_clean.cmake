@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observer.dir/observer_test.cc.o"
+  "CMakeFiles/test_observer.dir/observer_test.cc.o.d"
+  "test_observer"
+  "test_observer.pdb"
+  "test_observer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

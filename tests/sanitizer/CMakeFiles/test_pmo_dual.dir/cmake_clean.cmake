@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmo_dual.dir/pmo_dual_test.cc.o"
+  "CMakeFiles/test_pmo_dual.dir/pmo_dual_test.cc.o.d"
+  "test_pmo_dual"
+  "test_pmo_dual.pdb"
+  "test_pmo_dual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmo_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmo_sanitizer.dir/pmo_sanitizer_test.cc.o"
+  "CMakeFiles/test_pmo_sanitizer.dir/pmo_sanitizer_test.cc.o.d"
+  "test_pmo_sanitizer"
+  "test_pmo_sanitizer.pdb"
+  "test_pmo_sanitizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmo_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sanitizer
+# Build directory: /root/repo/tests/sanitizer
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/sanitizer/test_observer[1]_include.cmake")
+include("/root/repo/tests/sanitizer/test_pmo_sanitizer[1]_include.cmake")
+include("/root/repo/tests/sanitizer/test_pmo_dual[1]_include.cmake")

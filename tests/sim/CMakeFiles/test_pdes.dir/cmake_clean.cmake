@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdes.dir/pdes_test.cc.o"
+  "CMakeFiles/test_pdes.dir/pdes_test.cc.o.d"
+  "test_pdes"
+  "test_pdes.pdb"
+  "test_pdes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

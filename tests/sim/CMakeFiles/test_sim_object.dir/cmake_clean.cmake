@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_object.dir/sim_object_test.cc.o"
+  "CMakeFiles/test_sim_object.dir/sim_object_test.cc.o.d"
+  "test_sim_object"
+  "test_sim_object.pdb"
+  "test_sim_object[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/sim/test_event_queue[1]_include.cmake")
+include("/root/repo/tests/sim/test_pdes[1]_include.cmake")
+include("/root/repo/tests/sim/test_stats[1]_include.cmake")
+include("/root/repo/tests/sim/test_random[1]_include.cmake")
+include("/root/repo/tests/sim/test_logging[1]_include.cmake")
+include("/root/repo/tests/sim/test_format[1]_include.cmake")
+include("/root/repo/tests/sim/test_sim_object[1]_include.cmake")
+include("/root/repo/tests/sim/test_snapshot[1]_include.cmake")
