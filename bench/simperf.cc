@@ -35,14 +35,19 @@
  *                   bench; the wall-clock ratio is the threading
  *                   payoff. The CI guard compares shard2/shard1 as a
  *                   ratio (warn-only: machine load can flatten it).
+ *   port_roundtrip  the MemPort mailbox itself: chained send →
+ *                   handleRequest → respond round trips against a
+ *                   minimal responder. Each trip costs two scheduled
+ *                   events and 2*portLegLatency simulated ticks; the
+ *                   section reports trips and events per second.
  *   fig7_cell_sharded
- *                   fig7_cell again at SW_SHARDS=2. The production
- *                   component graph communicates by synchronous
- *                   zero-latency calls, so the partitioner fuses it
- *                   to ONE effective domain and this section is
- *                   honest about the consequence: expect ~1.0x vs
- *                   fig7_cell (windowed pacing of one queue), not a
- *                   parallel speedup. See DESIGN.md §8.
+ *                   fig7_cell again at SW_SHARDS=2. The port-based
+ *                   memory API gives the production graph 1+nCores
+ *                   effective domains with a positive window (see
+ *                   DESIGN.md §9), so this measures the windowed
+ *                   pacing of the real partition; results stay
+ *                   bit-identical to the serial run (asserted in the
+ *                   integration suite).
  *
  * Everything is seeded and sized by constants, so the *work* is
  * identical run to run; only the wall-clock varies. Results land in
@@ -64,6 +69,7 @@
 #include "core/env_config.hh"
 #include "core/observer_util.hh"
 #include "mem/memory_image.hh"
+#include "mem/port.hh"
 #include "runtime/instrumentor.hh"
 #include "sim/event_queue.hh"
 #include "sim/pdes.hh"
@@ -387,14 +393,70 @@ runPdesShard(unsigned workers, std::uint64_t &checksum)
     return s;
 }
 
+/**
+ * The port mailbox hot path in isolation: one requester chains
+ * round trips against a responder that answers every request
+ * immediately. Two event-queue schedules per trip (request leg +
+ * response leg), 2*portLegLatency simulated ticks each.
+ */
+Section
+runPortRoundtrip()
+{
+    struct Echo : MemResponder
+    {
+        void
+        handleRequest(MemPort &port, const MemRequest &req) override
+        {
+            port.respond(
+                {req.kind, MemResponseKind::Done, req.token});
+        }
+    };
+    constexpr std::uint64_t trips = 400'000;
+    EventQueue eq;
+    Echo echo;
+    MemPort port;
+    port.init(eq, "bench.port");
+    port.bind(echo);
+    std::uint64_t completed = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    port.setResponseHandler([&](const MemResponse &) {
+        if (++completed < trips) {
+            MemRequest next;
+            next.kind = MemRequestKind::Kick;
+            next.token = completed;
+            port.send(std::move(next));
+        }
+    });
+    MemRequest first;
+    first.kind = MemRequestKind::Kick;
+    port.send(std::move(first));
+    eq.run();
+    fatalIf(completed != trips,
+            "port_roundtrip: {} of {} trips completed", completed,
+            trips);
+    fatalIf(eq.curTick() != trips * 2 * portLegLatency,
+            "port_roundtrip: {} ticks for {} trips (expected {} per "
+            "trip)",
+            eq.curTick(), trips, 2 * portLegLatency);
+    Section s{"port_roundtrip", trips, msSince(t0), 0};
+    s.unitsPerSec = 1e3 * static_cast<double>(s.units) / s.wallMs;
+    std::printf("port_roundtrip:  trips=%llu events=%llu "
+                "ticks_per_trip=%llu wall_ms=%.1f trips_per_sec=%.3g\n",
+                static_cast<unsigned long long>(trips),
+                static_cast<unsigned long long>(eq.serviced()),
+                static_cast<unsigned long long>(2 * portLegLatency),
+                s.wallMs, s.unitsPerSec);
+    return s;
+}
+
 Section
 runFig7CellSharded()
 {
-    // The honest production number: SW_SHARDS=2 on the real machine.
-    // The partitioner fuses the graph to one effective domain (see
-    // DESIGN.md §8), so this measures the windowed pacing overhead
-    // on a serial queue — expected ~1.0x vs fig7_cell, and the
-    // results stay bit-identical (asserted in the integration suite).
+    // The production number: SW_SHARDS=2 on the real machine. The
+    // port-based API partitions the graph into 1+nCores effective
+    // domains with a positive window (DESIGN.md §9); results stay
+    // bit-identical to the serial run (asserted in the integration
+    // suite), so this section measures the pacing cost/payoff only.
     WorkloadParams params;
     params.numThreads = 4;
     params.opsPerThread = 80;
@@ -411,8 +473,7 @@ runFig7CellSharded()
     Section s{"fig7_cell_sharded", runs, msSince(t0), 0};
     s.unitsPerSec = 1e3 * static_cast<double>(s.units) / s.wallMs;
     std::printf("fig7_sharded:    runs=%u run_ticks=%llu wall_ms=%.1f "
-                "host_events=%llu events_per_sec=%.3g (fused: 1 "
-                "effective domain)\n",
+                "host_events=%llu events_per_sec=%.3g\n",
                 runs, static_cast<unsigned long long>(m.runTicks),
                 s.wallMs,
                 static_cast<unsigned long long>(runs * m.hostEvents),
@@ -449,6 +510,7 @@ main(int argc, char **argv)
                 "pdes_shard{} checksum {:x} diverged from serial {:x}",
                 workers, check, check1);
     }
+    sections.push_back(runPortRoundtrip());
     sections.push_back(runFig7CellSharded());
 
     namespace fs = std::filesystem;

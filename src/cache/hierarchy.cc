@@ -12,10 +12,10 @@ Hierarchy::Hierarchy(std::string name, EventQueue &eq, MemoryImage &image,
                      MemController &pmCtrl, MemController &dramCtrl,
                      stats::StatGroup *parent)
     : SimObject(std::move(name), eq, parent),
-      // The tag-only hierarchy is one monolithic component whose
-      // tryLoad/tryStore/tryFlush paths mutate shared MSHR state at
-      // call time: it anchors the shared PDES domain, and every
-      // core's zero-latency edge into it fuses with it.
+      // The tag-only hierarchy is one monolithic component that
+      // anchors the shared PDES domain; cores reach it exclusively
+      // through latency-carrying MemPorts, so its MSHR state is only
+      // ever mutated from the shared domain's own event stream.
       loadHits(this, "loadHits", "L1 load hits"),
       loadMisses(this, "loadMisses", "L1 load misses"),
       storeHits(this, "storeHits", "L1 store hits (owned line)"),
@@ -43,12 +43,32 @@ Hierarchy::Hierarchy(std::string name, EventQueue &eq, MemoryImage &image,
     dramCtrl.addRetryCallback([this] { scheduleKick(); });
     kickEvent.init(eq, [this] { kick(); }, EventPriority::Default);
     retryKick = [this] { scheduleKick(); };
+
+    pmPort.init(eq, fullName() + ".pmPort");
+    pmPort.bind(pmCtrl);
+    pmPort.setResponseHandler(
+        [this](const MemResponse &resp) { onControllerResponse(resp); });
+    dramPort.init(eq, fullName() + ".dramPort");
+    dramPort.bind(dramCtrl);
+    dramPort.setResponseHandler(
+        [this](const MemResponse &resp) { onControllerResponse(resp); });
 }
 
-MemController &
-Hierarchy::controllerFor(Addr addr)
+MemPort &
+Hierarchy::portFor(Addr addr)
 {
-    return isPersistentAddr(addr) ? pmCtrl : dramCtrl;
+    return isPersistentAddr(addr) ? pmPort : dramPort;
+}
+
+void
+Hierarchy::sendToController(PacketPtr pkt)
+{
+    MemRequest req;
+    req.kind = MemRequestKind::Packet;
+    req.core = pkt->requester;
+    req.addr = pkt->addr;
+    req.pkt = pkt;
+    portFor(req.addr).send(std::move(req));
 }
 
 Hierarchy::Clearance
@@ -80,6 +100,7 @@ Hierarchy::kick()
 {
     drainWritebacks();
     drainL2Evicts();
+    drainAllLineWrites();
     // Retry parked transactions in arrival order; anything still
     // blocked goes back on the list.
     std::deque<Parked> work;
@@ -88,8 +109,6 @@ Hierarchy::kick()
         if (!item.attempt())
             parked.push_back(std::move(item));
     }
-    if (wakeCallback)
-        wakeCallback();
 }
 
 void
@@ -108,11 +127,73 @@ Hierarchy::prewarmL2(Addr start, Addr end)
 }
 
 // ---------------------------------------------------------------------
-// CPU-side interface
+// CPU-side interface (port request servicing)
 // ---------------------------------------------------------------------
 
+void
+Hierarchy::handleRequest(MemPort &port, const MemRequest &req)
+{
+    // The port outlives every in-flight message (both are owned by
+    // permanent components), so capturing its address in completion
+    // closures is snapshot-safe.
+    MemPort *reply = &port;
+    const std::uint64_t token = req.token;
+    switch (req.kind) {
+    case MemRequestKind::Load: {
+        bool accepted = startLoad(req.core, req.addr, [reply, token] {
+            reply->respond({MemRequestKind::Load, MemResponseKind::Done,
+                            token});
+        });
+        if (!accepted)
+            port.respond({MemRequestKind::Load, MemResponseKind::Nack,
+                          token});
+        return;
+    }
+    case MemRequestKind::Store: {
+        bool accepted =
+            startStore(req.core, req.addr, req.value, [reply, token] {
+                reply->respond({MemRequestKind::Store,
+                                MemResponseKind::Done, token});
+            });
+        // The admission decision always goes back explicitly: Ack so
+        // the requester may issue its next store, Nack to retry this
+        // one. Completion (Done) follows an Ack strictly later —
+        // the L1 latency exceeds any port leg.
+        port.respond({MemRequestKind::Store,
+                      accepted ? MemResponseKind::Ack
+                               : MemResponseKind::Nack,
+                      token});
+        return;
+    }
+    case MemRequestKind::Flush: {
+        startFlush(
+            req.core, req.addr,
+            [reply, token](bool wrotePm) {
+                MemResponse resp{MemRequestKind::Flush,
+                                 MemResponseKind::Done, token};
+                resp.wrotePm = wrotePm;
+                reply->respond(std::move(resp));
+            },
+            [reply, token] {
+                reply->respond({MemRequestKind::Flush,
+                                MemResponseKind::FlushStarted, token});
+            });
+        return;
+    }
+    case MemRequestKind::Kick:
+        // Response-less doorbell: a persist engine's drain point
+        // cleared after our own completion kick had already run.
+        scheduleKick();
+        return;
+    case MemRequestKind::Packet:
+        break;
+    }
+    panic("hierarchy cannot service request kind {}",
+          static_cast<int>(req.kind));
+}
+
 bool
-Hierarchy::tryLoad(CoreId core, Addr addr, std::function<void()> onDone)
+Hierarchy::startLoad(CoreId core, Addr addr, std::function<void()> onDone)
 {
     Addr la = lineAlign(addr);
     L1 &l1 = cores.at(core);
@@ -145,8 +226,8 @@ Hierarchy::tryLoad(CoreId core, Addr addr, std::function<void()> onDone)
 }
 
 bool
-Hierarchy::tryStore(CoreId core, Addr addr, std::uint64_t value,
-                    std::function<void()> onDone)
+Hierarchy::startStore(CoreId core, Addr addr, std::uint64_t value,
+                      std::function<void()> onDone)
 {
     Addr la = lineAlign(addr);
     L1 &l1 = cores.at(core);
@@ -365,7 +446,9 @@ Hierarchy::serviceMiss(CoreId core, Addr lineAddr, bool exclusive)
             return;
         }
 
-        // 3. Fetch from memory.
+        // 3. Fetch from memory. The L2 MSHR is claimed before the
+        // packet is mailed; a controller Nack keeps the claim and
+        // remails the same packet once the controller signals space.
         auto fetch = [this, core, lineAddr, exclusive]() -> bool {
             if (l2MissesInFlight >= params.l2Mshrs)
                 return false;
@@ -383,9 +466,8 @@ Hierarchy::serviceMiss(CoreId core, Addr lineAddr, bool exclusive)
                     });
                 });
             pkt->id = nextPacketId++;
-            if (!controllerFor(lineAddr).tryRequest(pkt))
-                return false;
             ++l2MissesInFlight;
+            sendToController(std::move(pkt));
             return true;
         };
         if (!fetch())
@@ -548,17 +630,19 @@ Hierarchy::queueL2Evict(Addr lineAddr, Clearance clearance)
 void
 Hierarchy::drainL2Evicts()
 {
-    while (!pendingL2Evicts.empty()) {
-        PendingEvict &head = pendingL2Evicts.front();
-        if (head.clearance && !head.clearance())
-            break;
-        auto pkt = makeWritePacket(head.data, 0, WriteOrigin::WriteBack,
-                                   nullptr);
-        pkt->id = nextPacketId++;
-        if (!controllerFor(head.lineAddr).tryRequest(pkt))
-            break;
-        pendingL2Evicts.pop_front();
-    }
+    // One eviction is in the mail at a time; the next departs when
+    // the controller's Ack pops the head (a Nack leaves it queued
+    // for the retry kick).
+    if (evictInFlight || pendingL2Evicts.empty())
+        return;
+    PendingEvict &head = pendingL2Evicts.front();
+    if (head.clearance && !head.clearance())
+        return;
+    auto pkt = makeWritePacket(head.data, 0, WriteOrigin::WriteBack,
+                               nullptr);
+    pkt->id = nextPacketId++;
+    evictInFlight = true;
+    sendToController(std::move(pkt));
 }
 
 // ---------------------------------------------------------------------
@@ -568,27 +652,8 @@ Hierarchy::drainL2Evicts()
 void
 Hierarchy::sendLineWrite(Addr lineAddr, PacketPtr pkt)
 {
-    auto &queue = lineSendQueues[lineAddr];
-    bool hadBacklog = !queue.empty();
-    queue.push_back(std::move(pkt));
+    lineSendQueues[lineAddr].queue.push_back(std::move(pkt));
     drainLineWrites(lineAddr);
-    auto it = lineSendQueues.find(lineAddr);
-    if (it->second.empty()) {
-        lineSendQueues.erase(it);
-        return;
-    }
-    if (hadBacklog)
-        return; // a retry for this line is already parked
-    park([this, lineAddr] {
-        drainLineWrites(lineAddr);
-        auto entry = lineSendQueues.find(lineAddr);
-        if (entry == lineSendQueues.end() || entry->second.empty()) {
-            if (entry != lineSendQueues.end())
-                lineSendQueues.erase(entry);
-            return true;
-        }
-        return false;
-    });
 }
 
 void
@@ -597,18 +662,80 @@ Hierarchy::drainLineWrites(Addr lineAddr)
     auto it = lineSendQueues.find(lineAddr);
     if (it == lineSendQueues.end())
         return;
-    auto &queue = it->second;
-    while (!queue.empty()) {
-        if (!controllerFor(lineAddr).tryRequest(queue.front()))
-            break;
-        queue.pop_front();
-    }
+    LineSendQueue &q = it->second;
+    // One write per line in the mail: the successor departs only on
+    // the predecessor's Ack, so same-line snapshots enter the
+    // controller strictly in content order even across Nack retries.
+    if (q.inFlight || q.queue.empty())
+        return;
+    q.inFlight = true;
+    sendToController(q.queue.front());
 }
 
 void
-Hierarchy::tryFlush(CoreId core, Addr addr,
-                    std::function<void(bool)> onDone,
-                    std::function<void()> onStarted)
+Hierarchy::drainAllLineWrites()
+{
+    for (auto &entry : lineSendQueues)
+        drainLineWrites(entry.first);
+}
+
+void
+Hierarchy::onControllerResponse(const MemResponse &resp)
+{
+    const PacketPtr &pkt = resp.pkt;
+    panicIf(!pkt, "controller response without a packet");
+    const bool acked = resp.kind == MemResponseKind::Ack;
+
+    switch (pkt->cmd) {
+    case MemCmd::Read:
+    case MemCmd::ReadExclusive:
+        // Completion arrives separately through pkt->onResponse; the
+        // admission decision is all that is routed here. A Nack
+        // remails the identical packet when the controller's retry
+        // callback kicks us (the L2 MSHR claim is still held).
+        if (!acked) {
+            park([this, pkt] {
+                sendToController(pkt);
+                return true;
+            });
+        }
+        return;
+    case MemCmd::Write:
+        if (pkt->origin == WriteOrigin::WriteBack) {
+            panicIf(!evictInFlight,
+                    "evict admission reply without an evict in the mail");
+            evictInFlight = false;
+            if (acked) {
+                pendingL2Evicts.pop_front();
+                drainL2Evicts();
+            }
+            return;
+        }
+        // CLWB flush write: the head of this line's send queue.
+        {
+            auto it = lineSendQueues.find(pkt->addr);
+            panicIf(it == lineSendQueues.end() || !it->second.inFlight ||
+                        it->second.queue.front() != pkt,
+                    "flush-write admission reply does not match the "
+                    "line head");
+            it->second.inFlight = false;
+            if (acked) {
+                it->second.queue.pop_front();
+                if (it->second.queue.empty())
+                    lineSendQueues.erase(it);
+                else
+                    drainLineWrites(pkt->addr);
+            }
+        }
+        return;
+    }
+    panic("controller response with unknown packet command");
+}
+
+void
+Hierarchy::startFlush(CoreId core, Addr addr,
+                      std::function<void(bool)> onDone,
+                      std::function<void()> onStarted)
 {
     Addr la = lineAlign(addr);
     ++activeTransactions;
@@ -707,6 +834,7 @@ Hierarchy::saveState(SimSnapshot &snap) const
     // them with the live run.
     s.lineSendQueues = lineSendQueues;
     s.pendingL2Evicts = pendingL2Evicts;
+    s.evictInFlight = evictInFlight;
     s.parked = parked;
     s.activeTransactions = activeTransactions;
     s.nextPacketId = nextPacketId;
@@ -732,6 +860,7 @@ Hierarchy::restoreState(const SimSnapshot &snap)
     busyLines = s.busyLines;
     lineSendQueues = s.lineSendQueues;
     pendingL2Evicts = s.pendingL2Evicts;
+    evictInFlight = s.evictInFlight;
     parked = s.parked;
     activeTransactions = s.activeTransactions;
     nextPacketId = s.nextPacketId;

@@ -36,6 +36,7 @@
 #include "cache/writeback_buffer.hh"
 #include "core/observer.hh"
 #include "mem/mem_controller.hh"
+#include "mem/port.hh"
 #include "sim/sim_object.hh"
 
 namespace strand
@@ -80,8 +81,15 @@ struct HierarchyParams
 
 /**
  * The complete coherent cache subsystem for one simulated machine.
+ *
+ * CPU-side access is exclusively through MemPorts: cores and persist
+ * engines mail Load/Store/Flush/Kick requests and receive
+ * Ack/Nack/FlushStarted/Done responses one port leg later. The
+ * hierarchy in turn owns one port per memory controller for its own
+ * fills and persists, so every admission decision in the machine is
+ * an explicit asynchronous response, never a same-tick return value.
  */
-class Hierarchy : public SimObject
+class Hierarchy : public SimObject, public MemResponder
 {
   public:
     /**
@@ -103,14 +111,6 @@ class Hierarchy : public SimObject
               MemController &pmCtrl, MemController &dramCtrl,
               stats::StatGroup *parent = nullptr);
 
-    /** Invoked after each kick(); wakes sleeping cores whose blocked
-     * requests may now succeed. */
-    void
-    setWakeCallback(std::function<void()> cb)
-    {
-        wakeCallback = std::move(cb);
-    }
-
     /** Install the persist-interlock recorder for @p core. */
     void
     setDrainPointRecorder(CoreId core, DrainPointRecorder recorder)
@@ -130,29 +130,21 @@ class Hierarchy : public SimObject
     void prewarmL2(Addr start, Addr end);
 
     /**
-     * Issue a load. @return false if no MSHR is available (caller
-     * retries); otherwise @p onDone fires when data is available.
+     * Service one mailed request, from the shared domain's event
+     * stream:
+     *  - Load: Nack if no MSHR is available (requester retries);
+     *    otherwise Done(token) when data is available.
+     *  - Store: Nack if no MSHR (retry), else Ack(token) at
+     *    admission and Done(token) when the store is written into
+     *    the (exclusively owned) L1 line; the architectural image is
+     *    updated at that point.
+     *  - Flush: always absorbed (internal queuing hides controller
+     *    back-pressure); FlushStarted(token) when the cache read
+     *    happens, then Done(token, wrotePm) — wrotePm true at the
+     *    ADR ack of a dirty line, false after a clean lookup.
+     *  - Kick: response-less doorbell; re-evaluates parked work.
      */
-    bool tryLoad(CoreId core, Addr addr, std::function<void()> onDone);
-
-    /**
-     * Issue a store (write-allocate). The architectural image is
-     * updated and @p onDone fires when the store is written into the
-     * (exclusively owned) L1 line. @return false if no MSHR.
-     */
-    bool tryStore(CoreId core, Addr addr, std::uint64_t value,
-                  std::function<void()> onDone);
-
-    /**
-     * Flush the line containing @p addr on behalf of a CLWB from
-     * @p core. If a dirty copy exists anywhere, its content is
-     * written to the PM controller and @p onDone(true) fires at the
-     * ADR ack; otherwise @p onDone(false) fires after the lookup.
-     * Always succeeds (internal queuing absorbs back-pressure).
-     */
-    void tryFlush(CoreId core, Addr addr,
-                  std::function<void(bool)> onDone,
-                  std::function<void()> onStarted = {});
+    void handleRequest(MemPort &port, const MemRequest &req) override;
 
     /**
      * Re-evaluate parked work (blocked write-backs, stalled snoops,
@@ -231,6 +223,22 @@ class Hierarchy : public SimObject
         unsigned mshrLimit = 0;
     };
 
+    /** @name Port request servicing (one per MemRequestKind) @{ */
+
+    /** @return false if no MSHR is available (the caller Nacks). */
+    bool startLoad(CoreId core, Addr addr, std::function<void()> onDone);
+
+    /** @return false if no MSHR is available (the caller Nacks). */
+    bool startStore(CoreId core, Addr addr, std::uint64_t value,
+                    std::function<void()> onDone);
+
+    /** Always accepted; see handleRequest() for the response shape. */
+    void startFlush(CoreId core, Addr addr,
+                    std::function<void(bool)> onDone,
+                    std::function<void()> onStarted);
+
+    /** @} */
+
     /** Begin a miss transaction; assumes MSHR already allocated. */
     void startMiss(CoreId core, Addr lineAddr, bool exclusive);
 
@@ -264,7 +272,14 @@ class Hierarchy : public SimObject
     /** Record a drain point with @p core's persist engine. */
     Clearance recordDrainPoint(CoreId core);
 
-    MemController &controllerFor(Addr addr);
+    /** The port toward the controller that owns @p addr. */
+    MemPort &portFor(Addr addr);
+
+    /** Mail @p pkt to its controller as a Packet request. */
+    void sendToController(PacketPtr pkt);
+
+    /** Route a controller Ack/Nack by the packet it carries. */
+    void onControllerResponse(const MemResponse &resp);
 
     void park(std::function<bool()> attempt);
     void scheduleKick();
@@ -273,6 +288,10 @@ class Hierarchy : public SimObject
     HierarchyParams params;
     MemController &pmCtrl;
     MemController &dramCtrl;
+
+    /** Mailboxes toward the two memory controllers. */
+    MemPort pmPort;
+    MemPort dramPort;
 
     std::vector<L1> cores;
     CacheArray l2;
@@ -286,9 +305,21 @@ class Hierarchy : public SimObject
      * a stale snapshot must never overwrite a fresher one). */
     void sendLineWrite(Addr lineAddr, PacketPtr pkt);
     void drainLineWrites(Addr lineAddr);
+    /** Pump every line queue; kick() calls this on controller retry. */
+    void drainAllLineWrites();
 
-    /** Per-line FIFO of flush writes awaiting controller space. */
-    std::unordered_map<Addr, std::deque<PacketPtr>> lineSendQueues;
+    /**
+     * Per-line FIFO of flush writes awaiting controller admission.
+     * At most one write per line is in the mail at a time (inFlight);
+     * the next departs when its predecessor's Ack returns, a Nack
+     * leaves the head queued for the next kick.
+     */
+    struct LineSendQueue
+    {
+        std::deque<PacketPtr> queue;
+        bool inFlight = false;
+    };
+    std::unordered_map<Addr, LineSendQueue> lineSendQueues;
 
     struct PendingEvict
     {
@@ -298,6 +329,8 @@ class Hierarchy : public SimObject
         Clearance clearance;
     };
     std::deque<PendingEvict> pendingL2Evicts;
+    /** Head of pendingL2Evicts is in the mail, awaiting Ack/Nack. */
+    bool evictInFlight = false;
 
     /** Volatile machine state captured by saveState(). */
     struct L1State
@@ -313,15 +346,15 @@ class Hierarchy : public SimObject
         CacheArray::State l2;
         unsigned l2MissesInFlight = 0;
         std::unordered_set<Addr> busyLines;
-        std::unordered_map<Addr, std::deque<PacketPtr>> lineSendQueues;
+        std::unordered_map<Addr, LineSendQueue> lineSendQueues;
         std::deque<PendingEvict> pendingL2Evicts;
+        bool evictInFlight = false;
         std::deque<Parked> parked;
         unsigned activeTransactions = 0;
         std::uint64_t nextPacketId = 1;
     };
 
     std::deque<Parked> parked;
-    std::function<void()> wakeCallback;
     ObserverHub *obsHub = nullptr;
     /** Retry/drain pump; armed at most once per tick. */
     EventQueue::Recurring kickEvent;

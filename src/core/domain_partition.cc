@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/system.hh"
+#include "mem/port.hh"
 #include "sim/logging.hh"
 
 namespace strand
@@ -100,14 +101,31 @@ DomainPartitionBuilder::finalize(unsigned requestedShards,
     }
 
     // Window: minimum lookahead among edges that still cross domains.
+    // The surviving edges are kept (and logged) so the derived window
+    // is explainable from the partition alone.
     Tick window = maxTick;
     for (const GroupEdge &e : groupEdges) {
         if (e.lookahead == 0)
             continue;
-        if (domainOf[groupIndex(e.a)] != domainOf[groupIndex(e.b)])
+        if (domainOf[groupIndex(e.a)] != domainOf[groupIndex(e.b)]) {
             window = std::min(window, e.lookahead);
+            part.crossEdges.push_back({e.a, e.b, e.lookahead, e.why});
+        }
     }
     part.windowTicks = window == maxTick ? defaultWindow : window;
+
+    inform("domain partition: {} affinity groups -> {} effective "
+           "domains (requested {})",
+           tags.size(), part.domains.size(), requestedShards);
+    for (const DomainFusion &f : part.fusions)
+        inform("  fused {} + {}: {}", f.groupA, f.groupB, f.reason);
+    for (const DomainEdge &e : part.crossEdges)
+        inform("  edge {} -> {}: lookahead {} ticks ({})", e.a, e.b,
+               e.lookahead, e.why);
+    inform("  window: {} ticks{}", part.windowTicks,
+           window == maxTick ? " (default; no surviving cross-domain "
+                               "edge)"
+                             : "");
     return part;
 }
 
@@ -121,28 +139,31 @@ computeSystemPartition(System &sys, unsigned shards)
                    sys.pmController().domainAffinity());
     for (CoreId id = 0; id < sys.numCores(); ++id) {
         Core &core = sys.core(id);
+        PersistEngine &engine = core.persistEngine();
         b.addComponent(core.fullName(), core.domainAffinity());
-        b.addComponent(core.persistEngine().fullName(),
-                       core.persistEngine().domainAffinity());
-        // The honest production edges. Requests are synchronous
-        // calls that mutate shared state at T+0, so the lookahead is
-        // zero and the groups must fuse; the response path does have
-        // a modeled latency and is recorded for the day the request
-        // path is mailboxed.
-        b.addEdge(core.domainAffinity(), "shared", 0,
-                  "synchronous Hierarchy::tryLoad/tryStore/tryFlush "
-                  "call path mutates shared MSHR state at T+0");
-        b.addEdge(core.domainAffinity(), "shared", 0,
-                  "synchronous MemController::tryRequest back-pressure "
-                  "returns admission decisions at T+0");
-        b.addEdge("shared", core.domainAffinity(),
-                  sys.config().caches.l1Latency,
-                  "modeled L1 response latency (usable lookahead once "
-                  "the request path is mailboxed)");
+        b.addComponent(engine.fullName(), engine.domainAffinity());
+        // The honest production edges. Every core-side component
+        // reaches the shared fabric through a MemPort whose legs
+        // declare a latency >= 1 tick (mem/port.hh forbids same-tick
+        // replies), so the lookahead is the minimum declared leg and
+        // nothing fuses. Engines without a port of their own report
+        // maxTick and impose no constraint beyond the core's.
+        const Tick reqLook = std::min(core.memPort().requestLatency(),
+                                      engine.portRequestLatency());
+        const Tick respLook =
+            std::min(core.memPort().responseLatency(),
+                     engine.portResponseLatency());
+        b.addEdge(core.domainAffinity(), "shared", reqLook,
+                  "port-declared request leg (min of core load/store "
+                  "mailbox and persist-engine flush mailbox)");
+        b.addEdge("shared", core.domainAffinity(), respLook,
+                  "port-declared response leg (min of core and "
+                  "persist-engine mailboxes)");
     }
-    // When everything fuses (the production case) the windowed loop
-    // still needs a width; the L1 latency is the natural quantum.
-    return b.finalize(shards, sys.config().caches.l1Latency);
+    // With a single requested shard every class packs into one domain
+    // and no cross-domain edge survives; the windowed loop still
+    // needs a width, and the port leg is the natural quantum.
+    return b.finalize(shards, portLegLatency);
 }
 
 } // namespace strand

@@ -13,15 +13,17 @@
  * land inside the window that produced it — so they are fused into
  * one domain, and the fusion is logged with the reason.
  *
- * The production StrandWeaver component graph communicates through
- * synchronous zero-latency calls (Core -> Hierarchy::tryStore/
- * tryLoad/tryFlush mutate shared MSHR state at T+0; the hierarchy
- * hits MemController::tryRequest back-pressure synchronously), so
- * computeSystemPartition() fuses every core group with the shared
- * fabric and the effective domain count is 1 regardless of the
- * requested SW_SHARDS. The log makes that honest and inspectable; a
- * future mailboxed request path would remove the zero-lookahead
- * edges and unlock real sharding without touching this partitioner.
+ * The production StrandWeaver component graph communicates
+ * exclusively through MemPort mailboxes (core loads/stores, engine
+ * flushes, hierarchy<->controller packets), and every port leg
+ * declares a latency >= 1 tick — same-tick replies are illegal by
+ * construction (mem/port.hh). computeSystemPartition() therefore
+ * yields 1 + nCores separate classes ("shared" plus one per core)
+ * with no fusions, and the window is the minimum declared port-leg
+ * latency across surviving cross-domain edges. The surviving edges
+ * (with their port-declared lookaheads) and the resulting window are
+ * recorded in DomainPartition::crossEdges and logged at Verbose
+ * (SW_LOG=2), so the output explains the partition either way.
  */
 
 #ifndef CORE_DOMAIN_PARTITION_HH
@@ -47,6 +49,18 @@ struct DomainFusion
     std::string reason;
 };
 
+/** One communication edge that survived between distinct domains. */
+struct DomainEdge
+{
+    /** Affinity tags of the communicating groups (a -> b). */
+    std::string a;
+    std::string b;
+    /** Port-declared minimum latency of the path, in ticks. */
+    Tick lookahead = 0;
+    /** The call path / port leg responsible. */
+    std::string why;
+};
+
 /** The resolved domain layout for one machine. */
 struct DomainPartition
 {
@@ -65,6 +79,13 @@ struct DomainPartition
 
     /** Every zero-lookahead fusion that reduced the domain count. */
     std::vector<DomainFusion> fusions;
+
+    /**
+     * Every declared edge that still crosses distinct effective
+     * domains, with its port-declared lookahead — the data the
+     * window is derived from (logged at Verbose).
+     */
+    std::vector<DomainEdge> crossEdges;
 
     /**
      * Window width a conservative engine may use: the minimum

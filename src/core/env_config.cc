@@ -89,6 +89,7 @@ parseEnvConfig(const std::function<const char *(const char *)> &get)
     config.mediaFlips = parseUnsigned(get, "SW_MEDIA_FLIPS", 0, 8);
     config.mediaDrop = parseUnsigned(get, "SW_MEDIA_DROP", 0, 8);
     config.mediaSeed = parseSeed(get, "SW_MEDIA_SEED");
+    config.logLevel = parseUnsigned(get, "SW_LOG", 0, 2);
     if (const char *value = get("SW_OUT_DIR"); value && *value)
         config.outDir = value;
     return config;
@@ -131,6 +132,8 @@ envKnobs()
          "max trailing ADR admissions dropped per crash point"},
         {"SW_MEDIA_SEED", "u64 (0x hex ok)", "fixed default",
          "seed of the media-fault stream"},
+        {"SW_LOG", "0..2", "1 (normal)",
+         "console log level (2 prints the PDES partition)"},
         {"SW_OUT_DIR", "path", "bench/out",
          "directory for JSON result files"},
     };
@@ -165,8 +168,19 @@ envKnobTable()
 const EnvConfig &
 envConfig()
 {
-    static const EnvConfig config = parseEnvConfig(
-        [](const char *name) { return std::getenv(name); });
+    static const EnvConfig config = [] {
+        EnvConfig parsed = parseEnvConfig(
+            [](const char *name) { return std::getenv(name); });
+        // The log level is process-global; apply it as soon as the
+        // environment is first consulted so partition logging and
+        // the like honor SW_LOG without per-caller plumbing.
+        if (parsed.logLevel) {
+            setLogLevel(*parsed.logLevel == 0   ? LogLevel::Quiet
+                        : *parsed.logLevel == 1 ? LogLevel::Normal
+                                                : LogLevel::Verbose);
+        }
+        return parsed;
+    }();
     return config;
 }
 

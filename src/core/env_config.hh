@@ -47,6 +47,9 @@
  *                   default 2)
  *   SW_MEDIA_SEED   seed of the media-fault stream (any u64;
  *                   0x-prefixed hex accepted)
+ *   SW_LOG          console log level: 0 quiet, 1 normal, 2 verbose
+ *                   (verbose prints the PDES partition: per-edge
+ *                   port-declared lookaheads and the derived window)
  *   SW_OUT_DIR      directory for JSON result files (default
  *                   bench/out)
  *
@@ -90,6 +93,8 @@ struct EnvConfig
     std::optional<unsigned> mediaFlips;
     std::optional<unsigned> mediaDrop;
     std::optional<std::uint64_t> mediaSeed;
+    /** Console log level (0 quiet / 1 normal / 2 verbose). */
+    std::optional<unsigned> logLevel;
     std::string outDir = "bench/out";
 };
 

@@ -26,11 +26,6 @@ System::System(const SystemConfig &config)
                                          cfg.numCores, cfg.caches,
                                          *pmCtrl, *dramCtrl, this);
 
-    caches->setWakeCallback([this] {
-        for (auto &core : cores)
-            core->wake();
-    });
-
     // ADR admissions fan out through the observer hub; the internal
     // trace recorder is the first subscriber so persistTrace() is
     // already updated when later observers see the same record.
@@ -177,14 +172,16 @@ System::shardWindowTicks()
 void
 System::runWindowed(Tick limit)
 {
-    // The production partition fuses to one effective domain (every
-    // core calls into the shared hierarchy synchronously), so all
-    // components share this system's single kernel queue and a
-    // "window" is simply a bounded runUntil step. The kernel
-    // services exactly the same events in exactly the same order as
-    // one unbounded run — the windows only pace how far the clock is
-    // allowed to advance per step — which is what makes SW_SHARDS a
-    // pure performance knob with bit-identical results.
+    // The production partition yields 1 + nCores effective domains
+    // (each core's mailbox legs declare a positive latency, so
+    // nothing fuses), but all components still share this system's
+    // single kernel queue and a "window" is a bounded runUntil step
+    // no wider than the partition's minimum cross-domain lookahead.
+    // The kernel services exactly the same events in exactly the
+    // same order as one unbounded run — the windows only pace how
+    // far the clock is allowed to advance per step — which is what
+    // makes SW_SHARDS a pure performance knob with bit-identical
+    // results.
     const Tick window = shardWindowTicks();
     panicIf(window == 0, "sharded run needs a window width >= 1");
     for (;;) {

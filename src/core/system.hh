@@ -55,11 +55,11 @@ struct SystemConfig
     DrainAdversary *adversary = nullptr;
     /**
      * PDES domains requested for this machine's run loop (0 = defer
-     * to SW_SHARDS; 1 = classic serial loop). The partitioner fuses
-     * groups joined by zero-lookahead edges, so the effective domain
-     * count may be lower than requested; either way results are
-     * bit-identical at any value — sharding is a performance knob,
-     * never a semantics knob.
+     * to SW_SHARDS; 1 = classic serial loop). The partitioner caps
+     * the request at the number of separable affinity classes
+     * (1 + nCores for the production port-based graph); either way
+     * results are bit-identical at any value — sharding is a
+     * performance knob, never a semantics knob.
      */
     unsigned shards = 0;
     /**
@@ -164,9 +164,11 @@ class System : public stats::StatGroup
 
     /**
      * The resolved domain partition (computed on first use). With
-     * the production graph every core group fuses with the shared
-     * fabric through zero-lookahead call paths, so the effective
-     * domain count is 1 and the fusion log says why.
+     * the production graph every core group reaches the shared
+     * fabric through MemPort mailboxes whose legs declare positive
+     * latency, so nothing fuses: the separable classes are "shared"
+     * plus one per core, and the window is the minimum declared
+     * port-leg latency (crossEdges records each surviving edge).
      */
     const DomainPartition &domainPartition();
 

@@ -11,7 +11,8 @@ Core::Core(std::string name, EventQueue &eq, CoreId id, Hierarchy &hier,
       opsDispatched(this, "dispatched", "ops dispatched"),
       opsCommitted(this, "committed", "ops committed"),
       storesIssued(this, "storesIssued", "stores issued to the L1"),
-      loadsIssued(this, "loadsIssued", "loads issued to the L1"),
+      loadsIssued(this, "loadsIssued",
+                  "load requests mailed to the L1 (retries included)"),
       stallCycles(this, "stallCycles", "dispatch stall cycles by cause",
                   static_cast<std::size_t>(StallCause::NumCauses)),
       sqOccupancy(this, "sqOccupancy", "store queue occupancy"),
@@ -66,7 +67,92 @@ Core::Core(std::string name, EventQueue &eq, CoreId id, Hierarchy &hier,
     this->engine->setWakeCallback([this] { wake(); });
     locks.addReleaseObserver([this] { wake(); });
 
+    port.init(eq, fullName() + ".port");
+    port.bind(hier);
+    port.setResponseHandler(
+        [this](const MemResponse &resp) { onMemResponse(resp); });
+
     tickEvent.init(eq, [this] { tick(); }, EventPriority::CpuTick);
+}
+
+void
+Core::onMemResponse(const MemResponse &resp)
+{
+    const SeqNum seq = resp.token;
+    switch (resp.req) {
+      case MemRequestKind::Load:
+        if (resp.kind == MemResponseKind::Nack) {
+            // No MSHR was free: clear the issue mark and retry from
+            // the next cycle.
+            for (LqEntry &e : loadQueue) {
+                if (e.seq == seq) {
+                    e.issued = false;
+                    break;
+                }
+            }
+            wake();
+            return;
+        }
+        for (LqEntry &e : loadQueue) {
+            if (e.seq == seq) {
+                e.completed = true;
+                break;
+            }
+        }
+        markRobDone(seq);
+        while (!loadQueue.empty() && loadQueue.front().completed)
+            loadQueue.pop_front();
+        ++workDone;
+        wake();
+        return;
+      case MemRequestKind::Store:
+        switch (resp.kind) {
+          case MemResponseKind::Ack:
+            // Admitted: the next store may go into the mail.
+            storeDecisionPending = false;
+            for (SqEntry &e : storeQueue) {
+                if (e.seq == seq) {
+                    e.issued = true;
+                    break;
+                }
+            }
+            unissuedStores.erase(seq);
+            ++storesIssued;
+            ++workDone;
+            wake();
+            return;
+          case MemResponseKind::Nack:
+            // No MSHR was free: the entry returns to the unsent pool
+            // and is remailed once the core ticks again.
+            storeDecisionPending = false;
+            for (SqEntry &e : storeQueue) {
+                if (e.seq == seq) {
+                    e.sent = false;
+                    break;
+                }
+            }
+            wake();
+            return;
+          case MemResponseKind::Done:
+            for (SqEntry &e : storeQueue) {
+                if (e.seq == seq) {
+                    e.completed = true;
+                    break;
+                }
+            }
+            incompleteStores.erase(seq);
+            drainStoreQueue();
+            ++workDone;
+            wake();
+            return;
+          default:
+            break;
+        }
+        break;
+      default:
+        break;
+    }
+    panic("{}: unexpected memory response kind", fullName());
 }
 
 void
@@ -108,6 +194,7 @@ Core::saveState(SimSnapshot &snap) const
     s.unissuedStores = unissuedStores;
     s.incompleteStores = incompleteStores;
     s.pendingReleases = pendingReleases;
+    s.storeDecisionPending = storeDecisionPending;
     s.computeBusyUntil = computeBusyUntil;
     s.stallReason = stallReason;
     s.isFinished = isFinished;
@@ -132,6 +219,7 @@ Core::restoreState(const SimSnapshot &snap)
     unissuedStores = s.unissuedStores;
     incompleteStores = s.incompleteStores;
     pendingReleases = s.pendingReleases;
+    storeDecisionPending = s.storeDecisionPending;
     computeBusyUntil = s.computeBusyUntil;
     stallReason = s.stallReason;
     isFinished = s.isFinished;
@@ -379,30 +467,26 @@ Core::issueStores()
     // drain, so a cycle that issued a persist op issues no store.
     if (engine->portBusy())
         return;
+    // Admission is asynchronous now: while an elder store's Ack/Nack
+    // is outstanding no younger store may go into the mail, or a
+    // Nacked elder could be overtaken and acceptance would leave
+    // program order.
+    if (storeDecisionPending)
+        return;
     for (SqEntry &entry : storeQueue) {
-        if (entry.issued)
+        if (entry.sent || entry.issued)
             continue;
         if (!engine->storeMayIssue(entry.seq))
             return;
-        SeqNum seq = entry.seq;
-        bool accepted = hier.tryStore(coreId, entry.addr, entry.value,
-                                      [this, seq] {
-            for (SqEntry &e : storeQueue) {
-                if (e.seq == seq) {
-                    e.completed = true;
-                    break;
-                }
-            }
-            incompleteStores.erase(seq);
-            drainStoreQueue();
-            ++workDone;
-            wake();
-        });
-        if (!accepted)
-            return;
-        entry.issued = true;
-        unissuedStores.erase(seq);
-        ++storesIssued;
+        entry.sent = true;
+        storeDecisionPending = true;
+        MemRequest req;
+        req.kind = MemRequestKind::Store;
+        req.core = coreId;
+        req.addr = entry.addr;
+        req.value = entry.value;
+        req.token = entry.seq;
+        port.send(std::move(req));
         return;
     }
 }
@@ -410,32 +494,24 @@ Core::issueStores()
 void
 Core::issueLoads()
 {
-    // Up to two load issues per cycle.
+    // Up to two load issues per cycle. Loads need no acceptance
+    // ordering between each other; a Nack simply clears the issue
+    // mark and the entry is remailed.
     unsigned issued = 0;
     for (LqEntry &entry : loadQueue) {
         if (issued >= 2)
             break;
         if (entry.issued)
             continue;
-        SeqNum seq = entry.seq;
-        bool accepted = hier.tryLoad(coreId, entry.addr, [this, seq] {
-            for (LqEntry &e : loadQueue) {
-                if (e.seq == seq) {
-                    e.completed = true;
-                    break;
-                }
-            }
-            markRobDone(seq);
-            while (!loadQueue.empty() && loadQueue.front().completed)
-                loadQueue.pop_front();
-            ++workDone;
-            wake();
-        });
-        if (!accepted)
-            break;
         entry.issued = true;
         ++loadsIssued;
         ++issued;
+        MemRequest req;
+        req.kind = MemRequestKind::Load;
+        req.core = coreId;
+        req.addr = entry.addr;
+        req.token = entry.seq;
+        port.send(std::move(req));
     }
 }
 

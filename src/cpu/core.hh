@@ -27,6 +27,7 @@
 #include "cache/hierarchy.hh"
 #include "cpu/lock_table.hh"
 #include "cpu/op.hh"
+#include "mem/port.hh"
 #include "persist/persist_engine.hh"
 #include "sim/sim_object.hh"
 
@@ -98,6 +99,10 @@ class Core : public ClockedObject
     CoreId id() const { return coreId; }
     PersistEngine &persistEngine() { return *engine; }
 
+    /** The core's mailbox to the hierarchy (partitioner reads its
+     * declared leg latencies as cross-domain lookahead). */
+    const MemPort &memPort() const { return port; }
+
     /** Attach the system's observer hub (dispatch events). */
     void setObserverHub(ObserverHub *hub) { obsHub = hub; }
 
@@ -135,8 +140,11 @@ class Core : public ClockedObject
         SeqNum seq = 0;
         Addr addr = 0;
         std::uint64_t value = 0;
+        /** Accepted by the L1 (the hierarchy Acked the request). */
         bool issued = false;
         bool completed = false;
+        /** In the mail, awaiting the hierarchy's Ack/Nack decision. */
+        bool sent = false;
     };
 
     struct LqEntry
@@ -148,6 +156,8 @@ class Core : public ClockedObject
     };
 
     void tick();
+    /** Route one port response (load/store Ack/Nack/Done). */
+    void onMemResponse(const MemResponse &resp);
     void dispatchOps();
     /** Free completed store-queue slots (in order; in the shared
      * NO-PERSIST-QUEUE design a slot waits for older persist ops). */
@@ -180,6 +190,16 @@ class Core : public ClockedObject
     std::unique_ptr<PersistEngine> engine;
     LockTable &locks;
     CoreParams params;
+
+    /** Mailbox to the hierarchy; all loads and stores travel here. */
+    MemPort port;
+    /**
+     * A store request is in the mail and its Ack/Nack has not come
+     * back. At most one store awaits its admission decision at a
+     * time, so acceptance stays in program order (a Nacked elder
+     * store can never be overtaken by a younger one).
+     */
+    bool storeDecisionPending = false;
 
     OpStream stream;
     std::size_t pc = 0;
@@ -216,6 +236,7 @@ class Core : public ClockedObject
         std::set<SeqNum> unissuedStores;
         std::set<SeqNum> incompleteStores;
         std::deque<PendingRelease> pendingReleases;
+        bool storeDecisionPending = false;
         Tick computeBusyUntil = 0;
         StallCause stallReason = StallCause::None;
         bool isFinished = false;

@@ -38,8 +38,8 @@ MemController::MemController(std::string name, EventQueue &eq,
       banks(params.banks)
 {
     fatalIf(params.banks == 0, "controller must have at least one bank");
-    // Memory controllers are reached synchronously by every core's
-    // cache path, so they anchor the shared PDES domain when sharded.
+    // Memory controllers service the shared cache fabric's ports, so
+    // they anchor the shared PDES domain when sharded.
     setDomainAffinity("shared");
     // Build every pooled slot (and its recurring completion event)
     // up front. Snapshot restore requires that no recurring event be
@@ -81,28 +81,37 @@ MemController::serviceOnBank(Addr addr, Tick earliest, Tick missLatency,
     return end;
 }
 
-bool
-MemController::tryRequest(const PacketPtr &pkt)
+void
+MemController::handleRequest(MemPort &port, const MemRequest &req)
 {
+    panicIf(req.kind != MemRequestKind::Packet,
+            "{}: controllers only service Packet requests", fullName());
+    const PacketPtr &pkt = req.pkt;
     panicIf(!pkt, "null packet");
+
+    bool accepted = false;
     switch (pkt->cmd) {
       case MemCmd::Read:
       case MemCmd::ReadExclusive:
-        if (readsInFlight >= params.readQueueEntries) {
-            ++numRetries;
-            return false;
-        }
-        handleRead(pkt);
-        return true;
+        accepted = readsInFlight < params.readQueueEntries;
+        if (accepted)
+            handleRead(pkt);
+        break;
       case MemCmd::Write:
-        if (writesInFlight >= params.writeQueueEntries) {
-            ++numRetries;
-            return false;
-        }
-        handleWrite(pkt);
-        return true;
+        accepted = writesInFlight < params.writeQueueEntries;
+        if (accepted)
+            handleWrite(pkt);
+        break;
     }
-    panic("unreachable memory command");
+    if (!accepted)
+        ++numRetries;
+
+    MemResponse resp;
+    resp.req = MemRequestKind::Packet;
+    resp.kind = accepted ? MemResponseKind::Ack : MemResponseKind::Nack;
+    resp.token = req.token;
+    resp.pkt = pkt;
+    port.respond(std::move(resp));
 }
 
 MemController::ReadSlot *
@@ -113,7 +122,7 @@ MemController::acquireReadSlot()
         freeReadSlots.pop_back();
         return slot;
     }
-    // Unreachable while tryRequest() bounds in-flight requests below
+    // Unreachable while admission bounds in-flight requests below
     // the eagerly built pool; kept as a defensive fallback.
     return newReadSlot();
 }
@@ -144,7 +153,7 @@ MemController::acquireWriteSlot()
         freeWriteSlots.pop_back();
         return slot;
     }
-    // Unreachable while tryRequest() bounds in-flight requests below
+    // Unreachable while admission bounds in-flight requests below
     // the eagerly built pool; kept as a defensive fallback.
     return newWriteSlot();
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mem/packet.hh"
+#include "mem/port.hh"
 #include "sim/sim_object.hh"
 
 namespace strand
@@ -69,10 +70,13 @@ MemControllerParams dramControllerParams();
 /**
  * A banked memory controller with bounded queues.
  *
- * tryRequest() returns false when the relevant queue is full; the
- * caller must retry after its retry callback fires.
+ * Transactions arrive as Packet-kind port requests. Admission is
+ * answered explicitly: Ack when the packet entered its queue, Nack
+ * (with the retry stat bumped) when the queue was full — the sender
+ * retries after the controller's retry callback fires. Completion is
+ * delivered separately through the packet's own onResponse.
  */
-class MemController : public ClockedObject
+class MemController : public ClockedObject, public MemResponder
 {
   public:
     /**
@@ -83,8 +87,8 @@ class MemController : public ClockedObject
                   const MemControllerParams &params, bool persistent,
                   stats::StatGroup *parent = nullptr);
 
-    /** Attempt to hand a packet to the controller. */
-    bool tryRequest(const PacketPtr &pkt);
+    /** Service one mailed Packet request: Ack or Nack its admission. */
+    void handleRequest(MemPort &port, const MemRequest &req) override;
 
     /** Register a callback invoked whenever queue space frees up. */
     void
@@ -139,7 +143,7 @@ class MemController : public ClockedObject
      * completion event whose callback is built once, when the slot is
      * first created, so steady-state request traffic schedules
      * without allocating. The pools are bounded by the queue-entry
-     * limits enforced in tryRequest().
+     * limits enforced at admission.
      */
     struct ReadSlot
     {

@@ -1,7 +1,8 @@
 /**
  * @file
- * Memory request packets exchanged between caches and memory
- * controllers.
+ * Memory messages: the typed requests/responses exchanged over
+ * MemPorts (core/engine <-> hierarchy, hierarchy <-> controller) and
+ * the line-granular packets that carry fills and persists.
  */
 
 #ifndef MEM_PACKET_HH
@@ -92,6 +93,71 @@ makeWritePacket(LineData data, CoreId requester, WriteOrigin origin,
     pkt->onResponse = std::move(onResponse);
     return pkt;
 }
+
+/**
+ * What a port request asks its responder to do. Load/Store/Flush are
+ * the CPU-side operations the hierarchy services; Packet carries a
+ * line-granular transaction from the hierarchy to a memory
+ * controller; Kick is a response-less doorbell that re-evaluates the
+ * responder's parked work (persist engines ring it when a drain
+ * point clears).
+ */
+enum class MemRequestKind : std::uint8_t
+{
+    Load,
+    Store,
+    Flush,
+    Packet,
+    Kick,
+};
+
+/**
+ * How a responder answered. Ack/Nack are the explicit admission
+ * decision (Nack = back-pressure, retry later); FlushStarted marks
+ * the point a flush performed its cache read; Done is the
+ * completion.
+ */
+enum class MemResponseKind : std::uint8_t
+{
+    Ack,
+    Nack,
+    FlushStarted,
+    Done,
+};
+
+/**
+ * One mailed request. The token is an opaque requester-chosen id
+ * echoed in every response to the request, so a requester with many
+ * outstanding operations can route completions without side tables.
+ */
+struct MemRequest
+{
+    MemRequestKind kind = MemRequestKind::Load;
+    CoreId core = 0;
+    Addr addr = 0;
+    /** Store data (Store kind only). */
+    std::uint64_t value = 0;
+    /** Requester-chosen id echoed in responses. */
+    std::uint64_t token = 0;
+    /** The transaction (Packet kind only). */
+    PacketPtr pkt;
+};
+
+/**
+ * One mailed response. @c req names the request kind being answered;
+ * the token is echoed from the request. Packet-kind responses carry
+ * the PacketPtr back so the requester can route on the packet's own
+ * cmd/origin/addr.
+ */
+struct MemResponse
+{
+    MemRequestKind req = MemRequestKind::Load;
+    MemResponseKind kind = MemResponseKind::Done;
+    std::uint64_t token = 0;
+    /** Flush Done only: the flush found dirty data and wrote PM. */
+    bool wrotePm = false;
+    PacketPtr pkt;
+};
 
 } // namespace strand
 

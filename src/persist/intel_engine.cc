@@ -15,8 +15,55 @@ IntelEngine::IntelEngine(std::string name, EventQueue &eq, CoreId core,
       clwbsCompleted(this, "clwbsCompleted", "CLWBs completed"),
       flushLatency(this, "flushLatency",
                    "CLWB issue-to-completion latency in ticks"),
-      core(core), hier(hier), params(params)
+      core(core), params(params)
 {
+    port.init(eq, fullName() + ".port");
+    port.bind(hier);
+    port.setResponseHandler(
+        [this](const MemResponse &resp) { onMemResponse(resp); });
+}
+
+Tick
+IntelEngine::portRequestLatency() const
+{
+    return port.requestLatency();
+}
+
+Tick
+IntelEngine::portResponseLatency() const
+{
+    return port.responseLatency();
+}
+
+void
+IntelEngine::onMemResponse(const MemResponse &resp)
+{
+    panicIf(resp.req != MemRequestKind::Flush,
+            "{}: unexpected memory response", fullName());
+    if (resp.kind == MemResponseKind::FlushStarted)
+        return; // SFENCE gating keys off completion, not the read
+    const SeqNum seq = resp.token;
+    for (Entry &e : queue) {
+        if (e.type == OpType::Clwb && e.seq == seq) {
+            e.completed = true;
+            noteCompletion();
+            emitRetired(PrimitiveKind::Clwb, seq, lineAlign(e.addr),
+                        !resp.wrotePm);
+            noteProgress();
+            ++clwbsCompleted;
+            flushLatency.sample(
+                static_cast<double>(curTick() - e.issuedAt));
+            break;
+        }
+    }
+    evaluate();
+    // Retirement just moved the drain-point frontier, strictly after
+    // the hierarchy's own completion kick ran — ring its doorbell so
+    // parked snoops/write-backs re-check their clearances.
+    MemRequest kick;
+    kick.kind = MemRequestKind::Kick;
+    kick.core = core;
+    port.send(std::move(kick));
 }
 
 bool
@@ -143,23 +190,12 @@ IntelEngine::issueEligible()
         entry.issued = true;
         entry.issuedAt = curTick();
         noteProgress();
-        SeqNum seq = entry.seq;
-        hier.tryFlush(core, entry.addr, [this, seq](bool wrotePm) {
-            for (Entry &e : queue) {
-                if (e.type == OpType::Clwb && e.seq == seq) {
-                    e.completed = true;
-                    noteCompletion();
-                    emitRetired(PrimitiveKind::Clwb, seq,
-                                lineAlign(e.addr), !wrotePm);
-                    noteProgress();
-                    ++clwbsCompleted;
-                    flushLatency.sample(
-                        static_cast<double>(curTick() - e.issuedAt));
-                    break;
-                }
-            }
-            evaluate();
-        });
+        MemRequest req;
+        req.kind = MemRequestKind::Flush;
+        req.core = core;
+        req.addr = entry.addr;
+        req.token = entry.seq;
+        port.send(std::move(req));
     }
 }
 

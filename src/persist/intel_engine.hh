@@ -61,6 +61,8 @@ class IntelEngine : public PersistEngine
     bool drained() const override;
     std::size_t queueOccupancy() const override;
     Hierarchy::Clearance recordDrainPoint() override;
+    Tick portRequestLatency() const override;
+    Tick portResponseLatency() const override;
 
     /** Capture / restore the CLWB/SFENCE queue. */
     void saveState(SimSnapshot &snap) const override;
@@ -97,10 +99,13 @@ class IntelEngine : public PersistEngine
 
     void issueEligible();
     void retire();
+    /** Route one flush response (token = CLWB seq). */
+    void onMemResponse(const MemResponse &resp);
 
     CoreId core;
-    Hierarchy &hier;
     IntelEngineParams params;
+    /** Mailbox to the hierarchy; all CLWB flushes travel here. */
+    MemPort port;
     std::deque<Entry> queue;
     /** Seq of the newest entry retired; monotonic. */
     SeqNum lastRetiredSeq = 0;

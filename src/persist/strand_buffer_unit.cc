@@ -19,11 +19,69 @@ StrandBufferUnit::StrandBufferUnit(std::string name, EventQueue &eq,
       strandsStarted(this, "strandsStarted", "NewStrand operations"),
       flushLatency(this, "flushLatency",
                    "CLWB issue-to-completion latency in ticks"),
-      core(core), hier(hier), params(params), buffers(params.numBuffers)
+      core(core), params(params), buffers(params.numBuffers)
 {
     fatalIf(params.numBuffers == 0 || params.entriesPerBuffer == 0,
             "strand buffer unit needs at least one buffer and entry");
     retryEvaluate = [this] { evaluate(); };
+    port.init(eq, fullName() + ".port");
+    port.bind(hier);
+    port.setResponseHandler(
+        [this](const MemResponse &resp) { onMemResponse(resp); });
+}
+
+namespace
+{
+
+/** Flush tokens carry the entry's home buffer in the top bits. */
+constexpr unsigned tokenBufferShift = 48;
+constexpr std::uint64_t tokenPositionMask =
+    (std::uint64_t{1} << tokenBufferShift) - 1;
+
+} // namespace
+
+void
+StrandBufferUnit::onMemResponse(const MemResponse &resp)
+{
+    panicIf(resp.req != MemRequestKind::Flush,
+            "{}: unexpected memory response", fullName());
+    const std::size_t bi = resp.token >> tokenBufferShift;
+    const std::uint64_t position = resp.token & tokenPositionMask;
+    panicIf(bi >= buffers.size(), "{}: flush token names buffer {}",
+            fullName(), bi);
+    Buffer &buffer = buffers[bi];
+    // Find the entry by position; earlier entries may have retired
+    // meanwhile but this one cannot have (it is not yet complete).
+    for (Entry &e : buffer.entries) {
+        if (e.position != position)
+            continue;
+        if (resp.kind == MemResponseKind::FlushStarted) {
+            // The cache read happened: post-barrier stores may drain.
+            if (startedCallback)
+                startedCallback(e.id);
+            return;
+        }
+        e.completed = true;
+        if (!resp.wrotePm)
+            ++cleanFlushes;
+        ++clwbsCompleted;
+        flushLatency.sample(
+            static_cast<double>(curTick() - e.issuedAt));
+        if (completionCallback)
+            completionCallback(e.id, resp.wrotePm);
+        break;
+    }
+    if (resp.kind == MemResponseKind::FlushStarted)
+        return;
+    retireCompleted(buffer);
+    issueFrom(buffer);
+    // Retirement just moved the drain-point frontier, strictly after
+    // the hierarchy's own completion kick ran — ring its doorbell so
+    // parked snoops/write-backs re-check their clearances.
+    MemRequest kick;
+    kick.kind = MemRequestKind::Kick;
+    kick.core = core;
+    port.send(std::move(kick));
 }
 
 bool
@@ -143,34 +201,15 @@ StrandBufferUnit::issueFrom(Buffer &buffer)
         entry.hasIssued = true;
         entry.issuedAt = curTick();
         ++clwbsIssued;
-        std::uint64_t position = entry.position;
-        std::uint64_t id = entry.id;
-        Buffer *bufferPtr = &buffer;
-        hier.tryFlush(core, entry.addr,
-                      [this, bufferPtr, position](bool wrotePm) {
-            // Find the entry by position; earlier entries may have
-            // retired meanwhile but this one cannot have.
-            for (Entry &e : bufferPtr->entries) {
-                if (e.position != position)
-                    continue;
-                e.completed = true;
-                if (!wrotePm)
-                    ++cleanFlushes;
-                ++clwbsCompleted;
-                flushLatency.sample(
-                    static_cast<double>(curTick() - e.issuedAt));
-                if (completionCallback)
-                    completionCallback(e.id, wrotePm);
-                break;
-            }
-            retireCompleted(*bufferPtr);
-            issueFrom(*bufferPtr);
-            hier.kick();
-        },
-        [this, id] {
-            if (startedCallback)
-                startedCallback(id);
-        });
+        const std::size_t bi =
+            static_cast<std::size_t>(&buffer - buffers.data());
+        MemRequest req;
+        req.kind = MemRequestKind::Flush;
+        req.core = core;
+        req.addr = entry.addr;
+        req.token = (static_cast<std::uint64_t>(bi)
+                     << tokenBufferShift) | entry.position;
+        port.send(std::move(req));
     }
 }
 
@@ -206,9 +245,9 @@ StrandBufferUnit::saveState(SimSnapshot &snap) const
 {
     // Entries are plain descriptors (elder-store gating is a SeqNum
     // resolved against elderCompleted at issue time), so a wholesale
-    // copy captures everything. In-flight tryFlush callbacks live in
-    // the hierarchy/event queue and are captured there; they find
-    // their entry again by position.
+    // copy captures everything. In-flight flush requests/responses
+    // live in the hierarchy/event queue and are captured there; they
+    // find their entry again by the position in their token.
     Snapshot s;
     s.buffers = buffers;
     s.ongoing = ongoing;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "mem/port.hh"
 #include "sim/sim_object.hh"
 
 namespace strand
@@ -143,6 +144,10 @@ class StrandBufferUnit : public SimObject
     /** Issue any entries whose dependencies have resolved. */
     void evaluate();
 
+    /** The unit's mailbox to the hierarchy (partitioner reads its
+     * declared leg latencies as cross-domain lookahead). */
+    const MemPort &memPort() const { return port; }
+
     /** Capture / restore buffered entries and the ongoing index. */
     void saveState(SimSnapshot &snap) const override;
     void restoreState(const SimSnapshot &snap) override;
@@ -193,10 +198,14 @@ class StrandBufferUnit : public SimObject
 
     void issueFrom(Buffer &buffer);
     void retireCompleted(Buffer &buffer);
+    /** Route one flush response. The token encodes the entry's home:
+     * (bufferIndex << 48) | position. */
+    void onMemResponse(const MemResponse &resp);
 
     CoreId core;
-    Hierarchy &hier;
     StrandBufferUnitParams params;
+    /** Mailbox to the hierarchy; all flushes travel here. */
+    MemPort port;
     std::vector<Buffer> buffers;
     unsigned ongoing = 0;
     std::function<void(std::uint64_t, bool)> completionCallback;

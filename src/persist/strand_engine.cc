@@ -406,6 +406,18 @@ StrandEngine::sharesStoreQueue() const
     return params.sharedStoreQueue;
 }
 
+Tick
+StrandEngine::portRequestLatency() const
+{
+    return sbu.memPort().requestLatency();
+}
+
+Tick
+StrandEngine::portResponseLatency() const
+{
+    return sbu.memPort().responseLatency();
+}
+
 void
 StrandEngine::saveState(SimSnapshot &snap) const
 {

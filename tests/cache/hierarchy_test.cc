@@ -4,11 +4,19 @@
  * miss latencies, MESI transitions, cache-to-cache transfers,
  * write-backs with persist interlocks, CLWB flushes, and snoop
  * stalls (§IV mechanisms).
+ *
+ * Requests travel through a test-owned MemPort, exactly as cores and
+ * persist engines mail them in production: loads answer Nack or Done,
+ * stores answer Ack/Nack plus a later Done, flushes answer
+ * FlushStarted and Done(wrotePm). Every quoted latency therefore
+ * includes the port legs (one request leg in, one response leg out,
+ * plus one more request leg for paths that reach a controller).
  */
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -24,6 +32,17 @@ constexpr Addr lineB = pmBase + 0x4000;
 class HierarchyFixture : public ::testing::Test
 {
   protected:
+    /** Per-request response bookkeeping, keyed by token. */
+    struct Outcome
+    {
+        bool acked = false;
+        bool nacked = false;
+        bool started = false;
+        bool done = false;
+        bool wrotePm = false;
+        Tick doneAt = 0;
+    };
+
     void
     build(unsigned cores = 2, HierarchyParams p = HierarchyParams{})
     {
@@ -34,43 +53,103 @@ class HierarchyFixture : public ::testing::Test
             "dram", eq, img, dramControllerParams(), false);
         hier = std::make_unique<Hierarchy>("caches", eq, img, cores,
                                            params, *pm, *dram);
+        port.init(eq, "test.port");
+        port.bind(*hier);
+        port.setResponseHandler([this](const MemResponse &resp) {
+            Outcome &o = outcomes[resp.token];
+            switch (resp.kind) {
+              case MemResponseKind::Ack:
+                o.acked = true;
+                break;
+              case MemResponseKind::Nack:
+                o.nacked = true;
+                break;
+              case MemResponseKind::FlushStarted:
+                o.started = true;
+                break;
+              case MemResponseKind::Done:
+                o.done = true;
+                o.doneAt = eq.curTick();
+                o.wrotePm = resp.wrotePm;
+                break;
+            }
+        });
     }
 
-    /** Blocking store helper: run until the store completes. */
+    /** Mail one request; @return its token. */
+    std::uint64_t
+    send(MemRequestKind kind, CoreId core, Addr addr,
+         std::uint64_t value = 0)
+    {
+        MemRequest req;
+        req.kind = kind;
+        req.core = core;
+        req.addr = addr;
+        req.value = value;
+        req.token = nextToken++;
+        outcomes[req.token];
+        port.send(std::move(req));
+        return req.token;
+    }
+
+    const Outcome &
+    out(std::uint64_t token)
+    {
+        return outcomes.at(token);
+    }
+
+    /** Service everything scheduled at the next live tick. */
+    bool
+    step()
+    {
+        const Tick next = eq.nextLiveTick();
+        if (next == maxTick)
+            return false;
+        eq.runUntil(next);
+        return true;
+    }
+
+    /** Blocking store helper: retry Nacks, run until completion. */
     void
     store(CoreId core, Addr addr, std::uint64_t value)
     {
-        bool done = false;
-        while (!hier->tryStore(core, addr, value, [&] { done = true; }))
-            eq.serviceOne();
-        while (!done)
-            ASSERT_TRUE(eq.serviceOne());
+        std::uint64_t tok = 0;
+        for (;;) {
+            tok = send(MemRequestKind::Store, core, addr, value);
+            while (!out(tok).acked && !out(tok).nacked)
+                ASSERT_TRUE(step());
+            if (out(tok).acked)
+                break; // Nack: the next send is the retry
+        }
+        while (!out(tok).done)
+            ASSERT_TRUE(step());
     }
 
+    /** Blocking load helper: retry Nacks, run until completion. */
     void
     load(CoreId core, Addr addr)
     {
-        bool done = false;
-        while (!hier->tryLoad(core, addr, [&] { done = true; }))
-            eq.serviceOne();
-        while (!done)
-            ASSERT_TRUE(eq.serviceOne());
+        for (;;) {
+            std::uint64_t tok = send(MemRequestKind::Load, core, addr);
+            while (!out(tok).done && !out(tok).nacked)
+                ASSERT_TRUE(step());
+            if (out(tok).done)
+                return;
+        }
     }
 
     /** Flush and report whether PM was written. */
     bool
     flush(CoreId core, Addr addr)
     {
-        bool done = false;
-        bool wrote = false;
-        hier->tryFlush(core, addr, [&](bool w) {
-            done = true;
-            wrote = w;
-        });
-        while (!done)
-            EXPECT_TRUE(eq.serviceOne());
-        return wrote;
+        std::uint64_t tok = send(MemRequestKind::Flush, core, addr);
+        while (!out(tok).done)
+            EXPECT_TRUE(step());
+        return out(tok).wrotePm;
     }
+
+    /** Core-to-hierarchy mail time, there and back. */
+    static constexpr Tick mailRoundTrip = 2 * portLegLatency;
 
     EventQueue eq;
     MemoryImage img;
@@ -78,18 +157,23 @@ class HierarchyFixture : public ::testing::Test
     std::unique_ptr<MemController> pm;
     std::unique_ptr<MemController> dram;
     std::unique_ptr<Hierarchy> hier;
+    MemPort port;
+    std::unordered_map<std::uint64_t, Outcome> outcomes;
+    std::uint64_t nextToken = 1;
 };
 
 TEST_F(HierarchyFixture, ColdLoadMissFillsExclusiveFromMemory)
 {
     build();
-    Tick done = 0;
-    ASSERT_TRUE(hier->tryLoad(0, lineA, [&] { done = eq.curTick(); }));
+    auto tok = send(MemRequestKind::Load, 0, lineA);
     eq.run();
-    // l1 lookup + snoop + l2 lookup + PM row-miss read.
-    Tick expected = params.l1Latency + params.snoopLatency +
-                    params.l2Latency + nsToTicks(346);
-    EXPECT_EQ(done, expected);
+    ASSERT_TRUE(out(tok).done);
+    // Mail legs + l1 lookup + snoop + l2 lookup + one more mail leg
+    // to the PM controller + PM row-miss read.
+    Tick expected = mailRoundTrip + params.l1Latency +
+                    params.snoopLatency + params.l2Latency +
+                    portLegLatency + nsToTicks(346);
+    EXPECT_EQ(out(tok).doneAt, expected);
     EXPECT_EQ(hier->l1State(0, lineA), CoherenceState::Exclusive);
     EXPECT_NE(hier->l2State(lineA), CoherenceState::Invalid);
     EXPECT_EQ(hier->loadMisses.value(), 1.0);
@@ -100,10 +184,10 @@ TEST_F(HierarchyFixture, WarmLoadHitsInL1)
     build();
     load(0, lineA);
     Tick before = eq.curTick();
-    Tick done = 0;
-    ASSERT_TRUE(hier->tryLoad(0, lineA, [&] { done = eq.curTick(); }));
+    auto tok = send(MemRequestKind::Load, 0, lineA);
     eq.run();
-    EXPECT_EQ(done - before, params.l1Latency);
+    ASSERT_TRUE(out(tok).done);
+    EXPECT_EQ(out(tok).doneAt - before, mailRoundTrip + params.l1Latency);
     EXPECT_EQ(hier->loadHits.value(), 1.0);
 }
 
@@ -124,11 +208,10 @@ TEST_F(HierarchyFixture, StoreHitOnOwnedLineIsFast)
     build();
     store(0, lineA, 1);
     Tick before = eq.curTick();
-    Tick done = 0;
-    ASSERT_TRUE(hier->tryStore(0, lineA + 8, 2,
-                               [&] { done = eq.curTick(); }));
+    auto tok = send(MemRequestKind::Store, 0, lineA + 8, 2);
     eq.run();
-    EXPECT_EQ(done - before, params.l1Latency);
+    ASSERT_TRUE(out(tok).done);
+    EXPECT_EQ(out(tok).doneAt - before, mailRoundTrip + params.l1Latency);
     EXPECT_EQ(hier->storeHits.value(), 1.0);
 }
 
@@ -179,19 +262,21 @@ TEST_F(HierarchyFixture, RfoStallsOnOwnersPersistDrain)
     store(0, lineA, 1);
     EXPECT_EQ(recordings, 0); // stores alone record nothing
 
-    bool done = false;
-    ASSERT_TRUE(hier->tryStore(1, lineA, 2, [&] { done = true; }));
+    auto tok = send(MemRequestKind::Store, 1, lineA, 2);
+    while (!out(tok).acked && !out(tok).nacked)
+        ASSERT_TRUE(step());
+    ASSERT_TRUE(out(tok).acked);
     // Run a generous amount of simulated time: the RFO must not
     // complete while the owner's persist engine has not drained.
     eq.runUntil(eq.curTick() + nsToTicks(10000));
-    EXPECT_FALSE(done);
+    EXPECT_FALSE(out(tok).done);
     EXPECT_EQ(recordings, 1);
     EXPECT_EQ(hier->snoopStalls.value(), 1.0);
 
     clear = true;
     hier->kick();
     eq.run();
-    EXPECT_TRUE(done);
+    EXPECT_TRUE(out(tok).done);
     EXPECT_EQ(hier->l1State(1, lineA), CoherenceState::Modified);
 }
 
@@ -235,15 +320,16 @@ TEST_F(HierarchyFixture, FlushSnapshotExcludesLaterStores)
 {
     build();
     store(0, lineA, 1);
-    bool done = false;
-    hier->tryFlush(0, lineA, [&](bool) { done = true; });
-    // Let the flush pass its lookup point, then store again before
-    // the PM ack arrives.
-    eq.runUntil(eq.curTick() + params.l1Latency);
-    bool stored = false;
-    ASSERT_TRUE(hier->tryStore(0, lineA, 2, [&] { stored = true; }));
+    auto flushTok = send(MemRequestKind::Flush, 0, lineA);
+    // Let the flush pass its lookup point (one mail leg plus the L1
+    // read, plus the response leg of the FlushStarted notification),
+    // then store again before the PM ack arrives.
+    eq.runUntil(eq.curTick() + 2 * portLegLatency + params.l1Latency);
+    EXPECT_TRUE(out(flushTok).started);
+    auto storeTok = send(MemRequestKind::Store, 0, lineA, 2);
     eq.run();
-    EXPECT_TRUE(done && stored);
+    EXPECT_TRUE(out(flushTok).done);
+    EXPECT_TRUE(out(storeTok).done);
     EXPECT_EQ(img.readPersisted(lineA), 1u);
     EXPECT_EQ(img.readArch(lineA), 2u);
 }
@@ -251,28 +337,39 @@ TEST_F(HierarchyFixture, FlushSnapshotExcludesLaterStores)
 TEST_F(HierarchyFixture, MshrLimitBoundsOutstandingMisses)
 {
     build();
-    unsigned accepted = 0;
+    // Mail more loads than there are MSHRs, back to back: they all
+    // reach the hierarchy in one batch, and the overflow is Nacked.
+    std::vector<std::uint64_t> toks;
     for (unsigned i = 0; i < params.l1Mshrs + 2; ++i) {
         Addr addr = pmBase + 0x10000 + i * 0x1000;
-        if (hier->tryLoad(0, addr, nullptr))
+        toks.push_back(send(MemRequestKind::Load, 0, addr));
+    }
+    eq.run();
+    unsigned accepted = 0;
+    unsigned nacked = 0;
+    for (auto tok : toks) {
+        if (out(tok).done)
             ++accepted;
+        if (out(tok).nacked)
+            ++nacked;
     }
     EXPECT_EQ(accepted, params.l1Mshrs);
-    eq.run();
+    EXPECT_EQ(nacked, 2u);
     // After draining, new misses are accepted again.
-    EXPECT_TRUE(hier->tryLoad(0, pmBase + 0x80000, nullptr));
+    auto tok = send(MemRequestKind::Load, 0, pmBase + 0x80000);
     eq.run();
+    EXPECT_TRUE(out(tok).done);
 }
 
 TEST_F(HierarchyFixture, MissesToSameLineMergeInOneMshr)
 {
     build();
-    int completions = 0;
-    ASSERT_TRUE(hier->tryLoad(0, lineA, [&] { ++completions; }));
-    ASSERT_TRUE(hier->tryLoad(0, lineA + 8, [&] { ++completions; }));
-    EXPECT_EQ(hier->loadMisses.value(), 2.0);
+    auto a = send(MemRequestKind::Load, 0, lineA);
+    auto b = send(MemRequestKind::Load, 0, lineA + 8);
     eq.run();
-    EXPECT_EQ(completions, 2);
+    EXPECT_TRUE(out(a).done);
+    EXPECT_TRUE(out(b).done);
+    EXPECT_EQ(hier->loadMisses.value(), 2.0);
     // Only one memory read should have been issued.
     EXPECT_EQ(pm->numReads.value(), 1.0);
 }
@@ -349,17 +446,15 @@ TEST_F(HierarchyFixture, DramTrafficDoesNotPersist)
 TEST_F(HierarchyFixture, ConcurrentMissesToDistinctLinesOverlap)
 {
     build();
-    std::vector<Tick> done;
-    ASSERT_TRUE(hier->tryLoad(0, pmBase + 0x100000,
-                              [&] { done.push_back(eq.curTick()); }));
-    ASSERT_TRUE(hier->tryLoad(0, pmBase + 0x200000,
-                              [&] { done.push_back(eq.curTick()); }));
+    auto a = send(MemRequestKind::Load, 0, pmBase + 0x100000);
+    auto b = send(MemRequestKind::Load, 0, pmBase + 0x200000);
     eq.run();
-    ASSERT_EQ(done.size(), 2u);
+    ASSERT_TRUE(out(a).done);
+    ASSERT_TRUE(out(b).done);
     // Different banks: the two fills overlap almost entirely.
     Tick serial = 2 * (params.l1Latency + params.snoopLatency +
                        params.l2Latency + nsToTicks(346));
-    EXPECT_LT(done[1], serial);
+    EXPECT_LT(std::max(out(a).doneAt, out(b).doneAt), serial);
 }
 
 TEST_F(HierarchyFixture, HierarchyReportsIdleAfterDraining)

@@ -2,12 +2,12 @@
  * @file
  * Domain partitioning for PDES sharding.
  *
- * The production component graph communicates through synchronous
- * zero-latency calls, so the honest partition fuses every core group
- * with the shared fabric — one effective domain no matter how many
- * shards are requested, with the responsible call paths logged. A
- * decoupled graph (positive lookahead on every edge) keeps its
- * domains and derives the window from the minimum edge lookahead.
+ * The production component graph communicates exclusively through
+ * MemPort mailboxes whose legs take at least one tick, so the honest
+ * partition keeps every core group separate from the shared fabric:
+ * 1 + nCores effective domains, no fusions, and a window equal to
+ * the minimum port-declared leg latency. A graph with a zero-latency
+ * edge still fuses, with the responsible call path logged.
  */
 
 #include <gtest/gtest.h>
@@ -35,7 +35,7 @@ TEST(DomainPartitionTest, AffinityTagsFollowTheirCore)
     EXPECT_EQ(sys.pmController().domainAffinity(), "shared");
 }
 
-TEST(DomainPartitionTest, ProductionGraphFusesToOneDomain)
+TEST(DomainPartitionTest, ProductionGraphKeepsCoresUnfused)
 {
     SystemConfig cfg;
     cfg.numCores = 2;
@@ -43,20 +43,35 @@ TEST(DomainPartitionTest, ProductionGraphFusesToOneDomain)
     DomainPartition part = computeSystemPartition(sys, 4);
 
     EXPECT_EQ(part.requestedShards, 4u);
-    ASSERT_EQ(part.effectiveDomains(), 1u);
-    // Every registered component landed in the single fused domain:
-    // hierarchy + PM controller + two cores + two engines.
-    EXPECT_EQ(part.domains[0].size(), 6u);
-    // Each core group fused with the shared fabric for a logged,
-    // human-readable reason naming the synchronous call path.
-    ASSERT_EQ(part.fusions.size(), 2u);
-    for (const DomainFusion &f : part.fusions) {
-        EXPECT_NE(f.reason.find("synchronous"), std::string::npos);
-        EXPECT_EQ(f.groupB, "shared");
+    // One domain per core plus the shared fabric: the mailboxed
+    // call paths all declare at least one port leg of lookahead, so
+    // nothing fuses.
+    ASSERT_EQ(part.effectiveDomains(), 1u + cfg.numCores);
+    EXPECT_TRUE(part.fusions.empty());
+    // The window is the minimum port-declared leg latency.
+    EXPECT_EQ(part.windowTicks, portLegLatency);
+    // Every cross-domain edge survived and is reported for logging:
+    // one request and one response leg per core.
+    ASSERT_EQ(part.crossEdges.size(), 2 * cfg.numCores);
+    for (const DomainEdge &e : part.crossEdges) {
+        EXPECT_GE(e.lookahead, portLegLatency);
+        EXPECT_NE(e.why.find("port-declared"), std::string::npos);
+        EXPECT_TRUE(e.a == "shared" || e.b == "shared");
     }
-    // With everything fused the windowed loop falls back to the L1
-    // latency quantum.
-    EXPECT_EQ(part.windowTicks, cfg.caches.l1Latency);
+}
+
+TEST(DomainPartitionTest, ProductionPartitionCapsAtSeparableClasses)
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    System sys(cfg);
+    // More shards than separable classes: capped, not invented.
+    EXPECT_EQ(computeSystemPartition(sys, 16).effectiveDomains(), 3u);
+    // Fewer shards than classes: classes pack into the shards.
+    DomainPartition two = computeSystemPartition(sys, 2);
+    EXPECT_EQ(two.effectiveDomains(), 2u);
+    // A single shard reproduces the classic serial loop.
+    EXPECT_EQ(computeSystemPartition(sys, 1).effectiveDomains(), 1u);
 }
 
 TEST(DomainPartitionTest, DecoupledGraphKeepsDomainsAndWindow)

@@ -49,7 +49,17 @@ TEST(EnvConfig, UnsetKnobsLeaveDefaults)
     EXPECT_FALSE(config.mediaFlips.has_value());
     EXPECT_FALSE(config.mediaDrop.has_value());
     EXPECT_FALSE(config.mediaSeed.has_value());
+    EXPECT_FALSE(config.logLevel.has_value());
     EXPECT_EQ(config.outDir, "bench/out");
+}
+
+TEST(EnvConfig, LogLevelParsesAndRangeChecks)
+{
+    EXPECT_EQ(parse({{"SW_LOG", "0"}}).logLevel, 0u);
+    EXPECT_EQ(parse({{"SW_LOG", "2"}}).logLevel, 2u);
+    EXPECT_THROW(parse({{"SW_LOG", "3"}}), std::invalid_argument);
+    EXPECT_THROW(parse({{"SW_LOG", "loud"}}),
+                 std::invalid_argument);
 }
 
 TEST(EnvConfig, MediaKnobsParseAndRangeCheck)
@@ -140,7 +150,7 @@ TEST(EnvConfig, KnobRegistryCoversEveryKnob)
         "SW_FUZZ_TRIALS", "SW_FUZZ_SEED", "SW_PMOSAN",
         "SW_CRASH_FORK",  "SW_FUZZ_FORK_BRANCH",
         "SW_MEDIA_POISON", "SW_MEDIA_FLIPS", "SW_MEDIA_DROP",
-        "SW_MEDIA_SEED",  "SW_OUT_DIR",
+        "SW_MEDIA_SEED",  "SW_LOG",       "SW_OUT_DIR",
     };
     std::vector<std::string> actual;
     for (const EnvKnob &knob : envKnobs())

@@ -2,10 +2,16 @@
  * @file
  * Unit tests for the banked PM/DRAM controller: latencies, row-buffer
  * behaviour, ADR persist point, queue back-pressure, and retries.
+ *
+ * Transactions travel through a test-owned MemPort, exactly as the
+ * cache hierarchy mails them in production: admission comes back as
+ * an explicit Ack/Nack response one port leg later, and completion
+ * arrives separately through the packet's own onResponse.
  */
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <vector>
 
 #include "mem/mem_controller.hh"
@@ -20,12 +26,66 @@ struct ControllerFixture : public ::testing::Test
     EventQueue eq;
     MemoryImage img;
     MemControllerParams params;
+    MemPort port;
+    /** Admission decisions in arrival order (Ack=true, Nack=false). */
+    std::deque<bool> decisions;
+
+    /** One request leg of mail time before the controller sees it. */
+    static constexpr Tick mailLatency = portLegLatency;
+
+    void
+    wire(MemController &ctrl)
+    {
+        port.init(eq, "test.port");
+        port.bind(ctrl);
+        port.setResponseHandler([this](const MemResponse &resp) {
+            decisions.push_back(resp.kind == MemResponseKind::Ack);
+        });
+    }
 
     std::unique_ptr<MemController>
     makePm()
     {
-        return std::make_unique<MemController>("pmctrl", eq, img, params,
-                                               true);
+        auto ctrl = std::make_unique<MemController>("pmctrl", eq, img,
+                                                    params, true);
+        wire(*ctrl);
+        return ctrl;
+    }
+
+    /** Mail a packet without waiting for its admission decision. */
+    void
+    post(const PacketPtr &pkt)
+    {
+        MemRequest req;
+        req.kind = MemRequestKind::Packet;
+        req.addr = pkt->addr;
+        req.pkt = pkt;
+        port.send(std::move(req));
+    }
+
+    /** Run the queue until the next admission decision arrives. */
+    bool
+    awaitDecision()
+    {
+        while (decisions.empty()) {
+            const Tick next = eq.nextLiveTick();
+            if (next == maxTick) {
+                ADD_FAILURE() << "queue drained without a decision";
+                return false;
+            }
+            eq.runUntil(next);
+        }
+        bool acked = decisions.front();
+        decisions.pop_front();
+        return acked;
+    }
+
+    /** Mail a packet and block on its admission decision. */
+    bool
+    submit(const PacketPtr &pkt)
+    {
+        post(pkt);
+        return awaitDecision();
     }
 };
 
@@ -35,9 +95,9 @@ TEST_F(ControllerFixture, ReadCompletesAfterDeviceLatency)
     Tick done = 0;
     auto pkt = makeReadPacket(pmBase, 0, false,
                               [&] { done = eq.curTick(); });
-    ASSERT_TRUE(ctrl->tryRequest(pkt));
+    ASSERT_TRUE(submit(pkt));
     eq.run();
-    EXPECT_EQ(done, params.readLatency);
+    EXPECT_EQ(done, mailLatency + params.readLatency);
     EXPECT_TRUE(ctrl->idle());
 }
 
@@ -47,18 +107,22 @@ TEST_F(ControllerFixture, RowBufferHitIsFaster)
     std::vector<Tick> done;
     auto first = makeReadPacket(pmBase, 0, false,
                                 [&] { done.push_back(eq.curTick()); });
-    // Same 1 KiB row, different line.
+    // Same 1 KiB row, different line. Mailed back to back, both
+    // requests land on the controller in the same port-leg batch.
     auto second = makeReadPacket(pmBase + 64, 0, false,
                                  [&] { done.push_back(eq.curTick()); });
-    ASSERT_TRUE(ctrl->tryRequest(first));
-    ASSERT_TRUE(ctrl->tryRequest(second));
+    post(first);
+    post(second);
+    ASSERT_TRUE(awaitDecision());
+    ASSERT_TRUE(awaitDecision());
     eq.run();
     ASSERT_EQ(done.size(), 2u);
     // The row-hit read overtakes the opening read: it waits only for
     // the bank-occupancy window, then enjoys the open row, so it
     // completes first.
-    EXPECT_EQ(done[0], params.readOccupancy + params.readRowHitLatency);
-    EXPECT_EQ(done[1], params.readLatency);
+    EXPECT_EQ(done[0], mailLatency + params.readOccupancy +
+                           params.readRowHitLatency);
+    EXPECT_EQ(done[1], mailLatency + params.readLatency);
     EXPECT_EQ(ctrl->numRowHits.value(), 1.0);
     EXPECT_EQ(ctrl->numRowMisses.value(), 1.0);
 }
@@ -72,12 +136,14 @@ TEST_F(ControllerFixture, BanksServiceDisjointRowsInParallel)
                             [&] { done.push_back(eq.curTick()); });
     auto b = makeReadPacket(pmBase + params.rowBytes, 0, false,
                             [&] { done.push_back(eq.curTick()); });
-    ASSERT_TRUE(ctrl->tryRequest(a));
-    ASSERT_TRUE(ctrl->tryRequest(b));
+    post(a);
+    post(b);
+    ASSERT_TRUE(awaitDecision());
+    ASSERT_TRUE(awaitDecision());
     eq.run();
     ASSERT_EQ(done.size(), 2u);
-    EXPECT_EQ(done[0], params.readLatency);
-    EXPECT_EQ(done[1], params.readLatency); // parallel banks
+    EXPECT_EQ(done[0], mailLatency + params.readLatency);
+    EXPECT_EQ(done[1], mailLatency + params.readLatency); // parallel
 }
 
 TEST_F(ControllerFixture, WriteAckAtAdrAdmissionAppliesPersist)
@@ -88,12 +154,12 @@ TEST_F(ControllerFixture, WriteAckAtAdrAdmissionAppliesPersist)
     auto pkt = makeWritePacket(img.snapshotLine(pmBase), 0,
                                WriteOrigin::Clwb,
                                [&] { acked = eq.curTick(); });
-    ASSERT_TRUE(ctrl->tryRequest(pkt));
+    ASSERT_TRUE(submit(pkt));
 
     // Before the queue drains, the ack must already have arrived and
     // the data must be durable: run just past the accept latency.
-    eq.runUntil(params.writeAcceptLatency);
-    EXPECT_EQ(acked, params.writeAcceptLatency);
+    eq.runUntil(mailLatency + params.writeAcceptLatency);
+    EXPECT_EQ(acked, mailLatency + params.writeAcceptLatency);
     EXPECT_EQ(img.readPersisted(pmBase), 77u);
     EXPECT_FALSE(ctrl->idle()); // media write still draining
 
@@ -112,7 +178,7 @@ TEST_F(ControllerFixture, PersistObserverSeesEveryPersist)
         auto pkt = makeWritePacket(img.snapshotLine(pmBase + 64 * i), 0,
                                    WriteOrigin::Clwb, nullptr);
         pkt->id = 100 + i;
-        ASSERT_TRUE(ctrl->tryRequest(pkt));
+        ASSERT_TRUE(submit(pkt));
     }
     eq.run();
     EXPECT_EQ(ids, (std::vector<std::uint64_t>{100, 101, 102}));
@@ -128,19 +194,25 @@ TEST_F(ControllerFixture, WriteQueueFullRejectsAndRetries)
         return makeWritePacket(img.snapshotLine(pmBase + 64 * i), 0,
                                WriteOrigin::Clwb, [&] { ++completed; });
     };
-    ASSERT_TRUE(ctrl->tryRequest(mkWrite(0)));
-    ASSERT_TRUE(ctrl->tryRequest(mkWrite(1)));
+    ASSERT_TRUE(submit(mkWrite(0)));
+    ASSERT_TRUE(submit(mkWrite(1)));
     auto third = mkWrite(2);
-    EXPECT_FALSE(ctrl->tryRequest(third));
+    EXPECT_FALSE(submit(third));
     EXPECT_EQ(ctrl->numRetries.value(), 1.0);
 
+    // A Nacked packet is re-mailed when queue space frees up; the
+    // fresh admission decision arrives like any other.
     bool resent = false;
     ctrl->addRetryCallback([&] {
-        if (!resent && ctrl->tryRequest(third))
+        if (!resent) {
             resent = true;
+            post(third);
+        }
     });
     eq.run();
     EXPECT_TRUE(resent);
+    ASSERT_TRUE(awaitDecision()); // the re-mailed third write
+    eq.run();
     EXPECT_EQ(completed, 3);
 }
 
@@ -150,10 +222,10 @@ TEST_F(ControllerFixture, ReadQueueFullRejects)
     auto ctrl = makePm();
     auto a = makeReadPacket(pmBase, 0, false, nullptr);
     auto b = makeReadPacket(pmBase + 64, 0, false, nullptr);
-    ASSERT_TRUE(ctrl->tryRequest(a));
-    EXPECT_FALSE(ctrl->tryRequest(b));
+    ASSERT_TRUE(submit(a));
+    EXPECT_FALSE(submit(b));
     eq.run();
-    EXPECT_TRUE(ctrl->tryRequest(b));
+    EXPECT_TRUE(submit(b));
     eq.run();
     EXPECT_EQ(ctrl->numReads.value(), 2.0);
 }
@@ -162,10 +234,11 @@ TEST_F(ControllerFixture, DramControllerDoesNotPersist)
 {
     auto dram = std::make_unique<MemController>(
         "dram", eq, img, dramControllerParams(), false);
+    wire(*dram);
     img.writeArch(dramBase + 64, 5);
     LineData snap = img.snapshotLine(dramBase + 64);
     auto pkt = makeWritePacket(snap, 0, WriteOrigin::WriteBack, nullptr);
-    ASSERT_TRUE(dram->tryRequest(pkt));
+    ASSERT_TRUE(submit(pkt));
     eq.run();
     EXPECT_EQ(img.persistedWords(), 0u);
 }
@@ -178,13 +251,15 @@ TEST_F(ControllerFixture, WritesToSameBankSerializeOnMedia)
     ctrl->addRetryCallback([&] { ++drained; });
     for (int i = 0; i < 2; ++i) {
         img.writeArch(pmBase + 64 * i, i);
-        ASSERT_TRUE(ctrl->tryRequest(makeWritePacket(
-            img.snapshotLine(pmBase + 64 * i), 0, WriteOrigin::Clwb,
-            nullptr)));
+        post(makeWritePacket(img.snapshotLine(pmBase + 64 * i), 0,
+                             WriteOrigin::Clwb, nullptr));
     }
+    ASSERT_TRUE(awaitDecision());
+    ASSERT_TRUE(awaitDecision());
     // Queue slots are held while the media writes retire: shortly
     // after both acks the controller still has work in flight.
-    eq.runUntil(params.writeAcceptLatency + nsToTicks(10));
+    eq.runUntil(mailLatency + params.writeAcceptLatency +
+                nsToTicks(10));
     EXPECT_FALSE(ctrl->idle());
     EXPECT_EQ(drained, 0);
     eq.run();

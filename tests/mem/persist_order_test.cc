@@ -5,11 +5,14 @@
  * strong persist atomicity leans on), the persist observer sees
  * admission order, and the hierarchy's per-line send queues keep
  * same-line flushes in content order across back-pressure.
+ *
+ * All traffic is mailed through MemPorts, as in production.
  */
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -20,11 +23,119 @@ namespace strand
 namespace
 {
 
+/** Mail @p pkt to @p port as a Packet request. */
+void
+postPacket(MemPort &port, const PacketPtr &pkt)
+{
+    MemRequest req;
+    req.kind = MemRequestKind::Packet;
+    req.addr = pkt->addr;
+    req.pkt = pkt;
+    port.send(std::move(req));
+}
+
+/**
+ * A core's-eye view of a hierarchy: one port plus blocking helpers
+ * that retry Nacks, mirroring what Core does in production.
+ */
+struct HierClient
+{
+    struct Outcome
+    {
+        bool acked = false;
+        bool nacked = false;
+        bool done = false;
+        bool wrotePm = false;
+    };
+
+    EventQueue &eq;
+    MemPort port;
+    std::unordered_map<std::uint64_t, Outcome> outcomes;
+    std::uint64_t nextToken = 1;
+
+    HierClient(EventQueue &eq, Hierarchy &hier) : eq(eq)
+    {
+        port.init(eq, "test.port");
+        port.bind(hier);
+        port.setResponseHandler([this](const MemResponse &resp) {
+            Outcome &o = outcomes[resp.token];
+            switch (resp.kind) {
+              case MemResponseKind::Ack:
+                o.acked = true;
+                break;
+              case MemResponseKind::Nack:
+                o.nacked = true;
+                break;
+              case MemResponseKind::FlushStarted:
+                break;
+              case MemResponseKind::Done:
+                o.done = true;
+                o.wrotePm = resp.wrotePm;
+                break;
+            }
+        });
+    }
+
+    std::uint64_t
+    send(MemRequestKind kind, CoreId core, Addr addr,
+         std::uint64_t value = 0)
+    {
+        MemRequest req;
+        req.kind = kind;
+        req.core = core;
+        req.addr = addr;
+        req.value = value;
+        req.token = nextToken++;
+        outcomes[req.token];
+        port.send(std::move(req));
+        return req.token;
+    }
+
+    const Outcome &
+    out(std::uint64_t token)
+    {
+        return outcomes.at(token);
+    }
+
+    bool
+    step()
+    {
+        const Tick next = eq.nextLiveTick();
+        if (next == maxTick)
+            return false;
+        eq.runUntil(next);
+        return true;
+    }
+
+    void
+    store(CoreId core, Addr addr, std::uint64_t value)
+    {
+        std::uint64_t tok = 0;
+        for (;;) {
+            tok = send(MemRequestKind::Store, core, addr, value);
+            while (!out(tok).acked && !out(tok).nacked)
+                ASSERT_TRUE(step());
+            if (out(tok).acked)
+                break;
+        }
+        while (!out(tok).done)
+            ASSERT_TRUE(step());
+    }
+};
+
 TEST(PersistOrder, ControllerAdmitsWritesInSendOrder)
 {
     EventQueue eq;
     MemoryImage img;
     MemController pm("pm", eq, img, MemControllerParams{}, true);
+    MemPort port;
+    port.init(eq, "test.port");
+    port.bind(pm);
+    int acks = 0;
+    port.setResponseHandler([&](const MemResponse &resp) {
+        if (resp.kind == MemResponseKind::Ack)
+            ++acks;
+    });
     std::vector<std::uint64_t> order;
     pm.setPersistObserver(
         [&](const Packet &pkt, Tick) { order.push_back(pkt.id); });
@@ -34,9 +145,10 @@ TEST(PersistOrder, ControllerAdmitsWritesInSendOrder)
         auto pkt = makeWritePacket(img.snapshotLine(pmBase + i * 64),
                                    0, WriteOrigin::Clwb, nullptr);
         pkt->id = i;
-        ASSERT_TRUE(pm.tryRequest(pkt));
+        postPacket(port, pkt);
     }
     eq.run();
+    EXPECT_EQ(acks, 8);
     ASSERT_EQ(order.size(), 8u);
     for (std::uint64_t i = 0; i < 8; ++i)
         EXPECT_EQ(order[i], i);
@@ -53,34 +165,32 @@ TEST(PersistOrder, SameLineFlushesStayInContentOrderUnderPressure)
     MemController pm("pm", eq, img, pmParams, true);
     MemController dram("dram", eq, img, dramControllerParams(), false);
     Hierarchy hier("caches", eq, img, 1, HierarchyParams{}, pm, dram);
+    HierClient client(eq, hier);
 
     const Addr line = pmBase + 0x1000;
-    // Fill the single write-queue slot with an unrelated line.
+    // Fill the single write-queue slot with an unrelated line,
+    // mailed straight to the controller.
+    MemPort pmPort;
+    pmPort.init(eq, "test.pmPort");
+    pmPort.bind(pm);
+    pmPort.setResponseHandler([](const MemResponse &) {});
     img.writeArch(pmBase + 0x8000, 7);
-    ASSERT_TRUE(pm.tryRequest(makeWritePacket(
-        img.snapshotLine(pmBase + 0x8000), 0, WriteOrigin::Clwb,
-        nullptr)));
+    postPacket(pmPort, makeWritePacket(img.snapshotLine(pmBase + 0x8000),
+                                       0, WriteOrigin::Clwb, nullptr));
+    eq.runUntil(eq.curTick() + portLegLatency); // let it occupy the slot
 
     // Store + flush, then store + flush again, back to back.
-    bool stored = false;
-    while (!hier.tryStore(0, line, 1, [&] { stored = true; }))
-        eq.serviceOne();
-    while (!stored)
-        ASSERT_TRUE(eq.serviceOne());
-    int flushes = 0;
-    hier.tryFlush(0, line, [&](bool) { ++flushes; });
+    client.store(0, line, 1);
+    auto flushA = client.send(MemRequestKind::Flush, 0, line);
     // Let the first flush reach its (blocked) send.
     eq.runUntil(eq.curTick() + nsToTicks(10));
 
-    stored = false;
-    while (!hier.tryStore(0, line, 2, [&] { stored = true; }))
-        eq.serviceOne();
-    while (!stored)
-        ASSERT_TRUE(eq.serviceOne());
-    hier.tryFlush(0, line, [&](bool) { ++flushes; });
+    client.store(0, line, 2);
+    auto flushB = client.send(MemRequestKind::Flush, 0, line);
 
     eq.run();
-    EXPECT_EQ(flushes, 2);
+    EXPECT_TRUE(client.out(flushA).done);
+    EXPECT_TRUE(client.out(flushB).done);
     // The final durable value must be the newest store: the delayed
     // first snapshot may carry value 1 or 2 depending on timing, but
     // it can never land after the second flush's fresher snapshot.
@@ -106,6 +216,7 @@ TEST(PersistOrder, PrewarmInstallsCleanL2Lines)
     MemController pm("pm", eq, img, MemControllerParams{}, true);
     MemController dram("dram", eq, img, dramControllerParams(), false);
     Hierarchy hier("caches", eq, img, 1, HierarchyParams{}, pm, dram);
+    HierClient client(eq, hier);
 
     hier.prewarmL2(pmBase, pmBase + 4 * lineBytes);
     for (unsigned i = 0; i < 4; ++i) {
@@ -114,10 +225,9 @@ TEST(PersistOrder, PrewarmInstallsCleanL2Lines)
         EXPECT_FALSE(hier.l2Dirty(pmBase + i * lineBytes));
     }
     // A warm load costs an L2 hit, not a PM read.
-    bool done = false;
-    ASSERT_TRUE(hier.tryLoad(0, pmBase, [&] { done = true; }));
+    auto tok = client.send(MemRequestKind::Load, 0, pmBase);
     eq.run();
-    EXPECT_TRUE(done);
+    EXPECT_TRUE(client.out(tok).done);
     EXPECT_EQ(pm.numReads.value(), 0.0);
 }
 
@@ -131,6 +241,7 @@ TEST(PersistOrder, InterlockFlagDisablesDrainPoints)
     params.persistInterlocks = false;
     params.l1Size = 256; // force evictions
     Hierarchy hier("caches", eq, img, 1, params, pm, dram);
+    HierClient client(eq, hier);
 
     bool recorderCalled = false;
     hier.setDrainPointRecorder(0, [&] {
@@ -140,15 +251,8 @@ TEST(PersistOrder, InterlockFlagDisablesDrainPoints)
 
     // Dirty three conflicting lines; the eviction would record a
     // drain point if interlocks were enabled.
-    for (unsigned i = 0; i < 3; ++i) {
-        bool done = false;
-        while (!hier.tryStore(0, pmBase + i * 128, i, [&] {
-            done = true;
-        }))
-            eq.serviceOne();
-        while (!done)
-            ASSERT_TRUE(eq.serviceOne());
-    }
+    for (unsigned i = 0; i < 3; ++i)
+        client.store(0, pmBase + i * 128, i);
     eq.run();
     EXPECT_FALSE(recorderCalled);
 }

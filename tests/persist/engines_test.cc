@@ -79,16 +79,37 @@ class EngineFixture : public ::testing::Test
         engine = makePersistEngine(design, "engine", eq, 0, *hier,
                                    config);
         engine->setStoreView(sqFake.view());
+        storePort = std::make_unique<MemPort>();
+        storePort->init(eq, "test.storePort");
+        storePort->bind(*hier);
+        storePort->setResponseHandler([this](const MemResponse &resp) {
+            if (resp.kind == MemResponseKind::Nack)
+                storeNacked = true;
+            else if (resp.kind == MemResponseKind::Done)
+                storeDone = true;
+        });
     }
 
     void
     dirty(Addr addr, std::uint64_t value)
     {
-        bool done = false;
-        while (!hier->tryStore(0, addr, value, [&] { done = true; }))
-            eq.serviceOne();
-        while (!done)
-            ASSERT_TRUE(eq.serviceOne());
+        for (;;) {
+            storeNacked = false;
+            storeDone = false;
+            MemRequest req;
+            req.kind = MemRequestKind::Store;
+            req.core = 0;
+            req.addr = addr;
+            req.value = value;
+            storePort->send(std::move(req));
+            while (!storeDone && !storeNacked) {
+                const Tick next = eq.nextLiveTick();
+                ASSERT_NE(next, maxTick);
+                eq.runUntil(next);
+            }
+            if (storeDone)
+                return;
+        }
     }
 
     void
@@ -114,6 +135,9 @@ class EngineFixture : public ::testing::Test
     EventQueue eq;
     MemoryImage img;
     FakeStoreQueue sqFake;
+    std::unique_ptr<MemPort> storePort;
+    bool storeDone = false;
+    bool storeNacked = false;
     std::unique_ptr<MemController> pm;
     std::unique_ptr<MemController> dram;
     std::unique_ptr<Hierarchy> hier;

@@ -40,17 +40,37 @@ class SbuFixture : public ::testing::Test
         pm->setPersistObserver([this](const Packet &pkt, Tick) {
             persistOrder.push_back(pkt.data.lineAddr);
         });
+        storePort.init(eq, "test.storePort");
+        storePort.bind(*hier);
+        storePort.setResponseHandler([this](const MemResponse &resp) {
+            if (resp.kind == MemResponseKind::Nack)
+                storeNacked = true;
+            else if (resp.kind == MemResponseKind::Done)
+                storeDone = true;
+        });
     }
 
     /** Make a line dirty in the L1 so a flush has work to do. */
     void
     dirty(Addr addr, std::uint64_t value)
     {
-        bool done = false;
-        while (!hier->tryStore(0, addr, value, [&] { done = true; }))
-            eq.serviceOne();
-        while (!done)
-            ASSERT_TRUE(eq.serviceOne());
+        for (;;) {
+            storeNacked = false;
+            storeDone = false;
+            MemRequest req;
+            req.kind = MemRequestKind::Store;
+            req.core = 0;
+            req.addr = addr;
+            req.value = value;
+            storePort.send(std::move(req));
+            while (!storeDone && !storeNacked) {
+                const Tick next = eq.nextLiveTick();
+                ASSERT_NE(next, maxTick);
+                eq.runUntil(next);
+            }
+            if (storeDone)
+                return;
+        }
     }
 
     EventQueue eq;
@@ -59,6 +79,9 @@ class SbuFixture : public ::testing::Test
     std::unique_ptr<MemController> dram;
     std::unique_ptr<Hierarchy> hier;
     std::unique_ptr<StrandBufferUnit> sbu;
+    MemPort storePort;
+    bool storeDone = false;
+    bool storeNacked = false;
     std::vector<std::uint64_t> completions;
     std::vector<Addr> persistOrder;
 };
